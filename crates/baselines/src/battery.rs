@@ -1,0 +1,63 @@
+//! Shared test battery: every algorithm must serve every request under
+//! randomized latencies, loads, and seeds, with the engine's safety and
+//! liveness checkers armed. Used from each algorithm's test module.
+
+use dmx_simnet::{Engine, EngineConfig, LatencyModel, Protocol, Time};
+use dmx_topology::NodeId;
+
+/// Runs `rounds` full rounds in which every node requests once at a
+/// staggered time; panics on any safety/liveness violation. Returns total
+/// messages delivered for optional bound checks.
+pub(crate) fn stress_protocol<P, F>(make: F, n: usize, rounds: u32, label: &str) -> u64
+where
+    P: Protocol,
+    F: Fn() -> Vec<P>,
+{
+    let mut total_messages = 0;
+    for seed in 0..4u64 {
+        let config = EngineConfig {
+            latency: LatencyModel::Exponential { mean: Time(5) },
+            cs_duration: LatencyModel::Uniform {
+                lo: Time(1),
+                hi: Time(4),
+            },
+            seed,
+            record_trace: false,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(make(), config);
+        for round in 0..rounds {
+            for i in 0..n as u32 {
+                // Stagger pseudo-randomly but deterministically.
+                let jitter = (i as u64 * 7 + seed * 3 + round as u64 * 11) % 13;
+                engine.request_at(engine.now() + Time(jitter), NodeId(i));
+            }
+            engine
+                .run_to_quiescence()
+                .unwrap_or_else(|e| panic!("{label}: seed {seed} round {round}: {e}"));
+        }
+        assert_eq!(
+            engine.metrics().cs_entries,
+            rounds as u64 * n as u64,
+            "{label}: seed {seed} served a wrong number of entries"
+        );
+        total_messages += engine.metrics().messages_total;
+    }
+    total_messages
+}
+
+/// Single-shot run with the default synchronous network; returns the
+/// metrics for precise count assertions.
+pub(crate) fn run_schedule<P: Protocol>(
+    nodes: Vec<P>,
+    schedule: &[(u64, u32)],
+) -> dmx_simnet::metrics::Metrics {
+    let mut engine = Engine::new(nodes, EngineConfig::default());
+    for &(t, node) in schedule {
+        engine.request_at(Time(t), NodeId(node));
+    }
+    engine
+        .run_to_quiescence()
+        .expect("protocol violated safety or liveness")
+        .metrics
+}

@@ -1,0 +1,287 @@
+//! Carvalho–Roucairol's optimization of Ricart–Agrawala (Chapter 2.3).
+//!
+//! A REPLY doubles as a *standing authorization*: having once received
+//! node `j`'s REPLY, node `i` may re-enter the critical section without
+//! consulting `j` until `j` requests again. Message cost per entry
+//! therefore ranges from `0` (all authorizations cached) to `2(N−1)`,
+//! the band the paper quotes.
+//!
+//! The subtle rule: if `i` holds a pending *lower-priority* request and
+//! receives `j`'s higher-priority REQUEST, `i` replies (yielding its
+//! authorization from `j`) and must immediately *re-request* from `j`.
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::NodeId;
+
+use crate::clock::{LamportClock, Timestamp};
+
+/// Carvalho–Roucairol messages (same shapes as Ricart–Agrawala's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrMessage {
+    /// Timestamped request for (re-)authorization.
+    Request {
+        /// The requester's clock at request time.
+        clock: u64,
+    },
+    /// Authorization grant; valid until the granter requests again.
+    Reply,
+}
+
+impl MessageMeta for CrMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            CrMessage::Request { .. } => "REQUEST",
+            CrMessage::Reply => "REPLY",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        match self {
+            CrMessage::Request { .. } => 8,
+            CrMessage::Reply => 0,
+        }
+    }
+}
+
+/// One node of Carvalho–Roucairol.
+///
+/// Initially, authorizations are oriented by identifier (node `i` holds
+/// the authorization of every `j > i`), so node 0 starts able to enter
+/// for free — the asymmetric seed that makes the pairwise invariant
+/// ("exactly one of each pair holds the authorization") inductive.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::carvalho_roucairol::CarvalhoRoucairolProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::NodeId;
+///
+/// let mut engine = Engine::new(CarvalhoRoucairolProtocol::cluster(4), EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(0)); // node 0 holds all authorizations
+/// let report = engine.run_to_quiescence()?;
+/// assert_eq!(report.metrics.messages_total, 0);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CarvalhoRoucairolProtocol {
+    me: NodeId,
+    clock: LamportClock,
+    /// `authorized[j]`: we hold `j`'s standing permission.
+    authorized: Vec<bool>,
+    my_request: Option<Timestamp>,
+    /// Nodes owed a REPLY after our critical section.
+    deferred: Vec<NodeId>,
+    waiting: bool,
+    executing: bool,
+}
+
+impl CarvalhoRoucairolProtocol {
+    /// One node of an `n`-node system with the id-oriented initial
+    /// authorization matrix.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        let authorized = (0..n).map(|j| j > me.index()).collect();
+        CarvalhoRoucairolProtocol {
+            me,
+            clock: LamportClock::new(me),
+            authorized,
+            my_request: None,
+            deferred: Vec::new(),
+            waiting: false,
+            executing: false,
+        }
+    }
+
+    /// A full `n`-node system.
+    pub fn cluster(n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|i| CarvalhoRoucairolProtocol::new(NodeId::from_index(i), n))
+            .collect()
+    }
+
+    /// `true` if this node currently holds `j`'s authorization.
+    pub fn is_authorized_by(&self, j: NodeId) -> bool {
+        self.authorized[j.index()]
+    }
+
+    fn try_enter(&mut self, ctx: &mut Ctx<'_, CrMessage>) {
+        if !self.waiting || self.executing {
+            return;
+        }
+        let all = (0..self.authorized.len())
+            .filter(|&j| j != self.me.index())
+            .all(|j| self.authorized[j]);
+        if all {
+            self.waiting = false;
+            self.executing = true;
+            ctx.enter_cs();
+        }
+    }
+}
+
+impl Protocol for CarvalhoRoucairolProtocol {
+    type Message = CrMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, CrMessage>) {
+        let ts = self.clock.tick();
+        self.my_request = Some(ts);
+        self.waiting = true;
+        for j in 0..ctx.n() {
+            let id = NodeId::from_index(j);
+            if id != self.me && !self.authorized[j] {
+                ctx.send(
+                    id,
+                    CrMessage::Request {
+                        clock: ts.counter(),
+                    },
+                );
+            }
+        }
+        self.try_enter(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: CrMessage, ctx: &mut Ctx<'_, CrMessage>) {
+        match msg {
+            CrMessage::Request { clock } => {
+                self.clock.observe(clock);
+                let theirs = Timestamp::raw(clock, from);
+                let mine_wins = self.waiting && self.my_request.is_some_and(|mine| mine < theirs);
+                if self.executing || mine_wins {
+                    self.deferred.push(from);
+                } else {
+                    // Yield our authorization from `from` (if any) and
+                    // grant ours.
+                    self.authorized[from.index()] = false;
+                    ctx.send(from, CrMessage::Reply);
+                    if self.waiting {
+                        // Our own pending (lower-priority) request now
+                        // needs `from`'s permission again.
+                        let mine = self.my_request.expect("waiting implies pending");
+                        ctx.send(
+                            from,
+                            CrMessage::Request {
+                                clock: mine.counter(),
+                            },
+                        );
+                    }
+                }
+            }
+            CrMessage::Reply => {
+                self.authorized[from.index()] = true;
+                self.try_enter(ctx);
+            }
+        }
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, CrMessage>) {
+        self.executing = false;
+        self.my_request = None;
+        for j in std::mem::take(&mut self.deferred) {
+            self.authorized[j.index()] = false;
+            ctx.send(j, CrMessage::Reply);
+        }
+    }
+
+    fn storage_words(&self) -> usize {
+        // clock + authorization vector + request (2) + deferred entries.
+        3 + self.authorized.len() + self.deferred.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery;
+    use dmx_simnet::{Engine, EngineConfig, Time};
+
+    #[test]
+    fn repeat_entries_by_same_node_are_free() {
+        // The headline improvement over Ricart-Agrawala: re-entry without
+        // intervening foreign requests costs zero messages.
+        let nodes = CarvalhoRoucairolProtocol::cluster(5);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(3));
+        engine.run_to_quiescence().unwrap();
+        let first = engine.metrics().messages_total;
+        assert_eq!(
+            first as usize,
+            2 * 3,
+            "first entry pays for the missing auths"
+        );
+        engine.request_at(Time(100), NodeId(3));
+        engine.run_to_quiescence().unwrap();
+        assert_eq!(engine.metrics().messages_total, first, "re-entry is free");
+    }
+
+    #[test]
+    fn cost_is_bounded_by_2n_minus_2() {
+        for n in [2usize, 4, 7] {
+            let metrics = battery::run_schedule(
+                CarvalhoRoucairolProtocol::cluster(n),
+                &[(0, (n - 1) as u32)],
+            );
+            assert!(metrics.messages_total as usize <= 2 * (n - 1), "n = {n}");
+            assert_eq!(metrics.cs_entries, 1);
+        }
+    }
+
+    #[test]
+    fn node_zero_starts_fully_authorized() {
+        let metrics = battery::run_schedule(CarvalhoRoucairolProtocol::cluster(6), &[(0, 0)]);
+        assert_eq!(metrics.messages_total, 0);
+    }
+
+    #[test]
+    fn authorization_is_exclusive_per_pair() {
+        // After any quiescent run, for each pair exactly one side holds
+        // the authorization.
+        let nodes = CarvalhoRoucairolProtocol::cluster(4);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in [1u32, 2, 3, 1] {
+            engine.request_at(engine.now(), NodeId(i));
+            engine.run_to_quiescence().unwrap();
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let a = engine.node(NodeId(i)).is_authorized_by(NodeId(j));
+                let b = engine.node(NodeId(j)).is_authorized_by(NodeId(i));
+                assert!(a ^ b, "pair ({i},{j}): exactly one authorization holder");
+            }
+        }
+    }
+
+    #[test]
+    fn contending_requests_resolve_by_priority() {
+        let nodes = CarvalhoRoucairolProtocol::cluster(3);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..3u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 3);
+    }
+
+    #[test]
+    fn stress_under_random_latency() {
+        battery::stress_protocol(
+            || CarvalhoRoucairolProtocol::cluster(6),
+            6,
+            3,
+            "carvalho-roucairol",
+        );
+    }
+
+    #[test]
+    fn hot_node_amortizes_to_zero_messages() {
+        // Node 2 requests 10 times with no interference: only the first
+        // entry pays, and only for the two authorizations node 2 does not
+        // hold initially (those of nodes 0 and 1).
+        let nodes = CarvalhoRoucairolProtocol::cluster(8);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for round in 0..10u64 {
+            engine.request_at(Time(round * 50), NodeId(2));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 10);
+        assert_eq!(report.metrics.messages_total as usize, 2 * 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! The centralized coordinator scheme the paper benchmarks against.
+//!
+//! Chapter 6.1: "this is the same as the performance of a centralized
+//! mutual exclusion algorithm, where one REQUEST message, one GRANT
+//! message and one RELEASE message are required"; and 6.3: "a centralized
+//! scheme in which the synchronization delay is two: one RELEASE and one
+//! GRANT message."
+
+use std::collections::VecDeque;
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::NodeId;
+
+/// Messages of the centralized scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CentralMessage {
+    /// Client asks the coordinator for the critical section.
+    Request,
+    /// Coordinator grants it.
+    Grant,
+    /// Client is done.
+    Release,
+}
+
+impl MessageMeta for CentralMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            CentralMessage::Request => "REQUEST",
+            CentralMessage::Grant => "GRANT",
+            CentralMessage::Release => "RELEASE",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        0 // none of the three carries a payload
+    }
+}
+
+/// One node of the centralized scheme: a pure client, or the coordinator
+/// (which may itself request, costing zero messages — the footnote in
+/// Chapter 6.2 counts it that way).
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::centralized::CentralizedProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::NodeId;
+///
+/// let nodes = CentralizedProtocol::cluster(5, NodeId(0));
+/// let mut engine = Engine::new(nodes, EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(3));
+/// let report = engine.run_to_quiescence()?;
+/// assert_eq!(report.metrics.messages_total, 3); // REQUEST, GRANT, RELEASE
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentralizedProtocol {
+    me: NodeId,
+    coordinator: NodeId,
+    /// Coordinator: the resource is granted to someone (or to itself).
+    busy: bool,
+    /// Coordinator: waiting clients, FIFO.
+    queue: VecDeque<NodeId>,
+    /// Client: the local user is waiting for GRANT.
+    waiting: bool,
+}
+
+impl CentralizedProtocol {
+    /// One node; see [`CentralizedProtocol::cluster`].
+    pub fn new(me: NodeId, coordinator: NodeId) -> Self {
+        CentralizedProtocol {
+            me,
+            coordinator,
+            busy: false,
+            queue: VecDeque::new(),
+            waiting: false,
+        }
+    }
+
+    /// A full system of `n` nodes with the given coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coordinator` is out of range.
+    pub fn cluster(n: usize, coordinator: NodeId) -> Vec<Self> {
+        assert!(coordinator.index() < n, "coordinator out of range");
+        (0..n)
+            .map(|i| CentralizedProtocol::new(NodeId::from_index(i), coordinator))
+            .collect()
+    }
+
+    fn is_coordinator(&self) -> bool {
+        self.me == self.coordinator
+    }
+
+    /// Coordinator-side: hand the resource to the next waiter, if any.
+    fn grant_next(&mut self, ctx: &mut Ctx<'_, CentralMessage>) {
+        debug_assert!(self.is_coordinator());
+        match self.queue.pop_front() {
+            Some(next) if next == self.me => {
+                self.busy = true;
+                ctx.enter_cs();
+            }
+            Some(next) => {
+                self.busy = true;
+                ctx.send(next, CentralMessage::Grant);
+            }
+            None => self.busy = false,
+        }
+    }
+}
+
+impl Protocol for CentralizedProtocol {
+    type Message = CentralMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, CentralMessage>) {
+        if self.is_coordinator() {
+            if self.busy {
+                self.queue.push_back(self.me);
+            } else {
+                self.busy = true;
+                ctx.enter_cs();
+            }
+        } else {
+            self.waiting = true;
+            ctx.send(self.coordinator, CentralMessage::Request);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: CentralMessage, ctx: &mut Ctx<'_, CentralMessage>) {
+        match msg {
+            CentralMessage::Request => {
+                debug_assert!(self.is_coordinator());
+                if self.busy {
+                    self.queue.push_back(from);
+                } else {
+                    self.busy = true;
+                    ctx.send(from, CentralMessage::Grant);
+                }
+            }
+            CentralMessage::Grant => {
+                debug_assert!(self.waiting, "GRANT without a pending request");
+                self.waiting = false;
+                ctx.enter_cs();
+            }
+            CentralMessage::Release => {
+                debug_assert!(self.is_coordinator());
+                self.grant_next(ctx);
+            }
+        }
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, CentralMessage>) {
+        if self.is_coordinator() {
+            self.grant_next(ctx);
+        } else {
+            ctx.send(self.coordinator, CentralMessage::Release);
+        }
+    }
+
+    fn storage_words(&self) -> usize {
+        // coordinator id + busy/waiting flag + queue entries.
+        2 + self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_simnet::{Engine, EngineConfig, Time};
+
+    #[test]
+    fn client_entry_costs_three_messages() {
+        let mut engine = Engine::new(
+            CentralizedProtocol::cluster(4, NodeId(0)),
+            EngineConfig::default(),
+        );
+        engine.request_at(Time(0), NodeId(2));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.messages_total, 3);
+        assert_eq!(report.metrics.kind_count("REQUEST"), 1);
+        assert_eq!(report.metrics.kind_count("GRANT"), 1);
+        assert_eq!(report.metrics.kind_count("RELEASE"), 1);
+    }
+
+    #[test]
+    fn coordinator_entry_costs_zero_messages() {
+        // Chapter 6.2 footnote: "a control node may request to enter its
+        // critical section. In which case, it requires no message."
+        let mut engine = Engine::new(
+            CentralizedProtocol::cluster(4, NodeId(1)),
+            EngineConfig::default(),
+        );
+        engine.request_at(Time(0), NodeId(1));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.messages_total, 0);
+        assert_eq!(report.metrics.cs_entries, 1);
+    }
+
+    #[test]
+    fn sync_delay_is_two_messages() {
+        // 6.3: RELEASE + GRANT between consecutive holders.
+        let mut engine = Engine::new(
+            CentralizedProtocol::cluster(5, NodeId(0)),
+            EngineConfig::default(),
+        );
+        for i in 1..5u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 4);
+        for s in &report.metrics.sync_delays {
+            assert_eq!(s.elapsed, Time(2), "RELEASE then GRANT");
+        }
+    }
+
+    #[test]
+    fn requests_are_served_fifo_by_arrival() {
+        let mut engine = Engine::new(
+            CentralizedProtocol::cluster(6, NodeId(0)),
+            EngineConfig::default(),
+        );
+        for i in [5u32, 2, 4, 1, 3] {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(
+            report.metrics.grant_order(),
+            vec![NodeId(5), NodeId(2), NodeId(4), NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn mixed_coordinator_and_client_load() {
+        let mut engine = Engine::new(
+            CentralizedProtocol::cluster(3, NodeId(1)),
+            EngineConfig::default(),
+        );
+        for round in 0..4u64 {
+            for i in 0..3u32 {
+                engine.request_at(Time(round * 50), NodeId(i));
+            }
+            engine.run_to_quiescence().unwrap();
+        }
+        assert_eq!(engine.metrics().cs_entries, 12);
+    }
+
+    #[test]
+    fn storage_counts_queue() {
+        let mut c = CentralizedProtocol::new(NodeId(0), NodeId(0));
+        assert_eq!(c.storage_words(), 2);
+        c.queue.push_back(NodeId(1));
+        c.queue.push_back(NodeId(2));
+        assert_eq!(c.storage_words(), 4);
+    }
+}

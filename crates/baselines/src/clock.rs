@@ -1,0 +1,149 @@
+use serde::{Deserialize, Serialize};
+
+use dmx_topology::NodeId;
+
+/// A Lamport logical clock paired with the owner's identifier, yielding
+/// the total order on requests that Lamport's algorithm introduced and
+/// that Ricart–Agrawala, Carvalho–Roucairol and Maekawa reuse.
+///
+/// Chapter 2.1: "Two messages with the same sequence number are ordered
+/// based on the unique integer values assigned to each node" — i.e.
+/// timestamps compare as `(counter, node)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::LamportClock;
+/// use dmx_topology::NodeId;
+///
+/// let mut a = LamportClock::new(NodeId(0));
+/// let mut b = LamportClock::new(NodeId(1));
+/// let ta = a.tick();           // a's request timestamp
+/// b.observe(ta.counter());     // b receives a's message
+/// let tb = b.tick();
+/// assert!(ta < tb);            // b's later request loses the tie-break
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LamportClock {
+    counter: u64,
+    me: NodeId,
+}
+
+/// A totally ordered request timestamp: `(counter, node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp {
+    counter: u64,
+    node: NodeId,
+}
+
+impl Timestamp {
+    /// Reassembles a timestamp received over the wire.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_baselines::Timestamp;
+    /// use dmx_topology::NodeId;
+    ///
+    /// let ts = Timestamp::raw(5, NodeId(2));
+    /// assert_eq!(ts.counter(), 5);
+    /// ```
+    #[inline]
+    pub fn raw(counter: u64, node: NodeId) -> Self {
+        Timestamp { counter, node }
+    }
+
+    /// The logical-clock value.
+    #[inline]
+    pub fn counter(self) -> u64 {
+        self.counter
+    }
+
+    /// The node that issued the timestamp (the tie-breaker).
+    #[inline]
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+}
+
+impl LamportClock {
+    /// A fresh clock for `me`, starting at zero.
+    pub fn new(me: NodeId) -> Self {
+        LamportClock { counter: 0, me }
+    }
+
+    /// Advances the clock and returns a new timestamp — done when issuing
+    /// a request ("between any two requests, the logical clock increments
+    /// a node's sequence number").
+    pub fn tick(&mut self) -> Timestamp {
+        self.counter += 1;
+        Timestamp {
+            counter: self.counter,
+            node: self.me,
+        }
+    }
+
+    /// Merges a received counter value ("on receipt of a message, a node
+    /// increments its own sequence number to be larger than the sequence
+    /// number in the message").
+    pub fn observe(&mut self, seen: u64) {
+        self.counter = self.counter.max(seen) + 1;
+    }
+
+    /// The current counter value.
+    #[inline]
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_monotonic() {
+        let mut c = LamportClock::new(NodeId(3));
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+        assert_eq!(b.counter(), 2);
+        assert_eq!(b.node(), NodeId(3));
+    }
+
+    #[test]
+    fn observe_jumps_past_received_values() {
+        let mut c = LamportClock::new(NodeId(0));
+        c.observe(10);
+        assert_eq!(c.counter(), 11);
+        c.observe(5); // stale values still bump by one
+        assert_eq!(c.counter(), 12);
+        assert!(c.tick().counter() > 12);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let ta = Timestamp {
+            counter: 4,
+            node: NodeId(1),
+        };
+        let tb = Timestamp {
+            counter: 4,
+            node: NodeId(2),
+        };
+        assert!(ta < tb, "equal counters order by node id");
+    }
+
+    #[test]
+    fn receipt_always_after_send() {
+        // "the receipt of a message always (logically) comes after when it
+        // was sent."
+        let mut sender = LamportClock::new(NodeId(0));
+        let mut receiver = LamportClock::new(NodeId(1));
+        for _ in 0..5 {
+            let t = sender.tick();
+            receiver.observe(t.counter());
+            assert!(receiver.counter() > t.counter());
+        }
+    }
+}

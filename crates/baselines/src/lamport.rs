@@ -1,0 +1,299 @@
+//! Lamport's distributed mutual exclusion algorithm (Chapter 2.1).
+//!
+//! Every node replicates the request queue, totally ordered by logical
+//! timestamps; a node enters when its own request heads the queue *and*
+//! it has heard something later than its request from every other node.
+//! Three message waves per entry — REQUEST, ACKNOWLEDGE, RELEASE — give
+//! the paper's `3(N−1)` upper bound, with the classic optimization that
+//! an ACKNOWLEDGE is skipped when the receiver's own outstanding REQUEST
+//! (which travels the same FIFO channel) already proves the sender a
+//! later timestamp.
+
+use std::collections::BTreeSet;
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::NodeId;
+
+use crate::clock::{LamportClock, Timestamp};
+
+/// Lamport's three message types; each carries the sender's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LamportMessage {
+    /// "I want the critical section" (timestamped).
+    Request {
+        /// The requester's clock at request time.
+        clock: u64,
+    },
+    /// "I have seen your request" (timestamped).
+    Acknowledge {
+        /// The acknowledger's clock.
+        clock: u64,
+    },
+    /// "I have left the critical section" (timestamped).
+    Release {
+        /// The releaser's clock.
+        clock: u64,
+    },
+}
+
+impl LamportMessage {
+    fn clock(&self) -> u64 {
+        match *self {
+            LamportMessage::Request { clock }
+            | LamportMessage::Acknowledge { clock }
+            | LamportMessage::Release { clock } => clock,
+        }
+    }
+}
+
+impl MessageMeta for LamportMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            LamportMessage::Request { .. } => "REQUEST",
+            LamportMessage::Acknowledge { .. } => "ACKNOWLEDGE",
+            LamportMessage::Release { .. } => "RELEASE",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        8 // one logical-clock value
+    }
+}
+
+/// One node of Lamport's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::lamport::LamportProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::NodeId;
+///
+/// let mut engine = Engine::new(LamportProtocol::cluster(4), EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(1));
+/// let report = engine.run_to_quiescence()?;
+/// // 3 REQUESTs + 3 ACKs + 3 RELEASEs = 3(N-1).
+/// assert_eq!(report.metrics.messages_total, 9);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LamportProtocol {
+    me: NodeId,
+    clock: LamportClock,
+    /// The replicated request queue, totally ordered by timestamp.
+    queue: BTreeSet<Timestamp>,
+    /// Timestamp of each node's queued request, for O(1) removal.
+    queued_of: Vec<Option<Timestamp>>,
+    /// Highest clock value received from each node (in any message).
+    highest_seen: Vec<u64>,
+    /// Our own outstanding request.
+    my_request: Option<Timestamp>,
+    /// Waiting to enter (request issued, not granted yet).
+    waiting: bool,
+    executing: bool,
+}
+
+impl LamportProtocol {
+    /// One node of an `n`-node system.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        LamportProtocol {
+            me,
+            clock: LamportClock::new(me),
+            queue: BTreeSet::new(),
+            queued_of: vec![None; n],
+            highest_seen: vec![0; n],
+            my_request: None,
+            waiting: false,
+            executing: false,
+        }
+    }
+
+    /// A full `n`-node system. Assertion-based: there is no token and no
+    /// distinguished initial holder.
+    pub fn cluster(n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|i| LamportProtocol::new(NodeId::from_index(i), n))
+            .collect()
+    }
+
+    fn insert_request(&mut self, ts: Timestamp) {
+        debug_assert!(self.queued_of[ts.node().index()].is_none());
+        self.queue.insert(ts);
+        self.queued_of[ts.node().index()] = Some(ts);
+    }
+
+    fn remove_request_of(&mut self, node: NodeId) {
+        if let Some(ts) = self.queued_of[node.index()].take() {
+            self.queue.remove(&ts);
+        }
+    }
+
+    /// Lamport's assertion: own request heads the queue and every other
+    /// node has been heard from *after* it — "after" in the total order,
+    /// i.e. comparing `(counter, node)` pairs, so equal counters are
+    /// broken by node id exactly as Chapter 2.1 prescribes.
+    fn try_enter(&mut self, ctx: &mut Ctx<'_, LamportMessage>) {
+        if !self.waiting || self.executing {
+            return;
+        }
+        let mine = self.my_request.expect("waiting implies a pending request");
+        if self.queue.first() != Some(&mine) {
+            return;
+        }
+        let all_later = (0..self.highest_seen.len())
+            .filter(|&j| j != self.me.index())
+            .all(|j| Timestamp::raw(self.highest_seen[j], NodeId::from_index(j)) > mine);
+        if all_later {
+            self.waiting = false;
+            self.executing = true;
+            ctx.enter_cs();
+        }
+    }
+
+    fn broadcast(
+        &mut self,
+        ctx: &mut Ctx<'_, LamportMessage>,
+        make: impl Fn(u64) -> LamportMessage,
+    ) {
+        let clock = self.clock.counter();
+        for j in 0..ctx.n() {
+            let id = NodeId::from_index(j);
+            if id != self.me {
+                ctx.send(id, make(clock));
+            }
+        }
+    }
+}
+
+impl Protocol for LamportProtocol {
+    type Message = LamportMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, LamportMessage>) {
+        let ts = self.clock.tick();
+        self.my_request = Some(ts);
+        self.waiting = true;
+        self.insert_request(ts);
+        self.broadcast(ctx, |clock| LamportMessage::Request { clock });
+        self.try_enter(ctx); // single-node systems enter immediately
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: LamportMessage, ctx: &mut Ctx<'_, LamportMessage>) {
+        self.clock.observe(msg.clock());
+        let j = from.index();
+        self.highest_seen[j] = self.highest_seen[j].max(msg.clock());
+        match msg {
+            LamportMessage::Request { clock } => {
+                let theirs = Timestamp::raw(clock, from);
+                self.insert_request(theirs);
+                // Optimization (Chapter 2.1): our own in-flight REQUEST with
+                // a later timestamp already serves as the acknowledgement
+                // (the FIFO channel guarantees the requester will see it).
+                let covered = self.my_request.is_some_and(|mine| mine > theirs);
+                if !covered {
+                    let ack = self.clock.tick().counter();
+                    ctx.send(from, LamportMessage::Acknowledge { clock: ack });
+                }
+            }
+            LamportMessage::Acknowledge { .. } => {}
+            LamportMessage::Release { .. } => {
+                self.remove_request_of(from);
+            }
+        }
+        self.try_enter(ctx);
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, LamportMessage>) {
+        self.executing = false;
+        self.my_request = None;
+        self.remove_request_of(self.me);
+        self.clock.tick();
+        self.broadcast(ctx, |clock| LamportMessage::Release { clock });
+    }
+
+    fn storage_words(&self) -> usize {
+        // clock + highest_seen[N] + queue entries (ts, node = 2 words).
+        1 + self.highest_seen.len() + 2 * self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery;
+    use dmx_simnet::{Engine, EngineConfig, LatencyModel, Time};
+
+    #[test]
+    fn single_entry_costs_at_most_3n_minus_3() {
+        for n in [2usize, 4, 8] {
+            let metrics = battery::run_schedule(LamportProtocol::cluster(n), &[(0, 0)]);
+            assert_eq!(metrics.messages_total as usize, 3 * (n - 1), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ack_optimization_saves_messages_under_contention() {
+        // Two concurrent requests: each side's REQUEST doubles as the ACK
+        // for the other when timestamps allow it.
+        let metrics = battery::run_schedule(LamportProtocol::cluster(2), &[(0, 0), (0, 1)]);
+        // Naive: 2 REQ + 2 ACK + 2 REL = 6. With the optimization, at
+        // least one ACK disappears.
+        assert!(metrics.kind_count("ACKNOWLEDGE") < 2);
+        assert_eq!(metrics.cs_entries, 2);
+    }
+
+    #[test]
+    fn grants_follow_timestamp_order() {
+        let nodes = LamportProtocol::cluster(5);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        // All request simultaneously: ties broken by node id.
+        for i in 0..5u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(
+            report.metrics.grant_order(),
+            (0..5u32).map(NodeId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sync_delay_is_one_message_wave() {
+        // 6.3-adjacent: the next entrant needs only the RELEASE broadcast
+        // wave, i.e. one sequential message.
+        let nodes = LamportProtocol::cluster(4);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..4u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        for s in &report.metrics.sync_delays {
+            assert_eq!(s.elapsed, Time(1));
+        }
+    }
+
+    #[test]
+    fn stress_under_random_latency() {
+        battery::stress_protocol(|| LamportProtocol::cluster(6), 6, 3, "lamport");
+    }
+
+    #[test]
+    fn single_node_system_enters_without_messages() {
+        let metrics = battery::run_schedule(LamportProtocol::cluster(1), &[(0, 0)]);
+        assert_eq!(metrics.messages_total, 0);
+        assert_eq!(metrics.cs_entries, 1);
+    }
+
+    #[test]
+    fn queue_is_cleaned_by_releases() {
+        let nodes = LamportProtocol::cluster(3);
+        let config = EngineConfig {
+            latency: LatencyModel::Fixed(Time(2)),
+            ..Default::default()
+        };
+        let mut engine = Engine::new(nodes, config);
+        engine.request_at(Time(0), NodeId(0));
+        engine.run_to_quiescence().unwrap();
+        for node in engine.nodes() {
+            assert!(node.queue.is_empty(), "queues must drain after release");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Reference implementations of every algorithm the paper compares
+//! against (Chapter 2 history, Chapter 6 performance comparison).
+//!
+//! All implement the [`dmx_simnet::Protocol`] trait, so one engine and one
+//! harness can measure all of them side by side with the DAG algorithm:
+//!
+//! | Module | Algorithm | Messages/entry (paper, upper bound) | Sync delay |
+//! |--------|-----------|--------------------------------------|------------|
+//! | [`centralized`] | Central coordinator | 3 | 2 |
+//! | [`lamport`] | Lamport '78 | 3(N−1) | 1 |
+//! | [`ricart_agrawala`] | Ricart–Agrawala '81 | 2(N−1) | 1 |
+//! | [`carvalho_roucairol`] | Carvalho–Roucairol '83 | 0 … 2(N−1) | 1 |
+//! | [`suzuki_kasami`] | Suzuki–Kasami '85 | 0 or N | 1 |
+//! | [`singhal`] | Singhal '89 (heuristic) | ≤ N | 1 |
+//! | [`maekawa`] | Maekawa '85 + Sanders' fix | 3√N … 7√N | 2 |
+//! | [`raymond`] | Raymond '89 (tree) | 2D | ≤ D |
+//!
+//! (D = diameter of the logical tree.) The DAG algorithm itself lives in
+//! the `dmx-core` crate; its bounds are D+1 messages and sync delay 1.
+//!
+//! # Examples
+//!
+//! Measuring Raymond vs the paper's 2D bound on a line:
+//!
+//! ```
+//! use dmx_baselines::raymond::RaymondProtocol;
+//! use dmx_simnet::{Engine, EngineConfig, Time};
+//! use dmx_topology::{NodeId, Tree};
+//!
+//! let line = Tree::line(6); // D = 5
+//! let nodes = RaymondProtocol::cluster(&line, NodeId(5));
+//! let mut engine = Engine::new(nodes, EngineConfig::default());
+//! engine.request_at(Time(0), NodeId(0));
+//! let report = engine.run_to_quiescence()?;
+//! // 5 REQUEST hops + 5 PRIVILEGE hops = 2D.
+//! assert_eq!(report.metrics.messages_total, 10);
+//! # Ok::<(), dmx_simnet::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod carvalho_roucairol;
+pub mod centralized;
+pub mod lamport;
+pub mod maekawa;
+pub mod raymond;
+pub mod ricart_agrawala;
+pub mod singhal;
+pub mod suzuki_kasami;
+
+mod clock;
+
+pub use clock::{LamportClock, Timestamp};
+
+#[cfg(test)]
+pub(crate) mod battery;

@@ -1,0 +1,646 @@
+//! Maekawa's √N quorum algorithm with Sanders' deadlock fix
+//! (Chapter 2.6).
+//!
+//! Every node has a *quorum* (the paper says committee) of ≈ √N members,
+//! any two quorums intersecting; entering requires a LOCKED vote from
+//! every member. Each node also *arbitrates* one lock: it LOCKs the best
+//! request it knows, FAILs hopeless ones, and — when a better request
+//! arrives for an already-granted lock — INQUIREs the current holder,
+//! which RELINQUISHes if it has learned (via a FAIL) that it cannot win.
+//! Per the footnote in Chapter 2.6, the original paper under-counted and
+//! could deadlock; with Sanders' modification the cost is between `3√N`
+//! and `7√N` messages per entry.
+//!
+//! Every arbiter→requester message echoes the request's timestamp so
+//! crossings (e.g. an INQUIRE passing a RELEASE in flight) are detected
+//! and ignored as stale.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::quorum::QuorumSystem;
+use dmx_topology::NodeId;
+
+use crate::clock::{LamportClock, Timestamp};
+
+/// Maekawa's six message types (with Sanders' fix all six are needed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MkMessage {
+    /// Ask a quorum member for its lock.
+    Request {
+        /// Requester's clock value (priority; lower wins).
+        clock: u64,
+    },
+    /// The member's lock is yours (echoes your request's clock).
+    Locked {
+        /// The locked request's clock.
+        clock: u64,
+    },
+    /// A better request exists; you may lose (echoes your clock).
+    Fail {
+        /// The failed request's clock.
+        clock: u64,
+    },
+    /// A better request arrived after you were locked: yield if you
+    /// cannot win (echoes your clock).
+    Inquire {
+        /// The inquired request's clock.
+        clock: u64,
+    },
+    /// Requester yields the member's lock (echoes its own clock).
+    Relinquish {
+        /// The relinquished request's clock.
+        clock: u64,
+    },
+    /// Requester is done; free the lock (echoes its own clock).
+    Release {
+        /// The released request's clock.
+        clock: u64,
+    },
+}
+
+impl MessageMeta for MkMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            MkMessage::Request { .. } => "REQUEST",
+            MkMessage::Locked { .. } => "LOCKED",
+            MkMessage::Fail { .. } => "FAIL",
+            MkMessage::Inquire { .. } => "INQUIRE",
+            MkMessage::Relinquish { .. } => "RELINQUISH",
+            MkMessage::Release { .. } => "RELEASE",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        8 // each carries one clock value
+    }
+}
+
+/// One node of Maekawa's algorithm: simultaneously a requester (asking
+/// its quorum) and an arbiter (managing one lock on behalf of everyone
+/// whose quorum contains it).
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::maekawa::MaekawaProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::NodeId;
+///
+/// let nodes = MaekawaProtocol::cluster(13); // projective plane, K = 4
+/// let mut engine = Engine::new(nodes, EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(5));
+/// let report = engine.run_to_quiescence()?;
+/// // Uncontended: (K-1) REQUEST + (K-1) LOCKED + (K-1) RELEASE = 9.
+/// assert_eq!(report.metrics.messages_total, 9);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaekawaProtocol {
+    me: NodeId,
+    quorum: Vec<NodeId>,
+    clock: LamportClock,
+
+    // ---- requester side ----
+    my_ts: Option<Timestamp>,
+    waiting: bool,
+    executing: bool,
+    /// Quorum members whose LOCKED we hold for the current request.
+    locks_held: BTreeSet<NodeId>,
+    /// Members that sent FAIL for the current request.
+    failed_from: BTreeSet<NodeId>,
+    /// Members we RELINQUISHed to and that have not re-LOCKED us yet.
+    /// Maekawa: a node "will not be able to enter" while it "has already
+    /// sent a RELINQUISH message and has not received a new LOCKED
+    /// message" — tracked per arbiter.
+    relinquished_to: BTreeSet<NodeId>,
+    /// Members whose INQUIRE we deferred (answer pending).
+    deferred_inquires: BTreeSet<NodeId>,
+
+    // ---- arbiter side ----
+    /// The request currently holding our lock.
+    locked_for: Option<Timestamp>,
+    /// Waiting requests -> whether we already sent them FAIL.
+    arb_queue: BTreeMap<Timestamp, bool>,
+    /// An INQUIRE to the current lock holder is outstanding.
+    inquire_sent: bool,
+}
+
+impl MaekawaProtocol {
+    /// One node with an explicit quorum (must contain `me`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` does not contain `me`.
+    pub fn new(me: NodeId, quorum: Vec<NodeId>) -> Self {
+        assert!(quorum.contains(&me), "a node must belong to its own quorum");
+        MaekawaProtocol {
+            me,
+            quorum,
+            clock: LamportClock::new(me),
+            my_ts: None,
+            waiting: false,
+            executing: false,
+            locks_held: BTreeSet::new(),
+            failed_from: BTreeSet::new(),
+            relinquished_to: BTreeSet::new(),
+            deferred_inquires: BTreeSet::new(),
+            locked_for: None,
+            arb_queue: BTreeMap::new(),
+            inquire_sent: false,
+        }
+    }
+
+    /// A full `n`-node system using the best quorum construction for `n`
+    /// (finite projective plane when `n = q² + q + 1`, grid otherwise).
+    pub fn cluster(n: usize) -> Vec<Self> {
+        let qs = QuorumSystem::for_size(n);
+        Self::cluster_with(&qs)
+    }
+
+    /// A full system over an explicit [`QuorumSystem`].
+    pub fn cluster_with(qs: &QuorumSystem) -> Vec<Self> {
+        (0..qs.len())
+            .map(|i| {
+                let id = NodeId::from_index(i);
+                MaekawaProtocol::new(id, qs.quorum(id).to_vec())
+            })
+            .collect()
+    }
+
+    /// This node's quorum (sorted, includes itself).
+    pub fn quorum(&self) -> &[NodeId] {
+        &self.quorum
+    }
+
+    // ---------------------------------------------------------------
+    // Message handling core. All handlers produce (destination, message)
+    // pairs; self-addressed ones are looped back locally, which is how
+    // the node talks to itself as arbiter without network traffic.
+    // ---------------------------------------------------------------
+
+    fn pump(&mut self, first: Vec<(NodeId, MkMessage)>, ctx: &mut Ctx<'_, MkMessage>) {
+        let mut inbox: VecDeque<(NodeId, MkMessage)> = VecDeque::new();
+        let route = |outs: Vec<(NodeId, MkMessage)>,
+                     inbox: &mut VecDeque<(NodeId, MkMessage)>,
+                     ctx: &mut Ctx<'_, MkMessage>,
+                     me: NodeId| {
+            for (dst, msg) in outs {
+                if dst == me {
+                    inbox.push_back((me, msg));
+                } else {
+                    ctx.send(dst, msg);
+                }
+            }
+        };
+        route(first, &mut inbox, ctx, self.me);
+        while let Some((from, msg)) = inbox.pop_front() {
+            let (outs, enter) = self.handle(from, msg);
+            if enter {
+                ctx.enter_cs();
+            }
+            route(outs, &mut inbox, ctx, self.me);
+        }
+    }
+
+    fn handle(&mut self, from: NodeId, msg: MkMessage) -> (Vec<(NodeId, MkMessage)>, bool) {
+        match msg {
+            MkMessage::Request { clock } => {
+                self.clock.observe(clock);
+                (self.arb_request(Timestamp::raw(clock, from)), false)
+            }
+            MkMessage::Relinquish { clock } => {
+                (self.arb_relinquish(Timestamp::raw(clock, from)), false)
+            }
+            MkMessage::Release { clock } => (self.arb_release(Timestamp::raw(clock, from)), false),
+            MkMessage::Locked { clock } => self.req_locked(from, clock),
+            MkMessage::Fail { clock } => (self.req_fail(from, clock), false),
+            MkMessage::Inquire { clock } => (self.req_inquire(from, clock), false),
+        }
+    }
+
+    // ---- arbiter handlers ----
+
+    fn arb_request(&mut self, ts: Timestamp) -> Vec<(NodeId, MkMessage)> {
+        let mut out = Vec::new();
+        match self.locked_for {
+            None => {
+                self.locked_for = Some(ts);
+                out.push((
+                    ts.node(),
+                    MkMessage::Locked {
+                        clock: ts.counter(),
+                    },
+                ));
+            }
+            Some(cur) => {
+                debug_assert!(!self.arb_queue.contains_key(&ts));
+                self.arb_queue.insert(ts, false);
+                // Sanders: FAIL every queued request that is provably not
+                // the best candidate; INQUIRE the holder if beaten.
+                if ts < cur {
+                    if !self.inquire_sent {
+                        self.inquire_sent = true;
+                        out.push((
+                            cur.node(),
+                            MkMessage::Inquire {
+                                clock: cur.counter(),
+                            },
+                        ));
+                    }
+                } else {
+                    // The newcomer is behind the current lock: it cannot
+                    // be first here.
+                    if let Some(flag) = self.arb_queue.get_mut(&ts) {
+                        *flag = true;
+                    }
+                    out.push((
+                        ts.node(),
+                        MkMessage::Fail {
+                            clock: ts.counter(),
+                        },
+                    ));
+                }
+                // Any queued request worse than the new best also fails.
+                let best = self
+                    .arb_queue
+                    .keys()
+                    .next()
+                    .copied()
+                    .expect("just inserted");
+                let worse: Vec<Timestamp> = self
+                    .arb_queue
+                    .iter()
+                    .filter(|&(&t, &failed)| t > best && !failed)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for t in worse {
+                    self.arb_queue.insert(t, true);
+                    out.push((t.node(), MkMessage::Fail { clock: t.counter() }));
+                }
+            }
+        }
+        out
+    }
+
+    fn arb_relinquish(&mut self, ts: Timestamp) -> Vec<(NodeId, MkMessage)> {
+        // Stale if the lock has already moved on.
+        if self.locked_for != Some(ts) {
+            return Vec::new();
+        }
+        self.locked_for = None;
+        self.inquire_sent = false;
+        // The relinquished request rejoins the queue (Sanders), already
+        // knowing it is blocked.
+        self.arb_queue.insert(ts, true);
+        self.grant_next()
+    }
+
+    fn arb_release(&mut self, ts: Timestamp) -> Vec<(NodeId, MkMessage)> {
+        if self.locked_for != Some(ts) {
+            return Vec::new(); // stale (e.g. relinquish raced the release)
+        }
+        self.locked_for = None;
+        self.inquire_sent = false;
+        self.grant_next()
+    }
+
+    fn grant_next(&mut self) -> Vec<(NodeId, MkMessage)> {
+        debug_assert!(self.locked_for.is_none());
+        match self.arb_queue.keys().next().copied() {
+            Some(best) => {
+                self.arb_queue.remove(&best);
+                self.locked_for = Some(best);
+                vec![(
+                    best.node(),
+                    MkMessage::Locked {
+                        clock: best.counter(),
+                    },
+                )]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    // ---- requester handlers ----
+
+    fn is_current(&self, clock: u64) -> bool {
+        self.my_ts.is_some_and(|ts| ts.counter() == clock)
+    }
+
+    /// Maekawa's blocked condition: a FAIL is in effect, or a RELINQUISH
+    /// has not been answered by a fresh LOCKED.
+    fn cannot_win_now(&self) -> bool {
+        !self.failed_from.is_empty() || !self.relinquished_to.is_empty()
+    }
+
+    fn req_locked(&mut self, from: NodeId, clock: u64) -> (Vec<(NodeId, MkMessage)>, bool) {
+        if !self.is_current(clock) || !self.waiting {
+            return (Vec::new(), false); // stale
+        }
+        self.locks_held.insert(from);
+        self.failed_from.remove(&from);
+        self.relinquished_to.remove(&from);
+        if self.locks_held.len() == self.quorum.len() {
+            self.waiting = false;
+            self.executing = true;
+            self.deferred_inquires.clear(); // resolved by RELEASE later
+            return (Vec::new(), true);
+        }
+        (Vec::new(), false)
+    }
+
+    fn req_fail(&mut self, from: NodeId, clock: u64) -> Vec<(NodeId, MkMessage)> {
+        if !self.is_current(clock) || !self.waiting {
+            return Vec::new();
+        }
+        self.failed_from.insert(from);
+        // Any deferred INQUIREs can now be answered: we cannot win yet.
+        self.answer_deferred_inquires()
+    }
+
+    fn answer_deferred_inquires(&mut self) -> Vec<(NodeId, MkMessage)> {
+        let mut out = Vec::new();
+        let ts = self.my_ts.expect("waiting implies pending");
+        for q in std::mem::take(&mut self.deferred_inquires) {
+            self.locks_held.remove(&q);
+            self.relinquished_to.insert(q);
+            out.push((
+                q,
+                MkMessage::Relinquish {
+                    clock: ts.counter(),
+                },
+            ));
+        }
+        out
+    }
+
+    fn req_inquire(&mut self, from: NodeId, clock: u64) -> Vec<(NodeId, MkMessage)> {
+        if !self.is_current(clock) || self.executing {
+            // Stale, or we already won: the RELEASE on exit resolves it.
+            return Vec::new();
+        }
+        debug_assert!(self.waiting);
+        if self.cannot_win_now() {
+            self.locks_held.remove(&from);
+            self.relinquished_to.insert(from);
+            vec![(from, MkMessage::Relinquish { clock })]
+        } else {
+            // We may still win; answer once we know.
+            self.deferred_inquires.insert(from);
+            Vec::new()
+        }
+    }
+}
+
+impl Protocol for MaekawaProtocol {
+    type Message = MkMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, MkMessage>) {
+        let ts = self.clock.tick();
+        self.my_ts = Some(ts);
+        self.waiting = true;
+        self.locks_held.clear();
+        self.failed_from.clear();
+        self.relinquished_to.clear();
+        self.deferred_inquires.clear();
+        let sends: Vec<(NodeId, MkMessage)> = self
+            .quorum
+            .clone()
+            .into_iter()
+            .map(|q| {
+                (
+                    q,
+                    MkMessage::Request {
+                        clock: ts.counter(),
+                    },
+                )
+            })
+            .collect();
+        self.pump(sends, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: MkMessage, ctx: &mut Ctx<'_, MkMessage>) {
+        let (outs, enter) = self.handle(from, msg);
+        if enter {
+            ctx.enter_cs();
+        }
+        self.pump(outs, ctx);
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, MkMessage>) {
+        let ts = self.my_ts.take().expect("exiting without a request");
+        self.executing = false;
+        self.locks_held.clear();
+        let sends: Vec<(NodeId, MkMessage)> = self
+            .quorum
+            .clone()
+            .into_iter()
+            .map(|q| {
+                (
+                    q,
+                    MkMessage::Release {
+                        clock: ts.counter(),
+                    },
+                )
+            })
+            .collect();
+        self.pump(sends, ctx);
+    }
+
+    fn storage_words(&self) -> usize {
+        // Quorum list + requester sets + arbiter lock + queue (2 words per
+        // timestamp entry).
+        self.quorum.len()
+            + self.locks_held.len()
+            + self.failed_from.len()
+            + self.relinquished_to.len()
+            + self.deferred_inquires.len()
+            + 2 * self.arb_queue.len()
+            + 3 // clock, my_ts slot, locked_for slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery;
+    use dmx_simnet::{Engine, EngineConfig, LatencyModel, Time};
+
+    #[test]
+    fn uncontended_cost_is_3_sqrt_n() {
+        // Projective plane of order 3: N = 13, K = 4.
+        let nodes = MaekawaProtocol::cluster(13);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(7));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.messages_total, 9); // 3 * (K - 1)
+        assert_eq!(report.metrics.kind_count("REQUEST"), 3);
+        assert_eq!(report.metrics.kind_count("LOCKED"), 3);
+        assert_eq!(report.metrics.kind_count("RELEASE"), 3);
+    }
+
+    #[test]
+    fn contention_stays_under_7_sqrt_n_per_entry() {
+        let n = 13;
+        let nodes = MaekawaProtocol::cluster(n);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..n as u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, n as u64);
+        let k = 4.0; // quorum size for N = 13
+        assert!(
+            report.metrics.messages_per_entry() <= 7.0 * k,
+            "messages/entry {} above Sanders bound",
+            report.metrics.messages_per_entry()
+        );
+    }
+
+    #[test]
+    fn two_way_contention_resolves_by_timestamp() {
+        let nodes = MaekawaProtocol::cluster(7);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(3));
+        engine.request_at(Time(0), NodeId(6));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 2);
+        assert_eq!(report.metrics.grant_order(), vec![NodeId(3), NodeId(6)]);
+    }
+
+    #[test]
+    fn deadlock_prone_interleaving_is_broken_by_sanders_messages() {
+        // Three requesters with overlapping quorums under skewed latency:
+        // without FAIL/INQUIRE/RELINQUISH this wedges; with them it must
+        // complete. Uses several seeds to explore interleavings.
+        for seed in 0..10u64 {
+            let nodes = MaekawaProtocol::cluster(7);
+            let config = EngineConfig {
+                latency: LatencyModel::Uniform {
+                    lo: Time(1),
+                    hi: Time(20),
+                },
+                seed,
+                ..Default::default()
+            };
+            let mut engine = Engine::new(nodes, config);
+            for i in 0..7u32 {
+                engine.request_at(Time(0), NodeId(i));
+            }
+            let report = engine
+                .run_to_quiescence()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(report.metrics.cs_entries, 7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn inquire_and_relinquish_actually_fire_under_contention() {
+        // Make sure the Sanders machinery is exercised, not just present:
+        // over several seeds at least one run must contain INQUIREs and
+        // RELINQUISHes.
+        let mut saw_inquire = 0;
+        let mut saw_relinquish = 0;
+        for seed in 0..20u64 {
+            let nodes = MaekawaProtocol::cluster(13);
+            let config = EngineConfig {
+                latency: LatencyModel::Uniform {
+                    lo: Time(1),
+                    hi: Time(30),
+                },
+                cs_duration: LatencyModel::Fixed(Time(3)),
+                seed,
+                ..Default::default()
+            };
+            let mut engine = Engine::new(nodes, config);
+            for i in 0..13u32 {
+                engine.request_at(Time(0), NodeId(i));
+            }
+            let report = engine.run_to_quiescence().unwrap();
+            saw_inquire += report.metrics.kind_count("INQUIRE");
+            saw_relinquish += report.metrics.kind_count("RELINQUISH");
+        }
+        assert!(saw_inquire > 0, "INQUIRE never fired across seeds");
+        assert!(saw_relinquish > 0, "RELINQUISH never fired across seeds");
+    }
+
+    #[test]
+    fn grid_quorums_work_for_awkward_sizes() {
+        for n in [2usize, 5, 10, 17] {
+            let nodes = MaekawaProtocol::cluster(n);
+            let mut engine = Engine::new(nodes, EngineConfig::default());
+            for i in 0..n as u32 {
+                engine.request_at(Time(i as u64 % 4), NodeId(i));
+            }
+            let report = engine.run_to_quiescence().unwrap();
+            assert_eq!(report.metrics.cs_entries, n as u64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn single_node_is_free() {
+        let metrics = battery::run_schedule(MaekawaProtocol::cluster(1), &[(0, 0)]);
+        assert_eq!(metrics.messages_total, 0);
+        assert_eq!(metrics.cs_entries, 1);
+    }
+
+    #[test]
+    fn stress_under_random_latency() {
+        battery::stress_protocol(|| MaekawaProtocol::cluster(7), 7, 3, "maekawa");
+    }
+
+    #[test]
+    fn relinquished_lock_blocks_until_relocked() {
+        // Regression test for a deadlock found by the stress battery: a
+        // node that relinquished one arbiter's lock and was later
+        // re-LOCKED by a *different* arbiter must still answer INQUIREs
+        // with RELINQUISH (it cannot win while any relinquish is
+        // unanswered). Replays the exact schedule that wedged.
+        let config = EngineConfig {
+            latency: LatencyModel::Exponential { mean: Time(5) },
+            cs_duration: LatencyModel::Uniform {
+                lo: Time(1),
+                hi: Time(4),
+            },
+            seed: 3,
+            record_trace: false,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(MaekawaProtocol::cluster(7), config);
+        for round in 0..3u64 {
+            for i in 0..7u32 {
+                let jitter = (i as u64 * 7 + 9 + round * 11) % 13;
+                engine.request_at(engine.now() + Time(jitter), NodeId(i));
+            }
+            engine
+                .run_to_quiescence()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        assert_eq!(engine.metrics().cs_entries, 21);
+    }
+
+    #[test]
+    fn wide_seed_sweep_never_starves() {
+        for seed in 0..30u64 {
+            let nodes = MaekawaProtocol::cluster(7);
+            let config = EngineConfig {
+                latency: LatencyModel::Exponential { mean: Time(7) },
+                cs_duration: LatencyModel::Uniform {
+                    lo: Time(1),
+                    hi: Time(5),
+                },
+                seed,
+                record_trace: false,
+                ..Default::default()
+            };
+            let mut engine = Engine::new(nodes, config);
+            for i in 0..7u32 {
+                engine.request_at(Time((seed + i as u64) % 5), NodeId(i));
+            }
+            let report = engine
+                .run_to_quiescence()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(report.metrics.cs_entries, 7, "seed {seed}");
+        }
+    }
+}

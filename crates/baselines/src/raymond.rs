@@ -1,0 +1,275 @@
+//! Raymond's tree-based token algorithm (Chapter 2.7) — the algorithm the
+//! DAG scheme directly improves on.
+//!
+//! The logical structure is an unrooted tree; each node's `HOLDER`
+//! variable points toward the token. Requests travel hop by hop toward
+//! the holder, each intermediate node queueing the requesting *neighbor*
+//! (not the origin — unlike the DAG algorithm, Raymond re-forwards through
+//! its local FIFO queue). The token travels back the same path one edge
+//! per queue head, giving up to `2D` messages per entry and a
+//! synchronization delay that grows with the diameter `D` — the two costs
+//! the DAG algorithm eliminates.
+
+use std::collections::VecDeque;
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::{NodeId, Tree};
+
+/// Raymond's two message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaymondMessage {
+    /// Ask the neighbor closer to the token.
+    Request,
+    /// Pass the token one edge.
+    Privilege,
+}
+
+impl MessageMeta for RaymondMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            RaymondMessage::Request => "REQUEST",
+            RaymondMessage::Privilege => "PRIVILEGE",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        0 // both are bare signals between neighbors
+    }
+}
+
+/// One node of Raymond's algorithm.
+///
+/// Variables follow the paper's description: `HOLDER` (here: `holder ==
+/// me` means the token is local), `USING`, `ASKED`, and the local FIFO
+/// `REQUEST_Q` whose entries are neighbors (or `me` for the local user).
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::raymond::RaymondProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::{NodeId, Tree};
+///
+/// let star = Tree::star(5);
+/// let nodes = RaymondProtocol::cluster(&star, NodeId(1)); // token at a leaf
+/// let mut engine = Engine::new(nodes, EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(2));
+/// let report = engine.run_to_quiescence()?;
+/// // 2 REQUEST hops + 2 PRIVILEGE hops = 4 = 2D (paper Chapter 6.1:
+/// // "Raymond's algorithm: 2 * D (i.e., 4 in a centralized topology)").
+/// assert_eq!(report.metrics.messages_total, 4);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RaymondProtocol {
+    me: NodeId,
+    /// Neighbor on the path toward the token; `me` when the token is here.
+    holder: NodeId,
+    /// The local user is inside the critical section.
+    using: bool,
+    /// A REQUEST has been sent toward the holder and not yet answered.
+    asked: bool,
+    /// Pending requests: neighbor ids, or `me` for the local user.
+    queue: VecDeque<NodeId>,
+}
+
+impl RaymondProtocol {
+    /// One node with an explicit initial holder direction.
+    pub fn new(me: NodeId, holder: NodeId) -> Self {
+        RaymondProtocol {
+            me,
+            holder,
+            using: false,
+            asked: false,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// A full system over `tree` with the token initially at `holder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holder` is out of range.
+    pub fn cluster(tree: &Tree, holder: NodeId) -> Vec<Self> {
+        let orientation = tree.orient_toward(holder);
+        tree.nodes()
+            .map(|id| RaymondProtocol::new(id, orientation.next_hop(id).unwrap_or(id)))
+            .collect()
+    }
+
+    /// `true` when the token is at this node.
+    pub fn has_token(&self) -> bool {
+        self.holder == self.me
+    }
+
+    /// The neighbor this node believes is toward the token (itself when
+    /// holding) — Raymond's `HOLDER` variable, exposed for observability
+    /// and structural tests.
+    pub fn holder(&self) -> NodeId {
+        self.holder
+    }
+
+    /// Current queue contents (neighbors, `me` = local user).
+    pub fn queue(&self) -> &VecDeque<NodeId> {
+        &self.queue
+    }
+
+    /// Raymond's ASSIGN_PRIVILEGE: if the token is here, idle, and someone
+    /// is queued, hand it to the queue head (possibly the local user).
+    fn assign_privilege(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
+        if self.holder == self.me && !self.using {
+            if let Some(head) = self.queue.pop_front() {
+                self.asked = false;
+                if head == self.me {
+                    self.using = true;
+                    ctx.enter_cs();
+                } else {
+                    self.holder = head;
+                    ctx.send(head, RaymondMessage::Privilege);
+                }
+            }
+        }
+    }
+
+    /// Raymond's MAKE_REQUEST: if we still have queued requests and the
+    /// token is elsewhere, make sure exactly one REQUEST is outstanding.
+    fn make_request(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
+        if self.holder != self.me && !self.queue.is_empty() && !self.asked {
+            self.asked = true;
+            ctx.send(self.holder, RaymondMessage::Request);
+        }
+    }
+}
+
+impl Protocol for RaymondProtocol {
+    type Message = RaymondMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
+        self.queue.push_back(self.me);
+        self.assign_privilege(ctx);
+        self.make_request(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: RaymondMessage, ctx: &mut Ctx<'_, RaymondMessage>) {
+        match msg {
+            RaymondMessage::Request => {
+                self.queue.push_back(from);
+                self.assign_privilege(ctx);
+                self.make_request(ctx);
+            }
+            RaymondMessage::Privilege => {
+                self.holder = self.me;
+                self.assign_privilege(ctx);
+                self.make_request(ctx);
+            }
+        }
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
+        self.using = false;
+        self.assign_privilege(ctx);
+        self.make_request(ctx);
+    }
+
+    fn storage_words(&self) -> usize {
+        // HOLDER + USING + ASKED + queue entries.
+        3 + self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_simnet::{Engine, EngineConfig, Time};
+
+    #[test]
+    fn line_request_costs_2d() {
+        for n in [2usize, 4, 7] {
+            let tree = Tree::line(n);
+            let nodes = RaymondProtocol::cluster(&tree, NodeId::from_index(n - 1));
+            let mut engine = Engine::new(nodes, EngineConfig::default());
+            engine.request_at(Time(0), NodeId(0));
+            let report = engine.run_to_quiescence().unwrap();
+            assert_eq!(
+                report.metrics.messages_total as usize,
+                2 * (n - 1),
+                "line {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn token_at_requester_costs_zero() {
+        let tree = Tree::star(4);
+        let nodes = RaymondProtocol::cluster(&tree, NodeId(2));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(2));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.messages_total, 0);
+    }
+
+    #[test]
+    fn sync_delay_grows_with_distance() {
+        // Two requesters at opposite ends of a line, with the far request
+        // already queued at the holder when it exits (the paper's setup:
+        // "node J is blocked waiting"): the token then needs D sequential
+        // PRIVILEGE hops — Raymond's Chapter 6.3 weakness.
+        let n = 6;
+        let tree = Tree::line(n);
+        let nodes = RaymondProtocol::cluster(&tree, NodeId(0));
+        let config = EngineConfig {
+            cs_duration: dmx_simnet::LatencyModel::Fixed(Time(10)),
+            ..Default::default()
+        };
+        let mut engine = Engine::new(nodes, config);
+        engine.request_at(Time(0), NodeId(0));
+        engine.request_at(Time(0), NodeId(5)); // arrives at the holder by t=5 < 10
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 2);
+        let s = &report.metrics.sync_delays[0];
+        assert_eq!(s.elapsed, Time(5), "sync delay = D on the line");
+    }
+
+    #[test]
+    fn intermediate_nodes_collapse_concurrent_requests() {
+        // ASKED ensures one outstanding upstream request per node: three
+        // leaves request through node 1, but node 1 forwards only a single
+        // REQUEST to the holder (naive per-request forwarding would send
+        // three). The later 1->leaf REQUESTs are the token recalls.
+        let tree = Tree::from_edges(5, &[(0, 1), (1, 2), (1, 3), (1, 4)]).unwrap();
+        let nodes = RaymondProtocol::cluster(&tree, NodeId(0));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for leaf in [2u32, 3, 4] {
+            engine.request_at(Time(0), NodeId(leaf));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 3);
+        // 3 leaf REQUESTs + 1 collapsed forward (1->0) + 2 recalls
+        // (1->2 while holding for 3,4; 1->3 while holding for 4).
+        assert_eq!(report.metrics.kind_count("REQUEST"), 6);
+        assert_eq!(report.metrics.kind_count("PRIVILEGE"), 6);
+    }
+
+    #[test]
+    fn all_nodes_eventually_served_on_random_tree() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let tree = Tree::random(9, &mut rng);
+            let nodes = RaymondProtocol::cluster(&tree, NodeId(trial as u32 % 9));
+            let mut engine = Engine::new(nodes, EngineConfig::default());
+            for i in 0..9u32 {
+                engine.request_at(Time(i as u64 % 3), NodeId(i));
+            }
+            let report = engine.run_to_quiescence().unwrap();
+            assert_eq!(report.metrics.cs_entries, 9, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn storage_tracks_queue_depth() {
+        let mut node = RaymondProtocol::new(NodeId(0), NodeId(0));
+        assert_eq!(node.storage_words(), 3);
+        node.queue.push_back(NodeId(1));
+        assert_eq!(node.storage_words(), 4);
+    }
+}

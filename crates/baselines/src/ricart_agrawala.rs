@@ -1,0 +1,247 @@
+//! Ricart–Agrawala's algorithm (Chapter 2.2).
+//!
+//! Lamport's ACKNOWLEDGE and RELEASE collapse into a single REPLY that is
+//! *deferred* while the receiver has a higher-priority request of its own
+//! or is inside the critical section. Exactly `2(N−1)` messages per
+//! entry: `N−1` REQUESTs out, `N−1` REPLYs back.
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::NodeId;
+
+use crate::clock::{LamportClock, Timestamp};
+
+/// Ricart–Agrawala's two message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaMessage {
+    /// Timestamped request for permission.
+    Request {
+        /// The requester's clock at request time.
+        clock: u64,
+    },
+    /// Permission (possibly deferred until after the replier's own
+    /// critical section).
+    Reply,
+}
+
+impl MessageMeta for RaMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            RaMessage::Request { .. } => "REQUEST",
+            RaMessage::Reply => "REPLY",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        match self {
+            RaMessage::Request { .. } => 8,
+            RaMessage::Reply => 0,
+        }
+    }
+}
+
+/// One node of Ricart–Agrawala.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::ricart_agrawala::RicartAgrawalaProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::NodeId;
+///
+/// let mut engine = Engine::new(RicartAgrawalaProtocol::cluster(4), EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(1));
+/// let report = engine.run_to_quiescence()?;
+/// assert_eq!(report.metrics.messages_total, 6); // 2(N-1)
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RicartAgrawalaProtocol {
+    me: NodeId,
+    clock: LamportClock,
+    /// Our outstanding request's timestamp.
+    my_request: Option<Timestamp>,
+    /// REPLYs still missing before we may enter.
+    outstanding: usize,
+    /// Nodes whose REPLY we owe after our critical section.
+    deferred: Vec<NodeId>,
+    executing: bool,
+}
+
+impl RicartAgrawalaProtocol {
+    /// One node of an `n`-node system.
+    pub fn new(me: NodeId) -> Self {
+        RicartAgrawalaProtocol {
+            me,
+            clock: LamportClock::new(me),
+            my_request: None,
+            outstanding: 0,
+            deferred: Vec::new(),
+            executing: false,
+        }
+    }
+
+    /// A full `n`-node system.
+    pub fn cluster(n: usize) -> Vec<Self> {
+        (0..n)
+            .map(|i| RicartAgrawalaProtocol::new(NodeId::from_index(i)))
+            .collect()
+    }
+
+    /// Nodes currently owed a deferred REPLY (exposed for tests and
+    /// observability).
+    pub fn deferred(&self) -> &[NodeId] {
+        &self.deferred
+    }
+}
+
+impl Protocol for RicartAgrawalaProtocol {
+    type Message = RaMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, RaMessage>) {
+        let ts = self.clock.tick();
+        self.my_request = Some(ts);
+        self.outstanding = ctx.n() - 1;
+        for j in 0..ctx.n() {
+            let id = NodeId::from_index(j);
+            if id != self.me {
+                ctx.send(
+                    id,
+                    RaMessage::Request {
+                        clock: ts.counter(),
+                    },
+                );
+            }
+        }
+        if self.outstanding == 0 {
+            self.executing = true;
+            ctx.enter_cs();
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: RaMessage, ctx: &mut Ctx<'_, RaMessage>) {
+        match msg {
+            RaMessage::Request { clock } => {
+                self.clock.observe(clock);
+                let theirs = Timestamp::raw(clock, from);
+                let mine_wins = self.my_request.is_some_and(|mine| mine < theirs);
+                if self.executing || mine_wins {
+                    self.deferred.push(from);
+                } else {
+                    ctx.send(from, RaMessage::Reply);
+                }
+            }
+            RaMessage::Reply => {
+                debug_assert!(self.my_request.is_some(), "REPLY without a request");
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    self.executing = true;
+                    ctx.enter_cs();
+                }
+            }
+        }
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, RaMessage>) {
+        self.executing = false;
+        self.my_request = None;
+        for j in std::mem::take(&mut self.deferred) {
+            ctx.send(j, RaMessage::Reply);
+        }
+    }
+
+    fn storage_words(&self) -> usize {
+        // clock + request (2) + outstanding + deferred entries.
+        4 + self.deferred.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery;
+    use dmx_simnet::{Engine, EngineConfig, Time};
+
+    #[test]
+    fn entry_costs_exactly_2n_minus_2() {
+        for n in [2usize, 5, 9] {
+            let metrics = battery::run_schedule(RicartAgrawalaProtocol::cluster(n), &[(0, 0)]);
+            assert_eq!(metrics.messages_total as usize, 2 * (n - 1), "n = {n}");
+            assert_eq!(metrics.kind_count("REQUEST") as usize, n - 1);
+            assert_eq!(metrics.kind_count("REPLY") as usize, n - 1);
+        }
+    }
+
+    #[test]
+    fn lower_timestamp_wins_contention() {
+        let nodes = RicartAgrawalaProtocol::cluster(3);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(2));
+        // By t=2 node 1 has seen node 2's REQUEST, so its clock (and thus
+        // its timestamp) is strictly larger: node 2 must win.
+        engine.request_at(Time(2), NodeId(1));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.grant_order(), vec![NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn simultaneous_requests_tie_break_by_id() {
+        let nodes = RicartAgrawalaProtocol::cluster(4);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in [3u32, 1, 0, 2] {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(
+            report.metrics.grant_order(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn replies_are_deferred_while_executing() {
+        let nodes = RicartAgrawalaProtocol::cluster(2);
+        let config = EngineConfig {
+            cs_duration: dmx_simnet::LatencyModel::Fixed(Time(10)),
+            ..Default::default()
+        };
+        let mut engine = Engine::new(nodes, config);
+        engine.request_at(Time(0), NodeId(0));
+        engine.request_at(Time(3), NodeId(1)); // arrives mid-CS
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.grant_order(), vec![NodeId(0), NodeId(1)]);
+        // Node 1's wait spans node 0's whole critical section.
+        assert!(report.metrics.grants[1].wait() >= Time(8));
+    }
+
+    #[test]
+    fn sync_delay_is_one_message() {
+        let nodes = RicartAgrawalaProtocol::cluster(4);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..4u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        for s in &report.metrics.sync_delays {
+            assert_eq!(
+                s.elapsed,
+                Time(1),
+                "deferred REPLY is the only hand-off hop"
+            );
+        }
+    }
+
+    #[test]
+    fn stress_under_random_latency() {
+        battery::stress_protocol(
+            || RicartAgrawalaProtocol::cluster(6),
+            6,
+            3,
+            "ricart-agrawala",
+        );
+    }
+
+    #[test]
+    fn single_node_enters_for_free() {
+        let metrics = battery::run_schedule(RicartAgrawalaProtocol::cluster(1), &[(0, 0)]);
+        assert_eq!(metrics.messages_total, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Suzuki–Kasami broadcast token algorithm (Chapter 2.4).
+//!
+//! A requester broadcasts `REQUEST(n)` with its per-node sequence number
+//! to all other nodes; the token carries `LN[]` (the sequence number of
+//! each node's last served request) plus an explicit FIFO queue `Q`. The
+//! holder appends every node whose latest request is unserved
+//! (`RN[j] == LN[j] + 1`) and passes the token to the queue head. Either
+//! `0` (already holding) or `N` messages per entry — and, unlike the DAG
+//! algorithm, the token hauls `O(N)` state and every node stores an
+//! `N`-vector (the storage cost Chapter 6.4 contrasts).
+
+use std::collections::VecDeque;
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::NodeId;
+
+/// The token: last-served numbers and the explicit waiting queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkToken {
+    /// `LN[j]`: sequence number of node `j`'s most recently served request.
+    pub ln: Vec<u64>,
+    /// Explicit FIFO queue of nodes to serve next.
+    pub queue: VecDeque<NodeId>,
+}
+
+impl SkToken {
+    /// A fresh token for `n` nodes with nothing served and nobody queued.
+    pub fn new(n: usize) -> Self {
+        SkToken {
+            ln: vec![0; n],
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// Suzuki–Kasami messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkMessage {
+    /// Broadcast: "my `n`-th request is outstanding".
+    Request {
+        /// The requester's sequence number.
+        n: u64,
+    },
+    /// The token moves to a new holder.
+    Privilege(SkToken),
+}
+
+impl MessageMeta for SkMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            SkMessage::Request { .. } => "REQUEST",
+            SkMessage::Privilege(_) => "PRIVILEGE",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        match self {
+            SkMessage::Request { .. } => 8, // one sequence number
+            // LN[] plus the queue, four bytes per entry.
+            SkMessage::Privilege(t) => 4 * (t.ln.len() + t.queue.len()),
+        }
+    }
+}
+
+/// One Suzuki–Kasami node.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::suzuki_kasami::SuzukiKasamiProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::NodeId;
+///
+/// let nodes = SuzukiKasamiProtocol::cluster(5, NodeId(0));
+/// let mut engine = Engine::new(nodes, EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(3));
+/// let report = engine.run_to_quiescence()?;
+/// // N-1 broadcast REQUESTs + 1 PRIVILEGE = N messages.
+/// assert_eq!(report.metrics.messages_total, 5);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuzukiKasamiProtocol {
+    me: NodeId,
+    /// `RN[j]`: highest request number seen from each node.
+    rn: Vec<u64>,
+    token: Option<SkToken>,
+    requesting: bool,
+    executing: bool,
+}
+
+impl SuzukiKasamiProtocol {
+    /// One node of an `n`-node system; `holds_token` for exactly one.
+    pub fn new(me: NodeId, n: usize, holds_token: bool) -> Self {
+        SuzukiKasamiProtocol {
+            me,
+            rn: vec![0; n],
+            token: holds_token.then(|| SkToken::new(n)),
+            requesting: false,
+            executing: false,
+        }
+    }
+
+    /// A full `n`-node system with the token at `holder`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holder` is out of range.
+    pub fn cluster(n: usize, holder: NodeId) -> Vec<Self> {
+        assert!(holder.index() < n, "holder out of range");
+        (0..n)
+            .map(|i| SuzukiKasamiProtocol::new(NodeId::from_index(i), n, i == holder.index()))
+            .collect()
+    }
+
+    /// `true` when the token is currently at this node.
+    pub fn has_token(&self) -> bool {
+        self.token.is_some()
+    }
+
+    /// Release-time token maintenance: record our satisfied request and
+    /// enqueue every node with an outstanding one, then pass the token to
+    /// the queue head (keeping it if the queue is empty).
+    fn update_and_pass(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
+        let mut token = self
+            .token
+            .take()
+            .expect("only the holder updates the token");
+        token.ln[self.me.index()] = self.rn[self.me.index()];
+        for j in 0..self.rn.len() {
+            let id = NodeId::from_index(j);
+            if id != self.me && self.rn[j] == token.ln[j] + 1 && !token.queue.contains(&id) {
+                token.queue.push_back(id);
+            }
+        }
+        match token.queue.pop_front() {
+            Some(next) => ctx.send(next, SkMessage::Privilege(token)),
+            None => self.token = Some(token),
+        }
+    }
+}
+
+impl Protocol for SuzukiKasamiProtocol {
+    type Message = SkMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
+        if self.token.is_some() {
+            self.executing = true;
+            ctx.enter_cs();
+            return;
+        }
+        self.requesting = true;
+        self.rn[self.me.index()] += 1;
+        let n = self.rn[self.me.index()];
+        for j in 0..ctx.n() {
+            let id = NodeId::from_index(j);
+            if id != self.me {
+                ctx.send(id, SkMessage::Request { n });
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SkMessage, ctx: &mut Ctx<'_, SkMessage>) {
+        match msg {
+            SkMessage::Request { n } => {
+                let j = from.index();
+                self.rn[j] = self.rn[j].max(n);
+                // An idle holder passes the token straight away if the
+                // request is unserved.
+                if let Some(token) = &self.token {
+                    if !self.executing && !self.requesting && self.rn[j] == token.ln[j] + 1 {
+                        let token = self.token.take().expect("checked above");
+                        ctx.send(from, SkMessage::Privilege(token));
+                    }
+                }
+            }
+            SkMessage::Privilege(token) => {
+                debug_assert!(self.requesting, "token arrived unrequested");
+                self.token = Some(token);
+                self.requesting = false;
+                self.executing = true;
+                ctx.enter_cs();
+            }
+        }
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
+        self.executing = false;
+        self.update_and_pass(ctx);
+    }
+
+    fn storage_words(&self) -> usize {
+        // RN[] everywhere; the holder also carries LN[] and the queue.
+        self.rn.len()
+            + self
+                .token
+                .as_ref()
+                .map(|t| t.ln.len() + t.queue.len())
+                .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_simnet::{Engine, EngineConfig, Time};
+
+    #[test]
+    fn remote_entry_costs_n_messages() {
+        for n in [2usize, 5, 9] {
+            let nodes = SuzukiKasamiProtocol::cluster(n, NodeId(0));
+            let mut engine = Engine::new(nodes, EngineConfig::default());
+            engine.request_at(Time(0), NodeId::from_index(n - 1));
+            let report = engine.run_to_quiescence().unwrap();
+            assert_eq!(report.metrics.messages_total as usize, n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn holder_entry_costs_zero() {
+        let nodes = SuzukiKasamiProtocol::cluster(6, NodeId(2));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(2));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.messages_total, 0);
+    }
+
+    #[test]
+    fn sync_delay_is_one_message() {
+        let nodes = SuzukiKasamiProtocol::cluster(5, NodeId(0));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..5u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 5);
+        for s in &report.metrics.sync_delays {
+            assert_eq!(s.elapsed, Time(1), "one PRIVILEGE hop");
+        }
+    }
+
+    #[test]
+    fn stale_requests_do_not_move_the_token() {
+        // A node that already got served must not receive the token again
+        // for the same sequence number.
+        let nodes = SuzukiKasamiProtocol::cluster(3, NodeId(0));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(1));
+        engine.run_to_quiescence().unwrap();
+        engine.request_at(Time(100), NodeId(2));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 2);
+        assert_eq!(report.metrics.grant_order(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn token_queue_serves_every_requester() {
+        let n = 7;
+        let nodes = SuzukiKasamiProtocol::cluster(n, NodeId(3));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..n as u32 {
+            engine.request_at(Time((i % 2) as u64), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, n as u64);
+    }
+
+    #[test]
+    fn token_wire_size_scales_with_n() {
+        let token = SkToken::new(10);
+        let msg = SkMessage::Privilege(token);
+        assert_eq!(msg.wire_size(), 40);
+        assert_eq!(SkMessage::Request { n: 1 }.wire_size(), 8);
+    }
+
+    #[test]
+    fn repeated_rounds_under_random_latency() {
+        use dmx_simnet::LatencyModel;
+        let nodes = SuzukiKasamiProtocol::cluster(6, NodeId(0));
+        let config = EngineConfig {
+            latency: LatencyModel::Uniform {
+                lo: Time(1),
+                hi: Time(9),
+            },
+            seed: 42,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(nodes, config);
+        for round in 0..4u64 {
+            for i in 0..6u32 {
+                engine.request_at(Time(round * 200 + i as u64), NodeId(i));
+            }
+            engine.run_to_quiescence().unwrap();
+        }
+        assert_eq!(engine.metrics().cs_entries, 24);
+    }
+}

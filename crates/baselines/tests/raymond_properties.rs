@@ -1,0 +1,86 @@
+//! Structural property tests for Raymond's algorithm — the baseline the
+//! DAG algorithm is most directly compared against, so its
+//! implementation deserves the same invariant scrutiny:
+//!
+//! * exactly one node believes it holds the token at quiescence;
+//! * `HOLDER` pointers form an in-tree rooted at the actual holder
+//!   (Raymond's Theorem: following HOLDER always reaches the token);
+//! * every queued entry is a neighbor or the node itself;
+//! * all request queues drain by quiescence.
+
+use dmx_baselines::raymond::RaymondProtocol;
+use dmx_simnet::{Engine, EngineConfig, LatencyModel, Time};
+use dmx_topology::{NodeId, Tree};
+use proptest::prelude::*;
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (2usize..=14).prop_flat_map(|n| {
+        if n == 2 {
+            Just(Tree::line(2)).boxed()
+        } else {
+            proptest::collection::vec(0u32..n as u32, n - 2)
+                .prop_map(|p| Tree::from_prufer(&p))
+                .boxed()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn holder_pointers_form_an_in_tree(
+        tree in arb_tree(),
+        holder_sel in any::<prop::sample::Index>(),
+        reqs in proptest::collection::vec((0u64..30, any::<prop::sample::Index>()), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let holder = NodeId::from_index(holder_sel.index(tree.len()));
+        let config = EngineConfig {
+            latency: LatencyModel::Exponential { mean: Time(4) },
+            seed,
+            record_trace: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(RaymondProtocol::cluster(&tree, holder), config);
+        let mut requesters = std::collections::BTreeSet::new();
+        for &(t, ref sel) in &reqs {
+            let node = NodeId::from_index(sel.index(tree.len()));
+            if requesters.insert(node) {
+                engine.request_at(Time(t), node);
+            }
+        }
+        let report = engine.run_to_quiescence().expect("raymond serves everyone");
+        prop_assert_eq!(report.metrics.cs_entries as usize, requesters.len());
+
+        // Exactly one node holds.
+        let holders: Vec<NodeId> = tree
+            .nodes()
+            .filter(|&v| engine.node(v).has_token())
+            .collect();
+        prop_assert_eq!(holders.len(), 1);
+        let root = holders[0];
+
+        for v in tree.nodes() {
+            // Queues drained.
+            prop_assert!(engine.node(v).queue().is_empty(), "{} queue not empty", v);
+            // HOLDER chain reaches the root within N hops, stepping only
+            // along tree edges.
+            let mut cur = v;
+            let mut hops = 0;
+            while !engine.node(cur).has_token() {
+                let next = engine.node(cur).holder();
+                prop_assert!(
+                    tree.has_edge(cur, next),
+                    "HOLDER {} -> {} is not a tree edge",
+                    cur,
+                    next
+                );
+                cur = next;
+                hops += 1;
+                prop_assert!(hops <= tree.len(), "HOLDER chain cycles");
+            }
+            prop_assert_eq!(cur, root);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Bench for `fig8` (topology sweep): regenerates the figure's table,
+//! then benchmarks the all-placements enumeration per topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::{isolated_worst_and_mean, topology_sweep};
+use dmx_harness::Algorithm;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", topology_sweep::run());
+
+    let mut group = c.benchmark_group("fig8/placement_enumeration");
+    group.sample_size(20);
+    for (name, tree) in topology_sweep::topologies() {
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &tree, |b, tree| {
+            b.iter(|| isolated_worst_and_mean(black_box(Algorithm::Dag), tree));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

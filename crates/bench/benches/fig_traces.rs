@@ -1,0 +1,47 @@
+//! Bench for `fig2`/`fig6`: replays the paper's worked examples (the
+//! golden traces) and benchmarks the pure-state-machine replay plus the
+//! implicit-queue reconstruction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_core::{implicit_queue, init_nodes};
+use dmx_harness::experiments::traces;
+use dmx_topology::{NodeId, Tree};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for t in traces::fig2() {
+        println!("{t}");
+    }
+    for t in traces::fig6() {
+        println!("{t}");
+    }
+
+    c.bench_function("fig_traces/fig6_replay", |b| {
+        b.iter(|| black_box(traces::fig6()));
+    });
+
+    c.bench_function("fig_traces/implicit_queue_reconstruction", |b| {
+        // A long FOLLOW chain on a line of 64 nodes.
+        let tree = Tree::line(64);
+        let mut nodes = init_nodes(&tree, NodeId(0));
+        nodes[0].request();
+        for i in 1..64u32 {
+            nodes[i as usize].request();
+            // Deliver directly to the previous sink to build the chain.
+            nodes[(i - 1) as usize].receive_request(NodeId(i), NodeId(i));
+        }
+        b.iter(|| black_box(implicit_queue(&nodes)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench for `ext_load`: regenerates the load sweep, then benchmarks the
+//! closed-loop engine at light and heavy load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::load_sweep;
+use dmx_harness::Algorithm;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", load_sweep::run(12, &[500, 50, 5, 1], 8));
+
+    let mut group = c.benchmark_group("ext_load/closed_loop");
+    group.sample_size(20);
+    for think in [500u64, 5] {
+        for algo in [Algorithm::Dag, Algorithm::SuzukiKasami] {
+            let id = format!("{}@think{}", algo.name(), think);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(algo, think),
+                |b, &(algo, think)| {
+                    b.iter(|| load_sweep::measure(black_box(algo), 12, think, 6, 17));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

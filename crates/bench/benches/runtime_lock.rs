@@ -1,0 +1,59 @@
+//! Benchmarks the threaded distributed-lock runtime: parked-token
+//! re-acquisition (the hot path the paper's token residence enables) and
+//! the remote hand-off between two leaves of a star.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmx_runtime::Cluster;
+use dmx_topology::{NodeId, Tree};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("runtime/parked_token_reacquire", |b| {
+        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(1));
+        // Park the token at node 1 by locking once.
+        handles[1].lock().unwrap();
+        b.iter(|| {
+            let guard = handles[1].lock().unwrap();
+            drop(guard);
+        });
+        drop(handles);
+        cluster.shutdown();
+    });
+
+    c.bench_function("runtime/remote_handoff_star", |b| {
+        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(1));
+        let (left, right) = handles.split_at_mut(2);
+        let h1 = &mut left[1];
+        let h2 = &mut right[0];
+        b.iter(|| {
+            drop(h1.lock().unwrap()); // token to node 1
+            drop(h2.lock().unwrap()); // 3 messages to node 2
+        });
+        drop(handles);
+        cluster.shutdown();
+    });
+
+    c.bench_function("runtime/line8_end_to_end", |b| {
+        let (cluster, mut handles) = Cluster::start(&Tree::line(8), NodeId(0));
+        let (left, right) = handles.split_at_mut(7);
+        let h0 = &mut left[0];
+        let h7 = &mut right[0];
+        b.iter(|| {
+            drop(h0.lock().unwrap());
+            drop(h7.lock().unwrap()); // token crosses the whole line
+        });
+        drop(handles);
+        cluster.shutdown();
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench for `ext_scale`: regenerates the N-scaling table, then
+//! benchmarks representative algorithms at N = 32 so complexity-class
+//! regressions (a broadcast sneaking into the DAG path, say) show up as
+//! timing cliffs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::scaling;
+use dmx_harness::Algorithm;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", scaling::run(&[4, 8, 16, 32], 2));
+
+    let mut group = c.benchmark_group("ext_scale/saturated@32");
+    group.sample_size(20);
+    for algo in [
+        Algorithm::Dag,
+        Algorithm::Raymond,
+        Algorithm::Maekawa,
+        Algorithm::SuzukiKasami,
+        Algorithm::Lamport,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| scaling::measure(black_box(algo), 32, 2));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

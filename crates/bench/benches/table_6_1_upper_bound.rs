@@ -1,0 +1,68 @@
+//! Bench for `tab6_1` (Chapter 6.1 upper bounds): regenerates the table,
+//! then benchmarks the isolated-request and saturated-round kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::{isolated_cost, upper_bound};
+use dmx_harness::{run_algorithm, Algorithm, Scenario};
+use dmx_simnet::EngineConfig;
+use dmx_topology::{NodeId, Tree};
+use dmx_workload::Saturated;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", upper_bound::run(9));
+
+    let tree = Tree::star(13);
+    let mut group = c.benchmark_group("tab6_1/isolated_request");
+    for algo in [
+        Algorithm::Dag,
+        Algorithm::Raymond,
+        Algorithm::Centralized,
+        Algorithm::Lamport,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| isolated_cost(black_box(algo), &tree, NodeId(12), NodeId(1)));
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tab6_1/saturated_round");
+    group.sample_size(20);
+    for algo in Algorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                let config = EngineConfig {
+                    record_trace: false,
+                    ..EngineConfig::default()
+                };
+                let scenario = Scenario {
+                    tree: &tree,
+                    holder: NodeId(0),
+                    config,
+                };
+                b.iter(|| {
+                    run_algorithm(black_box(algo), &scenario, &mut Saturated::new(2)).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

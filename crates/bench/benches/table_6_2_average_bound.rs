@@ -1,0 +1,31 @@
+//! Bench for `tab6_2` (Chapter 6.2 average bound): regenerates the
+//! table, then benchmarks the exact enumeration at two sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::average_bound;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", average_bound::run(&[4, 8, 16, 32]));
+
+    let mut group = c.benchmark_group("tab6_2/exact_enumeration");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| average_bound::dag_measured_mean(black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

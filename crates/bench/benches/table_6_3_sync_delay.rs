@@ -1,0 +1,43 @@
+//! Bench for `tab6_3` (Chapter 6.3 synchronization delay): regenerates
+//! the table, then benchmarks the hand-off measurement per algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::sync_delay;
+use dmx_harness::Algorithm;
+use dmx_topology::{NodeId, Tree};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", sync_delay::run(9, 6));
+
+    let star = Tree::star(9);
+    let mut group = c.benchmark_group("tab6_3/handoff");
+    for algo in [
+        Algorithm::Dag,
+        Algorithm::Raymond,
+        Algorithm::Centralized,
+        Algorithm::SuzukiKasami,
+        Algorithm::Maekawa,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.name()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| sync_delay::measure(black_box(algo), &star, NodeId(1), NodeId(2)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench for `tab6_4` (Chapter 6.4 storage overhead): regenerates the
+//! table, then benchmarks the tracked-storage run for the two extremes
+//! (constant-state DAG vs token-array Suzuki–Kasami).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::storage;
+use dmx_harness::Algorithm;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", storage::run(12));
+
+    let mut group = c.benchmark_group("tab6_4/tracked_run");
+    group.sample_size(20);
+    for (algo, n) in [
+        (Algorithm::Dag, 16usize),
+        (Algorithm::Dag, 64),
+        (Algorithm::SuzukiKasami, 16),
+        (Algorithm::SuzukiKasami, 64),
+    ] {
+        let id = format!("{}x{}", algo.name(), n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(id),
+            &(algo, n),
+            |b, &(algo, n)| {
+                b.iter(|| storage::measure(black_box(algo), black_box(n)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep wall-clock reasonable on small CI machines; the kernels are
+    // deterministic, so tight confidence intervals need few samples.
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

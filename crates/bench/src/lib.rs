@@ -1,0 +1,7 @@
+//! Criterion benchmark suite. Each bench target corresponds to one of
+//! the paper's tables/figures (see `benches/`); on startup every target
+//! first regenerates its table at reduced size so `cargo bench` doubles
+//! as a quick reproduction pass, then benchmarks the underlying
+//! measurement kernels for performance tracking.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,72 @@
+//! Neilsen's DAG-based token algorithm for distributed mutual exclusion.
+//!
+//! This crate is the paper's primary contribution (Chapters 3–5):
+//! a token-based mutual exclusion algorithm over a logical directed
+//! acyclic graph with a single sink, where
+//!
+//! * each node keeps just three variables — `HOLDING`, `NEXT`, `FOLLOW`;
+//! * two message types exist — `REQUEST(X, Y)` and a payload-free
+//!   `PRIVILEGE` (the token);
+//! * the global waiting queue is never stored anywhere: it is *implicit*
+//!   in the `FOLLOW` chain and can be reconstructed by observing node
+//!   states ([`implicit_queue`]);
+//! * on the star ("centralized") topology at most **3 messages** per
+//!   critical-section entry are needed, with a synchronization delay of
+//!   **one message** — better than a centralized lock server's two.
+//!
+//! # Architecture
+//!
+//! [`DagNode`] is a *pure* state machine: feeding it an input returns a
+//! list of [`Action`]s (send a message / enter the critical section)
+//! without performing any I/O, which makes it exhaustively testable and
+//! lets two very different runtimes share one implementation:
+//!
+//! * [`DagProtocol`] adapts it to the `dmx-simnet` discrete-event engine
+//!   (including the paper's Figure 5 `INITIALIZE` flood), and
+//! * `dmx-runtime` drives the same state machine over real threads and
+//!   channels.
+//!
+//! # Examples
+//!
+//! Replaying the start of the paper's Figure 2 walkthrough by hand:
+//!
+//! ```
+//! use dmx_core::{Action, DagMessage, DagNode};
+//! use dmx_topology::{NodeId, Tree};
+//!
+//! // Figure 2 line topology 1-2-4-5 plus branch 3-4, zero-indexed here:
+//! // 0-1-3-4 with 2 attached to 3; node 4 (paper's node 5) holds the token.
+//! let tree = Tree::from_edges(5, &[(0, 1), (1, 3), (2, 3), (3, 4)])?;
+//! let mut nodes = dmx_core::init_nodes(&tree, NodeId(4));
+//!
+//! // Node 2 (paper's node 3) wants the critical section.
+//! let actions = nodes[2].request();
+//! assert_eq!(
+//!     actions,
+//!     vec![Action::Send {
+//!         to: NodeId(3),
+//!         message: DagMessage::Request { from: NodeId(2), origin: NodeId(2) },
+//!     }]
+//! );
+//! // Node 2 became the new sink (paper: "sets NEXT_3 = 0").
+//! assert_eq!(nodes[2].next(), None);
+//! # Ok::<(), dmx_topology::TreeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod message;
+mod node;
+mod observer;
+pub mod render;
+mod sim;
+mod state;
+
+pub use message::DagMessage;
+pub use node::{init_nodes, Action, DagNode};
+pub use observer::{
+    implicit_queue, next_edges, sink_nodes, token_holder, undirected_acyclic, walk_to_sink,
+};
+pub use sim::DagProtocol;
+pub use state::NodeState;

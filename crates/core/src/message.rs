@@ -1,0 +1,77 @@
+use dmx_simnet::MessageMeta;
+use dmx_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The algorithm's wire messages.
+///
+/// Chapter 3.1: "Two types of messages, REQUEST and PRIVILEGE, are passed
+/// between nodes." The third variant, `Initialize`, is the Figure 5
+/// start-up flood that orients the `NEXT` pointers; it is exchanged only
+/// before the first request and never during normal operation.
+///
+/// Storage overhead (Chapter 6.4): "A REQUEST message carries two integer
+/// variables, and a PRIVILEGE message needs no data structure." The
+/// [`MessageMeta::wire_size`] implementation reports exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DagMessage {
+    /// `REQUEST(X, Y)`: `from` (paper's `X`) is the adjacent node the
+    /// message came from, `origin` (paper's `Y`) the node whose user wants
+    /// the critical section.
+    Request {
+        /// Adjacent forwarding node (`X`).
+        from: NodeId,
+        /// Originating requester (`Y`).
+        origin: NodeId,
+    },
+    /// `PRIVILEGE`: the token. Carries nothing.
+    Privilege,
+    /// `INITIALIZE(J)`: Figure 5 flood; the receiver sets `NEXT := J`.
+    Initialize,
+}
+
+impl MessageMeta for DagMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            DagMessage::Request { .. } => "REQUEST",
+            DagMessage::Privilege => "PRIVILEGE",
+            DagMessage::Initialize => "INITIALIZE",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            // Two integers (X, Y), four bytes each.
+            DagMessage::Request { .. } => 8,
+            // "A PRIVILEGE message needs no data structure."
+            DagMessage::Privilege => 0,
+            // INITIALIZE(J): the sender identity, one integer.
+            DagMessage::Initialize => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_paper_names() {
+        let req = DagMessage::Request {
+            from: NodeId(1),
+            origin: NodeId(2),
+        };
+        assert_eq!(req.kind(), "REQUEST");
+        assert_eq!(DagMessage::Privilege.kind(), "PRIVILEGE");
+        assert_eq!(DagMessage::Initialize.kind(), "INITIALIZE");
+    }
+
+    #[test]
+    fn wire_sizes_match_chapter_6_4() {
+        let req = DagMessage::Request {
+            from: NodeId(1),
+            origin: NodeId(2),
+        };
+        assert_eq!(req.wire_size(), 8); // two integers
+        assert_eq!(DagMessage::Privilege.wire_size(), 0); // token carries nothing
+    }
+}

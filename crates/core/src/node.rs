@@ -1,0 +1,652 @@
+use dmx_topology::{NodeId, Orientation, Tree};
+use serde::{Deserialize, Serialize};
+
+use crate::message::DagMessage;
+use crate::state::NodeState;
+
+/// An effect requested by the pure state machine; the surrounding runtime
+/// (simulator or threaded cluster) performs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Transmit `message` to node `to` over the reliable FIFO network.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Message to deliver.
+        message: DagMessage,
+    },
+    /// The local user may now enter the critical section.
+    Enter,
+}
+
+/// One node of the DAG algorithm: the paper's three variables plus the
+/// implicit program-counter state of procedure `P1` (whether the local
+/// user is waiting for the `PRIVILEGE` or executing inside the critical
+/// section).
+///
+/// This type is a *pure* state machine — each input method mutates the
+/// node and returns the [`Action`]s to perform — so the same code runs
+/// under the deterministic simulator and the threaded runtime, and unit
+/// tests can drive it step by step exactly like the paper's Figure 6
+/// walkthrough does.
+///
+/// # Examples
+///
+/// A two-node hand-off:
+///
+/// ```
+/// use dmx_core::{Action, DagMessage, DagNode, NodeState};
+/// use dmx_topology::NodeId;
+///
+/// let mut a = DagNode::new(NodeId(0), None);          // holds the token
+/// let mut b = DagNode::new(NodeId(1), Some(NodeId(0)));
+///
+/// // b requests: sends REQUEST(1,1) toward a and becomes a sink.
+/// let out = b.request();
+/// assert_eq!(out.len(), 1);
+///
+/// // a is an idle token holder: it forwards the PRIVILEGE immediately.
+/// let out = a.receive_request(NodeId(1), NodeId(1));
+/// assert_eq!(
+///     out,
+///     vec![Action::Send { to: NodeId(1), message: DagMessage::Privilege }]
+/// );
+/// assert_eq!(a.state(), NodeState::N);
+///
+/// // b receives the privilege and enters.
+/// assert_eq!(b.receive_privilege(), vec![Action::Enter]);
+/// assert_eq!(b.state(), NodeState::E);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagNode {
+    me: NodeId,
+    /// Paper's `HOLDING`: the node possesses the token but is idle.
+    holding: bool,
+    /// Paper's `NEXT`: direction of the (believed) sink; `None` = sink.
+    next: Option<NodeId>,
+    /// Paper's `FOLLOW`: who is granted after this node.
+    follow: Option<NodeId>,
+    /// `P1` is blocked waiting for the `PRIVILEGE`.
+    requesting: bool,
+    /// The local user is inside the critical section.
+    executing: bool,
+}
+
+impl DagNode {
+    /// Creates a node. `next == None` makes this node the sink, which per
+    /// the initial configuration means it holds the token.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_core::DagNode;
+    /// # use dmx_topology::NodeId;
+    /// let holder = DagNode::new(NodeId(0), None);
+    /// assert!(holder.holding());
+    /// let other = DagNode::new(NodeId(1), Some(NodeId(0)));
+    /// assert!(!other.holding());
+    /// ```
+    pub fn new(me: NodeId, next: Option<NodeId>) -> Self {
+        DagNode {
+            me,
+            holding: next.is_none(),
+            next,
+            follow: None,
+            requesting: false,
+            executing: false,
+        }
+    }
+
+    /// Creates the node for `me` out of a whole-tree [`Orientation`]
+    /// (the result of the Figure 5 `INIT` flood, computed centrally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range for the orientation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_core::DagNode;
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let orient = Tree::star(4).orient_toward(NodeId(0));
+    /// let n2 = DagNode::from_orientation(&orient, NodeId(2));
+    /// assert_eq!(n2.next(), Some(NodeId(0)));
+    /// ```
+    pub fn from_orientation(orientation: &Orientation, me: NodeId) -> Self {
+        DagNode::new(me, orientation.next_hop(me))
+    }
+
+    /// This node's identifier.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Paper's `HOLDING`: `true` when the node possesses the token and is
+    /// neither executing nor requesting.
+    #[inline]
+    pub fn holding(&self) -> bool {
+        self.holding
+    }
+
+    /// Paper's `NEXT`: the neighbor on the believed path to the sink;
+    /// `None` when this node *is* the sink (paper's `NEXT = 0`).
+    #[inline]
+    pub fn next(&self) -> Option<NodeId> {
+        self.next
+    }
+
+    /// Paper's `FOLLOW`: the node to grant after this one (`None` =
+    /// paper's `FOLLOW = 0`).
+    #[inline]
+    pub fn follow(&self) -> Option<NodeId> {
+        self.follow
+    }
+
+    /// `true` while procedure `P1` waits for the `PRIVILEGE` message.
+    #[inline]
+    pub fn is_requesting(&self) -> bool {
+        self.requesting
+    }
+
+    /// `true` while the local user is inside the critical section.
+    #[inline]
+    pub fn is_executing(&self) -> bool {
+        self.executing
+    }
+
+    /// `true` when this node is a sink (`NEXT = 0`).
+    #[inline]
+    pub fn is_sink(&self) -> bool {
+        self.next.is_none()
+    }
+
+    /// `true` when this node possesses the token (idle *or* executing).
+    #[inline]
+    pub fn has_token(&self) -> bool {
+        self.holding || self.executing
+    }
+
+    /// The Figure 4 state this node is in, derived from its variables.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_core::{DagNode, NodeState};
+    /// # use dmx_topology::NodeId;
+    /// assert_eq!(DagNode::new(NodeId(0), None).state(), NodeState::H);
+    /// assert_eq!(DagNode::new(NodeId(1), Some(NodeId(0))).state(), NodeState::N);
+    /// ```
+    pub fn state(&self) -> NodeState {
+        match (
+            self.executing,
+            self.requesting,
+            self.holding,
+            self.follow.is_some(),
+        ) {
+            (true, _, _, true) => NodeState::EF,
+            (true, _, _, false) => NodeState::E,
+            (false, true, _, true) => NodeState::RF,
+            (false, true, _, false) => NodeState::R,
+            (false, false, true, _) => NodeState::H,
+            (false, false, false, _) => NodeState::N,
+        }
+    }
+
+    /// Procedure `P1`, first half: the local user wants the critical
+    /// section.
+    ///
+    /// If the node holds the token it enters immediately (`HOLDING :=
+    /// false`). Otherwise it sends `REQUEST(I, I)` toward the sink and
+    /// becomes the new sink itself (`NEXT := 0`), awaiting the
+    /// `PRIVILEGE`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already requesting or executing — the system
+    /// model allows "at most one outstanding request" per node
+    /// (Chapter 2), and the runtimes enforce it before calling.
+    pub fn request(&mut self) -> Vec<Action> {
+        assert!(
+            !self.requesting && !self.executing,
+            "protocol bug: {} requested while already requesting or executing",
+            self.me
+        );
+        if self.holding {
+            debug_assert!(self.is_sink(), "a holding node must be a sink (Lemma 1)");
+            self.holding = false;
+            self.executing = true;
+            return vec![Action::Enter];
+        }
+        let to = self
+            .next
+            .expect("a non-holding, non-requesting node always has a NEXT pointer (Lemma 1)");
+        self.requesting = true;
+        self.next = None; // become the new sink
+        vec![Action::Send {
+            to,
+            message: DagMessage::Request {
+                from: self.me,
+                origin: self.me,
+            },
+        }]
+    }
+
+    /// Procedure `P2`: `REQUEST(from, origin)` arrived from neighbor
+    /// `from` on behalf of `origin`.
+    ///
+    /// * Sink and holding: hand the `PRIVILEGE` straight to `origin`.
+    /// * Sink and requesting/executing: remember `origin` in `FOLLOW`
+    ///   (the enqueue of the implicit queue).
+    /// * Not a sink: forward `REQUEST(me, origin)` along `NEXT`.
+    ///
+    /// In every case the node then points `NEXT` at `from`, joining the
+    /// path toward the new sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sink in state `N` receives a request (impossible by
+    /// Lemma 1) or if `FOLLOW` would be overwritten (impossible: a sink
+    /// leaves sink-hood after its first subsequent request).
+    pub fn receive_request(&mut self, from: NodeId, origin: NodeId) -> Vec<Action> {
+        let actions = match self.next {
+            None => {
+                // Sink.
+                if self.holding {
+                    debug_assert!(!self.requesting && !self.executing);
+                    self.holding = false;
+                    vec![Action::Send {
+                        to: origin,
+                        message: DagMessage::Privilege,
+                    }]
+                } else {
+                    assert!(
+                        self.requesting || self.executing,
+                        "protocol bug: sink {} in state N received a request (violates Lemma 1)",
+                        self.me
+                    );
+                    assert!(
+                        self.follow.is_none(),
+                        "protocol bug: {} would overwrite FOLLOW={:?} with {origin}",
+                        self.me,
+                        self.follow
+                    );
+                    self.follow = Some(origin);
+                    Vec::new()
+                }
+            }
+            Some(next) => vec![Action::Send {
+                to: next,
+                message: DagMessage::Request {
+                    from: self.me,
+                    origin,
+                },
+            }],
+        };
+        self.next = Some(from);
+        actions
+    }
+
+    /// Procedure `P1`, second half: the `PRIVILEGE` (token) arrived; the
+    /// blocked request is granted and the node enters its critical
+    /// section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not waiting for the privilege.
+    pub fn receive_privilege(&mut self) -> Vec<Action> {
+        assert!(
+            self.requesting,
+            "protocol bug: PRIVILEGE arrived at {} which is not requesting",
+            self.me
+        );
+        debug_assert!(!self.holding && !self.executing);
+        self.requesting = false;
+        self.executing = true;
+        vec![Action::Enter]
+    }
+
+    /// Procedure `P1`, tail: the local user leaves the critical section.
+    ///
+    /// If `FOLLOW` is set the `PRIVILEGE` is sent there and `FOLLOW`
+    /// cleared; otherwise the node keeps the token (`HOLDING := true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not inside the critical section.
+    pub fn exit(&mut self) -> Vec<Action> {
+        assert!(
+            self.executing,
+            "protocol bug: {} exited the critical section without being inside",
+            self.me
+        );
+        self.executing = false;
+        match self.follow.take() {
+            Some(f) => vec![Action::Send {
+                to: f,
+                message: DagMessage::Privilege,
+            }],
+            None => {
+                self.holding = true;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Chapter 6.4 storage accounting: "Each node maintains three simple
+    /// variables."
+    pub fn storage_words(&self) -> usize {
+        3
+    }
+}
+
+/// Builds the whole system in the paper's initial configuration: `holder`
+/// possesses the token and is the unique sink; every other node's `NEXT`
+/// points along the tree path toward `holder` (the net effect of the
+/// Figure 5 `INIT` flood).
+///
+/// # Panics
+///
+/// Panics if `holder` is out of range for `tree`.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_core::init_nodes;
+/// use dmx_topology::{NodeId, Tree};
+///
+/// let nodes = init_nodes(&Tree::line(4), NodeId(3));
+/// assert!(nodes[3].holding());
+/// assert_eq!(nodes[0].next(), Some(NodeId(1)));
+/// ```
+pub fn init_nodes(tree: &Tree, holder: NodeId) -> Vec<DagNode> {
+    let orientation = tree.orient_toward(holder);
+    tree.nodes()
+        .map(|id| DagNode::from_orientation(&orientation, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NodeState;
+
+    fn holder(id: u32) -> DagNode {
+        DagNode::new(NodeId(id), None)
+    }
+
+    fn pointing(id: u32, next: u32) -> DagNode {
+        DagNode::new(NodeId(id), Some(NodeId(next)))
+    }
+
+    #[test]
+    fn initial_states() {
+        assert_eq!(holder(0).state(), NodeState::H);
+        assert_eq!(pointing(1, 0).state(), NodeState::N);
+    }
+
+    #[test]
+    fn holder_enters_immediately() {
+        // Figure 4, transition 6: H -> E, HOLDING := false.
+        let mut n = holder(0);
+        assert_eq!(n.request(), vec![Action::Enter]);
+        assert_eq!(n.state(), NodeState::E);
+        assert!(!n.holding());
+        assert!(n.is_sink());
+    }
+
+    #[test]
+    fn requester_becomes_sink_and_sends_request() {
+        // Figure 4, transition 1: N -> R.
+        let mut n = pointing(2, 5);
+        let out = n.request();
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(5),
+                message: DagMessage::Request {
+                    from: NodeId(2),
+                    origin: NodeId(2)
+                },
+            }]
+        );
+        assert_eq!(n.state(), NodeState::R);
+        assert!(n.is_sink());
+    }
+
+    #[test]
+    fn requesting_sink_saves_follower() {
+        // Figure 4, transition 2: R -> RF, NEXT := X, FOLLOW := Y.
+        let mut n = pointing(2, 5);
+        n.request();
+        let out = n.receive_request(NodeId(7), NodeId(9));
+        assert!(out.is_empty());
+        assert_eq!(n.state(), NodeState::RF);
+        assert_eq!(n.follow(), Some(NodeId(9)));
+        assert_eq!(n.next(), Some(NodeId(7)));
+    }
+
+    #[test]
+    fn intermediate_node_forwards_and_repoints() {
+        // Figure 4, transition 3 on state N.
+        let mut n = pointing(4, 5);
+        let out = n.receive_request(NodeId(3), NodeId(3));
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(5),
+                message: DagMessage::Request {
+                    from: NodeId(4),
+                    origin: NodeId(3)
+                },
+            }]
+        );
+        assert_eq!(n.next(), Some(NodeId(3)));
+        assert_eq!(n.state(), NodeState::N);
+    }
+
+    #[test]
+    fn requesting_nonsink_forwards_too() {
+        // Figure 4, transition 3 on state RF.
+        let mut n = pointing(2, 5);
+        n.request();
+        n.receive_request(NodeId(7), NodeId(9)); // now RF, NEXT = 7
+        let out = n.receive_request(NodeId(1), NodeId(8));
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(7),
+                message: DagMessage::Request {
+                    from: NodeId(2),
+                    origin: NodeId(8)
+                },
+            }]
+        );
+        assert_eq!(n.next(), Some(NodeId(1)));
+        assert_eq!(
+            n.follow(),
+            Some(NodeId(9)),
+            "FOLLOW untouched by forwarding"
+        );
+    }
+
+    #[test]
+    fn idle_holder_hands_privilege_straight_to_origin() {
+        // Figure 4, transition 8: H -> N; PRIVILEGE goes to Y, not X.
+        let mut n = holder(5);
+        let out = n.receive_request(NodeId(4), NodeId(2));
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(2),
+                message: DagMessage::Privilege
+            }]
+        );
+        assert_eq!(n.state(), NodeState::N);
+        assert_eq!(n.next(), Some(NodeId(4)));
+        assert!(!n.holding());
+    }
+
+    #[test]
+    fn privilege_grants_pending_request() {
+        // Figure 4, transition 4: R -> E.
+        let mut n = pointing(3, 4);
+        n.request();
+        assert_eq!(n.receive_privilege(), vec![Action::Enter]);
+        assert_eq!(n.state(), NodeState::E);
+        assert!(
+            n.is_sink(),
+            "granted node is still the sink until a request arrives"
+        );
+    }
+
+    #[test]
+    fn privilege_to_rf_gives_ef() {
+        // Figure 4, transition 4 on RF -> EF.
+        let mut n = pointing(3, 4);
+        n.request();
+        n.receive_request(NodeId(1), NodeId(6));
+        n.receive_privilege();
+        assert_eq!(n.state(), NodeState::EF);
+    }
+
+    #[test]
+    fn exit_without_follower_keeps_token() {
+        // Figure 4, transition 5: E -> H, HOLDING := true.
+        let mut n = holder(0);
+        n.request();
+        assert!(n.exit().is_empty());
+        assert_eq!(n.state(), NodeState::H);
+        assert!(n.holding());
+    }
+
+    #[test]
+    fn exit_with_follower_sends_privilege() {
+        // Figure 4, transition 7: EF -> N.
+        let mut n = holder(0);
+        n.request(); // E
+        n.receive_request(NodeId(1), NodeId(2)); // EF, FOLLOW = 2
+        let out = n.exit();
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(2),
+                message: DagMessage::Privilege
+            }]
+        );
+        assert_eq!(n.state(), NodeState::N);
+        assert_eq!(n.follow(), None);
+        assert!(!n.holding());
+    }
+
+    #[test]
+    #[should_panic(expected = "already requesting")]
+    fn double_request_is_rejected() {
+        let mut n = pointing(1, 0);
+        n.request();
+        n.request();
+    }
+
+    #[test]
+    #[should_panic(expected = "not requesting")]
+    fn spurious_privilege_is_rejected() {
+        let mut n = pointing(1, 0);
+        n.receive_privilege();
+    }
+
+    #[test]
+    #[should_panic(expected = "without being inside")]
+    fn spurious_exit_is_rejected() {
+        let mut n = pointing(1, 0);
+        n.exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "overwrite FOLLOW")]
+    fn follow_is_never_overwritten() {
+        let mut n = pointing(2, 5);
+        n.request();
+        n.receive_request(NodeId(7), NodeId(9));
+        // Make it a sink again artificially by requesting? Impossible via
+        // API; simulate a duplicated message instead (e.g. a non-FIFO
+        // network duplicating the enqueue):
+        n.next = None;
+        n.receive_request(NodeId(7), NodeId(8));
+    }
+
+    #[test]
+    fn init_nodes_matches_orientation() {
+        let tree = Tree::kary(7, 2);
+        let nodes = init_nodes(&tree, NodeId(3));
+        let orientation = tree.orient_toward(NodeId(3));
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.next(), orientation.next_hop(NodeId::from_index(i)));
+            assert_eq!(n.holding(), i == 3);
+            assert_eq!(n.id(), NodeId::from_index(i));
+        }
+    }
+
+    #[test]
+    fn storage_is_three_words() {
+        assert_eq!(holder(0).storage_words(), 3);
+    }
+
+    #[test]
+    fn fig2_walkthrough() {
+        // Figure 2 (paper numbering 1..=5 -> ours 0..=4):
+        // edges 1-2, 2-4, 3-4, 4-5; node 5 holds the token.
+        let tree = Tree::from_edges(5, &[(0, 1), (1, 3), (2, 3), (3, 4)]).unwrap();
+        let mut nodes = init_nodes(&tree, NodeId(4));
+
+        // 2a: node 5 (ours 4) enters its critical section directly.
+        assert_eq!(nodes[4].request(), vec![Action::Enter]);
+
+        // 2b: node 3 (ours 2) wants the CS; sends REQUEST to node 4 (ours 3).
+        let out = nodes[2].request();
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(3),
+                message: DagMessage::Request {
+                    from: NodeId(2),
+                    origin: NodeId(2)
+                },
+            }]
+        );
+        assert!(nodes[2].is_sink());
+
+        // 2c: node 4 (ours 3) forwards to node 5 (ours 4), NEXT_4 := 3.
+        let out = nodes[3].receive_request(NodeId(2), NodeId(2));
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(4),
+                message: DagMessage::Request {
+                    from: NodeId(3),
+                    origin: NodeId(2)
+                },
+            }]
+        );
+        assert_eq!(nodes[3].next(), Some(NodeId(2)));
+
+        // 2d: node 5 (ours 4) is a sink in its CS: FOLLOW := 3, NEXT := 4.
+        assert!(nodes[4].receive_request(NodeId(3), NodeId(2)).is_empty());
+        assert_eq!(nodes[4].follow(), Some(NodeId(2)));
+        assert_eq!(nodes[4].next(), Some(NodeId(3)));
+
+        // Node 5 leaves its CS: PRIVILEGE to node 3 (ours 2).
+        let out = nodes[4].exit();
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: NodeId(2),
+                message: DagMessage::Privilege
+            }]
+        );
+
+        // 2e: node 3 (ours 2) enters.
+        assert_eq!(nodes[2].receive_privilege(), vec![Action::Enter]);
+        assert!(nodes[2].is_executing());
+    }
+}

@@ -1,0 +1,159 @@
+//! Rendering the DAG state for humans: Graphviz DOT and a compact text
+//! summary.
+//!
+//! The paper's figures draw the logical structure as circles and arrows
+//! with the token holder shaded; [`to_dot`] produces the same picture
+//! mechanically from live node states (solid arrows = `NEXT`, dashed =
+//! `FOLLOW`, doubled circle = token), so any simulation snapshot can be
+//! rendered with `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::node::DagNode;
+use crate::observer::{implicit_queue, token_holder};
+
+/// Renders the node states as a Graphviz `digraph`.
+///
+/// * solid edges — `NEXT` pointers (the request-routing dag);
+/// * dashed edges — `FOLLOW` pointers (the implicit queue);
+/// * double circle — the token holder; filled — executing.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_core::{init_nodes, render::to_dot};
+/// use dmx_topology::{NodeId, Tree};
+///
+/// let nodes = init_nodes(&Tree::line(3), NodeId(2));
+/// let dot = to_dot(&nodes);
+/// assert!(dot.starts_with("digraph dag"));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn to_dot(nodes: &[DagNode]) -> String {
+    let mut out = String::from("digraph dag {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for node in nodes {
+        let id = node.id();
+        let mut attrs: Vec<String> = vec![format!("label=\"{}\"", id.0)];
+        if node.has_token() {
+            attrs.push("shape=doublecircle".to_string());
+        }
+        if node.is_executing() {
+            attrs.push("style=filled".to_string());
+            attrs.push("fillcolor=lightgray".to_string());
+        }
+        let _ = writeln!(out, "  n{} [{}];", id.0, attrs.join(", "));
+    }
+    for node in nodes {
+        if let Some(next) = node.next() {
+            let _ = writeln!(out, "  n{} -> n{};", node.id().0, next.0);
+        }
+        if let Some(follow) = node.follow() {
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=dashed, constraint=false];",
+                node.id().0,
+                follow.0
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// One-line-per-node text summary plus the implicit queue — the same
+/// information as the paper's per-step variable tables.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_core::{init_nodes, render::summary};
+/// use dmx_topology::{NodeId, Tree};
+///
+/// let text = summary(&init_nodes(&Tree::line(2), NodeId(0)));
+/// assert!(text.contains("n0"));
+/// assert!(text.contains("queue: []"));
+/// ```
+pub fn summary(nodes: &[DagNode]) -> String {
+    let mut out = String::new();
+    for node in nodes {
+        let _ = writeln!(
+            out,
+            "{} [{}] holding={} next={} follow={}",
+            node.id(),
+            node.state(),
+            node.holding(),
+            node.next()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+            node.follow()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    let holder = token_holder(nodes)
+        .map(|h| h.to_string())
+        .unwrap_or_else(|| "in transit".into());
+    let queue: Vec<String> = implicit_queue(nodes)
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    let _ = writeln!(out, "token: {holder}  queue: [{}]", queue.join(", "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::init_nodes;
+    use dmx_topology::{NodeId, Tree};
+
+    fn busy_system() -> Vec<DagNode> {
+        let tree = Tree::star(4);
+        let mut nodes = init_nodes(&tree, NodeId(1));
+        nodes[1].request(); // holder enters
+        nodes[2].request();
+        nodes[0].receive_request(NodeId(2), NodeId(2));
+        nodes[1].receive_request(NodeId(0), NodeId(2)); // FOLLOW_1 = 2
+        nodes
+    }
+
+    #[test]
+    fn dot_marks_holder_and_edges() {
+        let nodes = busy_system();
+        let dot = to_dot(&nodes);
+        assert!(dot.contains("n1 [label=\"1\", shape=doublecircle, style=filled"));
+        assert!(
+            dot.contains("n1 -> n2 [style=dashed"),
+            "FOLLOW edge rendered: {dot}"
+        );
+        assert!(dot.contains("n0 -> n2;"), "re-pointed NEXT edge: {dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_quiescent_has_no_dashed_edges() {
+        let nodes = init_nodes(&Tree::kary(5, 2), NodeId(0));
+        let dot = to_dot(&nodes);
+        assert!(!dot.contains("dashed"));
+        // N-1 NEXT edges.
+        assert_eq!(dot.matches(" -> ").count(), 4);
+    }
+
+    #[test]
+    fn summary_shows_queue_and_states() {
+        let nodes = busy_system();
+        let text = summary(&nodes);
+        assert!(text.contains("token: n1"));
+        assert!(text.contains("queue: [n2]"));
+        assert!(text.contains("[EF]"), "holder with follower is EF: {text}");
+    }
+
+    #[test]
+    fn summary_reports_token_in_transit() {
+        let tree = Tree::line(2);
+        let mut nodes = init_nodes(&tree, NodeId(0));
+        nodes[1].request();
+        nodes[0].receive_request(NodeId(1), NodeId(1)); // privilege leaves node 0
+        assert!(summary(&nodes).contains("token: in transit"));
+    }
+}

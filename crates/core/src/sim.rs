@@ -1,0 +1,334 @@
+use dmx_simnet::{Ctx, Protocol};
+use dmx_topology::{NodeId, Tree};
+
+use crate::message::DagMessage;
+use crate::node::{Action, DagNode};
+
+/// Adapter running a [`DagNode`] under the `dmx-simnet` discrete-event
+/// engine, optionally performing the paper's Figure 5 `INITIALIZE` flood.
+///
+/// Two start-up modes exist:
+///
+/// * [`DagProtocol::cluster`] — every node is born already oriented
+///   toward the token holder (the fixed point the flood reaches);
+/// * [`DagProtocol::cluster_with_flood`] — only the token holder knows it
+///   holds the token; `INITIALIZE(I)` messages propagate outward over the
+///   tree and orient each `NEXT` pointer, exactly as Figure 5 prescribes.
+///   Run the engine to quiescence (and usually
+///   [`reset_metrics`](dmx_simnet::Engine::reset_metrics)) before issuing
+///   requests.
+///
+/// # Examples
+///
+/// Three messages suffice on the paper's optimal star topology:
+///
+/// ```
+/// use dmx_core::DagProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::{NodeId, Tree};
+///
+/// let star = Tree::star(8);
+/// let nodes = DagProtocol::cluster(&star, NodeId(3)); // leaf 3 holds the token
+/// let mut engine = Engine::new(nodes, EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(5)); // another leaf asks
+/// let report = engine.run_to_quiescence()?;
+/// // REQUEST 5->0, REQUEST 0->3, PRIVILEGE 3->5: the paper's bound of 3.
+/// assert_eq!(report.metrics.messages_total, 3);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DagProtocol {
+    me: NodeId,
+    /// `None` until initialization completes (flood mode only).
+    node: Option<DagNode>,
+    /// Tree neighbors; used only to propagate the flood.
+    neighbors: Vec<NodeId>,
+    /// This node starts the flood because it holds the token.
+    flood_root: bool,
+}
+
+impl DagProtocol {
+    /// One pre-oriented node; see [`DagProtocol::cluster`] for whole
+    /// systems.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_core::DagProtocol;
+    /// use dmx_topology::{NodeId, Tree};
+    ///
+    /// let orientation = Tree::line(3).orient_toward(NodeId(0));
+    /// let p = DagProtocol::oriented(&orientation, NodeId(2));
+    /// assert_eq!(p.node().next(), Some(NodeId(1)));
+    /// ```
+    pub fn oriented(orientation: &dmx_topology::Orientation, me: NodeId) -> Self {
+        DagProtocol {
+            me,
+            node: Some(DagNode::from_orientation(orientation, me)),
+            neighbors: Vec::new(),
+            flood_root: false,
+        }
+    }
+
+    /// A full system in the paper's initial configuration (already
+    /// oriented, no start-up traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holder` is out of range.
+    pub fn cluster(tree: &Tree, holder: NodeId) -> Vec<Self> {
+        let orientation = tree.orient_toward(holder);
+        tree.nodes()
+            .map(|id| DagProtocol::oriented(&orientation, id))
+            .collect()
+    }
+
+    /// A full system that orients itself with the Figure 5 `INITIALIZE`
+    /// flood: `holder` starts initialized and floods its neighbors; all
+    /// other nodes learn their `NEXT` pointer from the first (only)
+    /// `INITIALIZE` they receive and forward the flood away from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holder` is out of range.
+    pub fn cluster_with_flood(tree: &Tree, holder: NodeId) -> Vec<Self> {
+        tree.nodes()
+            .map(|id| {
+                let neighbors = tree.neighbors(id).to_vec();
+                if id == holder {
+                    DagProtocol {
+                        me: id,
+                        node: Some(DagNode::new(id, None)),
+                        neighbors,
+                        flood_root: true,
+                    }
+                } else {
+                    DagProtocol {
+                        me: id,
+                        node: None,
+                        neighbors,
+                        flood_root: false,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// `true` once the node knows its `NEXT` pointer (always true in
+    /// pre-oriented mode).
+    pub fn is_initialized(&self) -> bool {
+        self.node.is_some()
+    }
+
+    /// The underlying pure state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flood has not reached this node yet.
+    pub fn node(&self) -> &DagNode {
+        self.node
+            .as_ref()
+            .expect("node not initialized: run the INITIALIZE flood to quiescence first")
+    }
+
+    fn apply(actions: Vec<Action>, ctx: &mut Ctx<'_, DagMessage>) {
+        for action in actions {
+            match action {
+                Action::Send { to, message } => ctx.send(to, message),
+                Action::Enter => ctx.enter_cs(),
+            }
+        }
+    }
+}
+
+impl Protocol for DagProtocol {
+    type Message = DagMessage;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, DagMessage>) {
+        if self.flood_root {
+            for &n in &self.neighbors {
+                ctx.send(n, DagMessage::Initialize);
+            }
+        }
+    }
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, DagMessage>) {
+        let node = self
+            .node
+            .as_mut()
+            .expect("request before initialization completed");
+        Self::apply(node.request(), ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: DagMessage, ctx: &mut Ctx<'_, DagMessage>) {
+        match msg {
+            DagMessage::Initialize => {
+                assert!(
+                    self.node.is_none(),
+                    "protocol bug: duplicate INITIALIZE at {} (not a tree?)",
+                    self.me
+                );
+                self.node = Some(DagNode::new(self.me, Some(from)));
+                for &n in &self.neighbors {
+                    if n != from {
+                        ctx.send(n, DagMessage::Initialize);
+                    }
+                }
+            }
+            DagMessage::Request { from: link, origin } => {
+                debug_assert_eq!(link, from, "REQUEST's X field must match the wire sender");
+                let node = self.node.as_mut().expect("message before initialization");
+                Self::apply(node.receive_request(from, origin), ctx);
+            }
+            DagMessage::Privilege => {
+                let node = self.node.as_mut().expect("message before initialization");
+                Self::apply(node.receive_privilege(), ctx);
+            }
+        }
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, DagMessage>) {
+        let node = self.node.as_mut().expect("exit before initialization");
+        Self::apply(node.exit(), ctx);
+    }
+
+    fn storage_words(&self) -> usize {
+        // HOLDING, NEXT, FOLLOW — Chapter 6.4.
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_simnet::{Engine, EngineConfig, Time};
+
+    #[test]
+    fn line_request_from_far_end_costs_n_messages() {
+        // Chapter 6.1: "in the straight line topology, the upper bound is
+        // N": D = N-1 REQUEST hops plus one PRIVILEGE.
+        for n in [2usize, 3, 5, 8, 13] {
+            let tree = Tree::line(n);
+            let nodes = DagProtocol::cluster(&tree, NodeId::from_index(n - 1));
+            let mut engine = Engine::new(nodes, EngineConfig::default());
+            engine.request_at(Time(0), NodeId(0));
+            let report = engine.run_to_quiescence().unwrap();
+            assert_eq!(report.metrics.messages_total as usize, n, "line of {n}");
+            assert_eq!(report.metrics.kind_count("REQUEST") as usize, n - 1);
+            assert_eq!(report.metrics.kind_count("PRIVILEGE"), 1);
+        }
+    }
+
+    #[test]
+    fn star_request_costs_at_most_three_messages() {
+        // Chapter 6.1: "In the best topology, the upper bound is 3."
+        let tree = Tree::star(10);
+        // Worst placement: token at a leaf, requester another leaf.
+        let nodes = DagProtocol::cluster(&tree, NodeId(9));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(1));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.messages_total, 3);
+    }
+
+    #[test]
+    fn flood_initializes_every_node_with_n_minus_1_messages() {
+        let tree = Tree::kary(13, 3);
+        let holder = NodeId(6);
+        let nodes = DagProtocol::cluster_with_flood(&tree, holder);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        let report = engine.run_to_quiescence().unwrap();
+        // Each non-holder receives exactly one INITIALIZE.
+        assert_eq!(report.metrics.messages_total as usize, tree.len() - 1);
+        let orientation = tree.orient_toward(holder);
+        for id in tree.nodes() {
+            let p = engine.node(id);
+            assert!(p.is_initialized());
+            assert_eq!(p.node().next(), orientation.next_hop(id), "node {id}");
+            assert_eq!(p.node().holding(), id == holder);
+        }
+    }
+
+    #[test]
+    fn flood_then_requests_behave_identically_to_preoriented() {
+        let tree = Tree::caterpillar(4, 2);
+        let holder = NodeId(2);
+        let run = |nodes: Vec<DagProtocol>| {
+            let mut engine = Engine::new(nodes, EngineConfig::default());
+            engine.run_to_quiescence().unwrap();
+            engine.reset_metrics();
+            for (t, node) in [(10u64, 5u32), (10, 7), (12, 0)] {
+                engine.request_at(Time(t), NodeId(node));
+            }
+            let report = engine.run_to_quiescence().unwrap();
+            (report.metrics.messages_total, report.metrics.grant_order())
+        };
+        let flooded = run(DagProtocol::cluster_with_flood(&tree, holder));
+        let oriented = run(DagProtocol::cluster(&tree, holder));
+        assert_eq!(flooded, oriented);
+    }
+
+    #[test]
+    fn saturated_star_has_unit_sync_delay() {
+        // Chapter 6.3: hand-offs cost exactly one sequential PRIVILEGE
+        // message. With one-tick hops, the sequential chain length equals
+        // the elapsed ticks between exit and next entry.
+        let tree = Tree::star(6);
+        let nodes = DagProtocol::cluster(&tree, NodeId(0));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..6u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 6);
+        assert_eq!(report.metrics.sync_delays.len(), 5);
+        for s in &report.metrics.sync_delays {
+            assert_eq!(
+                s.elapsed,
+                Time(1),
+                "sync delay must be one sequential message"
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_line_also_has_unit_sync_delay() {
+        // The DAG algorithm's sync delay is 1 on *every* topology — this
+        // is what beats Raymond (whose delay grows with the diameter).
+        let tree = Tree::line(7);
+        let nodes = DagProtocol::cluster(&tree, NodeId(0));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..7u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        for s in &report.metrics.sync_delays {
+            assert_eq!(s.elapsed, Time(1));
+        }
+    }
+
+    #[test]
+    fn every_node_eventually_enters_under_churn() {
+        let tree = Tree::kary(9, 2);
+        let nodes = DagProtocol::cluster(&tree, NodeId(4));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for round in 0..3u64 {
+            for i in 0..9u32 {
+                engine.request_at(Time(round * 100 + i as u64), NodeId(i));
+            }
+            engine.run_to_quiescence().unwrap();
+        }
+        assert_eq!(engine.metrics().cs_entries, 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "request before initialization")]
+    fn requesting_before_flood_completes_is_a_bug() {
+        let tree = Tree::line(3);
+        let nodes = DagProtocol::cluster_with_flood(&tree, NodeId(0));
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        // Flood needs 1 tick per hop; node 2 is uninitialized at t = 0.
+        engine.request_at(Time(0), NodeId(2));
+        let _ = engine.run_to_quiescence();
+    }
+}

@@ -1,0 +1,144 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The six node states of the paper's Figure 4 state transition graph.
+///
+/// The state is *derived* from the node's variables (plus whether the
+/// local user is waiting or inside the critical section); it is exposed
+/// for observability and for the Figure 4 conformance tests, not stored.
+///
+/// | State | Meaning (paper's wording) |
+/// |-------|----------------------------|
+/// | `N`   | not requesting and not holding the token |
+/// | `R`   | requesting, no subsequent request received |
+/// | `RF`  | requesting, and a subsequent request was received (`FOLLOW` set) |
+/// | `E`   | executing in its critical section, no subsequent request |
+/// | `EF`  | executing, and a subsequent request was received |
+/// | `H`   | holding the token with no requests for it |
+///
+/// Sink states (`NEXT = 0` in the paper, [`None`] here) are exactly
+/// `R`, `E`, and `H` — Lemma 1.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_core::NodeState;
+///
+/// assert!(NodeState::H.holds_token());
+/// assert!(NodeState::RF.is_requesting());
+/// assert_eq!(NodeState::EF.to_string(), "EF");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Not requesting, not holding.
+    N,
+    /// Requesting; `FOLLOW` clear.
+    R,
+    /// Requesting; `FOLLOW` set.
+    RF,
+    /// Executing in the critical section; `FOLLOW` clear.
+    E,
+    /// Executing in the critical section; `FOLLOW` set.
+    EF,
+    /// Holding the token, idle.
+    H,
+}
+
+impl NodeState {
+    /// `true` when the node possesses the token in this state (executing
+    /// or holding idle).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_core::NodeState;
+    /// assert!(NodeState::E.holds_token());
+    /// assert!(!NodeState::R.holds_token());
+    /// ```
+    pub fn holds_token(self) -> bool {
+        matches!(self, NodeState::E | NodeState::EF | NodeState::H)
+    }
+
+    /// `true` when the local user is waiting for the privilege.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_core::NodeState;
+    /// assert!(NodeState::R.is_requesting());
+    /// assert!(!NodeState::H.is_requesting());
+    /// ```
+    pub fn is_requesting(self) -> bool {
+        matches!(self, NodeState::R | NodeState::RF)
+    }
+
+    /// `true` when the local user is inside the critical section.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_core::NodeState;
+    /// assert!(NodeState::EF.is_executing());
+    /// assert!(!NodeState::N.is_executing());
+    /// ```
+    pub fn is_executing(self) -> bool {
+        matches!(self, NodeState::E | NodeState::EF)
+    }
+
+    /// `true` when a follower is recorded (`FOLLOW` set).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_core::NodeState;
+    /// assert!(NodeState::RF.has_follower());
+    /// assert!(!NodeState::R.has_follower());
+    /// ```
+    pub fn has_follower(self) -> bool {
+        matches!(self, NodeState::RF | NodeState::EF)
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeState::N => "N",
+            NodeState::R => "R",
+            NodeState::RF => "RF",
+            NodeState::E => "E",
+            NodeState::EF => "EF",
+            NodeState::H => "H",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_partition_the_states() {
+        use NodeState::*;
+        for s in [N, R, RF, E, EF, H] {
+            // A node never both requests and holds the token.
+            assert!(!(s.is_requesting() && s.holds_token()), "{s}");
+            // Executing implies holding.
+            if s.is_executing() {
+                assert!(s.holds_token());
+            }
+            // Followers exist only while requesting or executing.
+            if s.has_follower() {
+                assert!(s.is_requesting() || s.is_executing());
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        use NodeState::*;
+        let labels: Vec<String> = [N, R, RF, E, EF, H].iter().map(|s| s.to_string()).collect();
+        assert_eq!(labels, ["N", "R", "RF", "E", "EF", "H"]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Model-based conformance against the paper's Figure 4 state
+//! transition graph: for every (state, input) pair, either the figure
+//! defines a transition — whose target state and outputs we assert — or
+//! the input is impossible in that state, in which case the state
+//! machine must reject it loudly (panic) rather than corrupt itself.
+//!
+//! States: N, R, RF, E, EF, H. Inputs: the local user requests (1/6),
+//! a REQUEST arrives (2/3/8), a PRIVILEGE arrives (4), the local user
+//! exits (5/7). Transition numbers follow the figure's legend.
+
+use dmx_core::{Action, DagMessage, DagNode, NodeState};
+use dmx_topology::NodeId;
+
+const ME: NodeId = NodeId(0);
+const NEIGHBOR: NodeId = NodeId(1);
+const ORIGIN: NodeId = NodeId(2);
+
+/// Builds a node in the requested Figure 4 state.
+fn node_in(state: NodeState) -> DagNode {
+    match state {
+        NodeState::N => DagNode::new(ME, Some(NEIGHBOR)),
+        NodeState::H => DagNode::new(ME, None),
+        NodeState::R => {
+            let mut n = DagNode::new(ME, Some(NEIGHBOR));
+            n.request();
+            n
+        }
+        NodeState::RF => {
+            let mut n = DagNode::new(ME, Some(NEIGHBOR));
+            n.request();
+            n.receive_request(NEIGHBOR, ORIGIN);
+            n
+        }
+        NodeState::E => {
+            let mut n = DagNode::new(ME, None);
+            n.request();
+            n
+        }
+        NodeState::EF => {
+            let mut n = DagNode::new(ME, None);
+            n.request();
+            n.receive_request(NEIGHBOR, ORIGIN);
+            n
+        }
+    }
+}
+
+#[test]
+fn builders_reach_their_states() {
+    use NodeState::*;
+    for s in [N, R, RF, E, EF, H] {
+        assert_eq!(node_in(s).state(), s, "builder for {s}");
+    }
+}
+
+#[test]
+fn transition_1_request_from_n() {
+    let mut n = node_in(NodeState::N);
+    let out = n.request();
+    assert_eq!(n.state(), NodeState::R);
+    assert_eq!(
+        out,
+        vec![Action::Send {
+            to: NEIGHBOR,
+            message: DagMessage::Request {
+                from: ME,
+                origin: ME
+            },
+        }]
+    );
+}
+
+#[test]
+fn transition_6_request_from_h() {
+    let mut n = node_in(NodeState::H);
+    let out = n.request();
+    assert_eq!(n.state(), NodeState::E);
+    assert_eq!(out, vec![Action::Enter]);
+}
+
+#[test]
+fn transition_2_sink_request_in_r_and_e() {
+    // R --REQUEST--> RF: store the follower.
+    let mut n = node_in(NodeState::R);
+    let out = n.receive_request(NEIGHBOR, ORIGIN);
+    assert_eq!(n.state(), NodeState::RF);
+    assert!(out.is_empty());
+    assert_eq!(n.follow(), Some(ORIGIN));
+    // E --REQUEST--> EF likewise.
+    let mut n = node_in(NodeState::E);
+    let out = n.receive_request(NEIGHBOR, ORIGIN);
+    assert_eq!(n.state(), NodeState::EF);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn transition_3_forwarding_in_nonsink_states() {
+    // N, RF, EF are the non-sink states: a REQUEST is forwarded along
+    // NEXT and NEXT repoints to the wire sender.
+    for state in [NodeState::N, NodeState::RF, NodeState::EF] {
+        let mut n = node_in(state);
+        let old_next = n.next().expect("non-sink");
+        let sender = NodeId(5);
+        let out = n.receive_request(sender, NodeId(4));
+        assert_eq!(n.state(), state, "forwarding does not change the state");
+        assert_eq!(n.next(), Some(sender));
+        assert_eq!(
+            out,
+            vec![Action::Send {
+                to: old_next,
+                message: DagMessage::Request {
+                    from: ME,
+                    origin: NodeId(4)
+                },
+            }]
+        );
+    }
+}
+
+#[test]
+fn transition_8_request_in_h() {
+    let mut n = node_in(NodeState::H);
+    let out = n.receive_request(NEIGHBOR, ORIGIN);
+    assert_eq!(n.state(), NodeState::N);
+    assert_eq!(n.next(), Some(NEIGHBOR));
+    assert_eq!(
+        out,
+        vec![Action::Send {
+            to: ORIGIN,
+            message: DagMessage::Privilege
+        }]
+    );
+}
+
+#[test]
+fn transition_4_privilege_in_r_and_rf() {
+    let mut n = node_in(NodeState::R);
+    assert_eq!(n.receive_privilege(), vec![Action::Enter]);
+    assert_eq!(n.state(), NodeState::E);
+
+    let mut n = node_in(NodeState::RF);
+    assert_eq!(n.receive_privilege(), vec![Action::Enter]);
+    assert_eq!(n.state(), NodeState::EF);
+}
+
+#[test]
+fn transition_5_exit_without_follower() {
+    let mut n = node_in(NodeState::E);
+    assert!(n.exit().is_empty());
+    assert_eq!(n.state(), NodeState::H);
+}
+
+#[test]
+fn transition_7_exit_with_follower() {
+    let mut n = node_in(NodeState::EF);
+    let out = n.exit();
+    assert_eq!(n.state(), NodeState::N);
+    assert_eq!(
+        out,
+        vec![Action::Send {
+            to: ORIGIN,
+            message: DagMessage::Privilege
+        }]
+    );
+}
+
+// ---- Illegal (state, input) pairs: Figure 4 defines no arrow; the
+// ---- implementation must refuse rather than guess.
+
+fn panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(f).is_err()
+}
+
+#[test]
+fn illegal_requests_are_rejected() {
+    // The local user may only request from N or H.
+    for state in [NodeState::R, NodeState::RF, NodeState::E, NodeState::EF] {
+        assert!(
+            panics(move || {
+                let mut n = node_in(state);
+                n.request();
+            }),
+            "request must be rejected in {state}"
+        );
+    }
+}
+
+#[test]
+fn illegal_privileges_are_rejected() {
+    // PRIVILEGE may only arrive while requesting (R / RF).
+    for state in [NodeState::N, NodeState::E, NodeState::EF, NodeState::H] {
+        assert!(
+            panics(move || {
+                let mut n = node_in(state);
+                n.receive_privilege();
+            }),
+            "privilege must be rejected in {state}"
+        );
+    }
+}
+
+#[test]
+fn illegal_exits_are_rejected() {
+    // Exit only makes sense while executing (E / EF).
+    for state in [NodeState::N, NodeState::R, NodeState::RF, NodeState::H] {
+        assert!(
+            panics(move || {
+                let mut n = node_in(state);
+                n.exit();
+            }),
+            "exit must be rejected in {state}"
+        );
+    }
+}
+
+#[test]
+fn every_state_input_pair_is_covered() {
+    // Exhaustiveness bookkeeping: 6 states x 4 input classes = 24 pairs.
+    // 12 legal (asserted above): request in {N,H}; REQUEST in all 6;
+    // PRIVILEGE in {R,RF}; exit in {E,EF}.
+    // 12 illegal (asserted above): request in {R,RF,E,EF};
+    // PRIVILEGE in {N,E,EF,H}; exit in {N,R,RF,H}.
+    let legal = 2 + 6 + 2 + 2;
+    let illegal = 4 + 4 + 4;
+    assert_eq!(legal + illegal, 24);
+}

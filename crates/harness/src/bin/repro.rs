@@ -1,0 +1,83 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p dmx-harness --bin repro            # everything
+//! cargo run --release -p dmx-harness --bin repro -- tab6_1  # one experiment
+//! cargo run --release -p dmx-harness --bin repro -- --list  # experiment ids
+//! ```
+
+use dmx_harness::experiments;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig2", "Figure 2 walkthrough (state tables per step)"),
+    ("fig6", "Figure 6 complete example (state tables per step)"),
+    ("tab6_1", "Chapter 6.1 upper bounds"),
+    ("tab6_2", "Chapter 6.2 average bound on the star"),
+    ("tab6_3", "Chapter 6.3 synchronization delay"),
+    ("tab6_4", "Chapter 6.4 storage overhead"),
+    ("fig8", "Figure 8 topology sweep"),
+    ("ext_load", "extension: load sweep"),
+    ("ext_scale", "extension: N scaling sweep"),
+    ("ext_hub", "extension: weighted hub placement"),
+    ("ext_fair", "extension: per-node fairness"),
+];
+
+fn run_one(id: &str) -> bool {
+    match id {
+        "fig2" => {
+            for t in experiments::traces::fig2() {
+                println!("{t}");
+            }
+        }
+        "fig6" => {
+            for t in experiments::traces::fig6() {
+                println!("{t}");
+            }
+            println!(
+                "Implicit queue at step 6g (paper numbering): {:?} — the paper reads \"2, 1, 5\"\n",
+                experiments::traces::fig6_implicit_queue_paper_numbering()
+            );
+        }
+        "tab6_1" => println!("{}", experiments::upper_bound::run(13)),
+        "tab6_2" => println!(
+            "{}",
+            experiments::average_bound::run(&[2, 4, 8, 16, 32, 64, 128])
+        ),
+        "tab6_3" => println!("{}", experiments::sync_delay::run(13, 8)),
+        "tab6_4" => println!("{}", experiments::storage::run(16)),
+        "fig8" => println!("{}", experiments::topology_sweep::run()),
+        "ext_load" => println!(
+            "{}",
+            experiments::load_sweep::run(16, &[2000, 500, 100, 20, 5, 1], 12)
+        ),
+        "ext_scale" => println!("{}", experiments::scaling::run(&[4, 8, 16, 32, 64], 3)),
+        "ext_hub" => println!(
+            "{}",
+            experiments::hub_placement::run(10, dmx_topology::NodeId(7), 0.6, 4_000)
+        ),
+        "ext_fair" => println!("{}", experiments::fairness::run(10, 6)),
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, desc) in EXPERIMENTS {
+            println!("{id:10} {desc}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() {
+        EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        if !run_one(id) {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! `ext_fair` — fairness of critical-section service.
+//!
+//! The paper proves starvation freedom (Chapter 5.2); this extension
+//! quantifies *how evenly* the algorithms serve under saturation: the
+//! spread of per-node mean waiting times. Token-circulating algorithms
+//! serve in structural order (FOLLOW chain / token queue / circular
+//! scan); timestamp algorithms serve in clock order. All should keep the
+//! max/min node-wait ratio modest; a large ratio would flag a bias the
+//! correctness proofs do not rule out.
+
+use dmx_simnet::metrics::Metrics;
+use dmx_simnet::EngineConfig;
+use dmx_topology::{NodeId, Tree};
+use dmx_workload::Saturated;
+
+use crate::table::fmt_f64;
+use crate::{run_algorithm, Algorithm, Scenario, Table};
+
+/// Per-node mean waits from a run's grant log.
+pub fn node_mean_waits(metrics: &Metrics, n: usize) -> Vec<f64> {
+    let mut total = vec![0.0; n];
+    let mut count = vec![0u64; n];
+    for g in &metrics.grants {
+        total[g.node.index()] += g.wait().ticks() as f64;
+        count[g.node.index()] += 1;
+    }
+    (0..n)
+        .map(|i| {
+            if count[i] == 0 {
+                0.0
+            } else {
+                total[i] / count[i] as f64
+            }
+        })
+        .collect()
+}
+
+/// Runs `algo` saturated and returns `(overall mean wait, max node mean,
+/// min node mean)`.
+pub fn measure(algo: Algorithm, n: usize, rounds: u32) -> (f64, f64, f64) {
+    let tree = Tree::star(n);
+    let config = EngineConfig {
+        record_trace: false,
+        ..EngineConfig::default()
+    };
+    let scenario = Scenario {
+        tree: &tree,
+        holder: NodeId(0),
+        config,
+    };
+    let metrics = run_algorithm(algo, &scenario, &mut Saturated::new(rounds))
+        .expect("saturated workload cannot starve");
+    let waits = node_mean_waits(&metrics, n);
+    let mean = metrics.mean_wait_ticks().unwrap_or(0.0);
+    let max = waits.iter().copied().fold(f64::MIN, f64::max);
+    let min = waits.iter().copied().fold(f64::MAX, f64::min);
+    (mean, max, min)
+}
+
+/// Regenerates the fairness comparison.
+///
+/// # Examples
+///
+/// ```
+/// let t = dmx_harness::experiments::fairness::run(6, 3);
+/// assert_eq!(t.len(), 9);
+/// ```
+pub fn run(n: usize, rounds: u32) -> Table {
+    let mut table = Table::new(
+        &format!("Fairness — per-node mean waiting time under saturation (star, N = {n})"),
+        &[
+            "algorithm",
+            "mean wait",
+            "hottest node",
+            "coldest node",
+            "max/min",
+        ],
+    );
+    for algo in Algorithm::ALL {
+        let (mean, max, min) = measure(algo, n, rounds);
+        let ratio = if min > 0.0 { max / min } else { f64::NAN };
+        table.row(&[
+            algo.name().to_string(),
+            fmt_f64(mean),
+            fmt_f64(max),
+            fmt_f64(min),
+            fmt_f64(ratio),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_spread_is_modest() {
+        let (_, max, min) = measure(Algorithm::Dag, 8, 6);
+        assert!(min > 0.0);
+        assert!(max / min < 3.0, "dag wait spread {max:.1}/{min:.1}");
+    }
+
+    #[test]
+    fn nobody_starves_relative_to_peers() {
+        // A max/min node-wait ratio above 10 under a symmetric saturated
+        // workload would indicate systematic bias.
+        for algo in Algorithm::ALL {
+            let (_, max, min) = measure(algo, 8, 5);
+            assert!(min > 0.0, "{}: a node never waited?", algo.name());
+            assert!(
+                max / min < 10.0,
+                "{}: spread {max:.1}/{min:.1} looks like starvation bias",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn waits_grow_with_contention() {
+        let (mean_small, _, _) = measure(Algorithm::Dag, 4, 4);
+        let (mean_large, _, _) = measure(Algorithm::Dag, 16, 4);
+        assert!(mean_large > mean_small, "more waiters, longer waits");
+    }
+}

@@ -1,0 +1,122 @@
+//! `ext_load` — messages per entry as offered load rises.
+//!
+//! Chapter 6.2 closes with: "Under heavy demand, the performance is
+//! about the same, i.e., at most three messages per critical section
+//! entry" (DAG vs centralized). This sweep drives a closed-loop
+//! think-time workload from near-idle to saturation and reports messages
+//! per entry for the four headline algorithms, exposing the shapes the
+//! paper describes: DAG and centralized flat near 3, Raymond near 4,
+//! Suzuki–Kasami pinned at ~N by its broadcast.
+
+use dmx_simnet::{EngineConfig, LatencyModel, Time};
+use dmx_topology::{NodeId, Tree};
+use dmx_workload::ThinkTime;
+
+use crate::table::fmt_f64;
+use crate::{run_algorithm, Algorithm, Scenario, Table};
+
+/// Algorithms shown in the sweep.
+pub const ALGOS: [Algorithm; 4] = [
+    Algorithm::Dag,
+    Algorithm::Centralized,
+    Algorithm::Raymond,
+    Algorithm::SuzukiKasami,
+];
+
+/// Measures messages per entry for `algo` on a star of `n` nodes with
+/// exponential think times of the given mean.
+pub fn measure(algo: Algorithm, n: usize, mean_think: u64, rounds: u32, seed: u64) -> f64 {
+    let tree = Tree::star(n);
+    let config = EngineConfig {
+        record_trace: false,
+        seed,
+        ..EngineConfig::default()
+    };
+    let scenario = Scenario {
+        tree: &tree,
+        holder: NodeId(0),
+        config,
+    };
+    let mut workload = ThinkTime::new(
+        LatencyModel::Exponential {
+            mean: Time(mean_think),
+        },
+        rounds,
+        seed,
+    );
+    run_algorithm(algo, &scenario, &mut workload)
+        .expect("closed-loop workload cannot starve")
+        .messages_per_entry()
+}
+
+/// Regenerates the load sweep on a star of `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// let t = dmx_harness::experiments::load_sweep::run(8, &[500, 5], 5);
+/// assert_eq!(t.len(), 2);
+/// ```
+pub fn run(n: usize, mean_thinks: &[u64], rounds: u32) -> Table {
+    let mut table = Table::new(
+        &format!("Load sweep — messages per entry vs offered load (star, N = {n})"),
+        &[
+            "mean think (ticks)",
+            "dag",
+            "centralized",
+            "raymond",
+            "suzuki-kasami",
+        ],
+    );
+    for &think in mean_thinks {
+        let cells: Vec<String> = std::iter::once(think.to_string())
+            .chain(
+                ALGOS
+                    .iter()
+                    .map(|&a| fmt_f64(measure(a, n, think, rounds, 17))),
+            )
+            .collect();
+        table.row(&cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_demand_keeps_dag_at_three_messages() {
+        // Saturation: think time 1 tick.
+        let m = measure(Algorithm::Dag, 16, 1, 10, 3);
+        assert!(m <= 3.0 + 0.2, "dag heavy-load messages/entry {m} > ~3");
+    }
+
+    #[test]
+    fn suzuki_kasami_stays_near_n() {
+        let n = 12;
+        let m = measure(Algorithm::SuzukiKasami, n, 1, 6, 3);
+        assert!(m > (n as f64) * 0.7, "broadcast cost {m} unexpectedly low");
+        assert!(m <= n as f64 + 0.01);
+    }
+
+    #[test]
+    fn dag_tracks_centralized_across_loads() {
+        // The 6.2 claim: "the performance is about the same".
+        for think in [1000u64, 50, 1] {
+            let dag = measure(Algorithm::Dag, 10, think, 8, 5);
+            let central = measure(Algorithm::Centralized, 10, think, 8, 5);
+            assert!(
+                (dag - central).abs() <= 1.0,
+                "think {think}: dag {dag} vs centralized {central}"
+            );
+        }
+    }
+
+    #[test]
+    fn raymond_costs_more_than_dag_on_the_star() {
+        let dag = measure(Algorithm::Dag, 12, 10, 8, 11);
+        let ray = measure(Algorithm::Raymond, 12, 10, 8, 11);
+        assert!(dag <= ray + 0.1, "dag {dag} vs raymond {ray}");
+    }
+}

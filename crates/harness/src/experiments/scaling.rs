@@ -1,0 +1,102 @@
+//! `ext_scale` — messages per entry as the system grows.
+//!
+//! The complexity classes the Chapter 6.1 formulas predict — constant
+//! (DAG, Raymond, centralized on the star), `√N` (Maekawa), linear
+//! (Suzuki–Kasami, Singhal under load, Ricart–Agrawala,
+//! Carvalho–Roucairol under contention) and `3N` (Lamport) — made
+//! visible by sweeping `N` under a saturated workload.
+
+use dmx_simnet::EngineConfig;
+use dmx_topology::{NodeId, Tree};
+use dmx_workload::Saturated;
+
+use crate::table::fmt_f64;
+use crate::{run_algorithm, Algorithm, Scenario, Table};
+
+/// Saturated messages-per-entry for `algo` on a star of `n` nodes.
+pub fn measure(algo: Algorithm, n: usize, rounds: u32) -> f64 {
+    let tree = Tree::star(n);
+    let config = EngineConfig {
+        record_trace: false,
+        ..EngineConfig::default()
+    };
+    let scenario = Scenario {
+        tree: &tree,
+        holder: NodeId(0),
+        config,
+    };
+    run_algorithm(algo, &scenario, &mut Saturated::new(rounds))
+        .expect("saturated workload cannot starve")
+        .messages_per_entry()
+}
+
+/// Regenerates the scaling sweep over the given system sizes.
+///
+/// # Examples
+///
+/// ```
+/// let t = dmx_harness::experiments::scaling::run(&[4, 8], 2);
+/// assert_eq!(t.len(), 2);
+/// ```
+pub fn run(ns: &[usize], rounds: u32) -> Table {
+    let mut headers: Vec<String> = vec!["N".into()];
+    headers.extend(Algorithm::ALL.iter().map(|a| a.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Scaling sweep — saturated messages per entry vs N (star topology)",
+        &header_refs,
+    );
+    for &n in ns {
+        let mut cells = vec![n.to_string()];
+        for algo in Algorithm::ALL {
+            cells.push(fmt_f64(measure(algo, n, rounds)));
+        }
+        table.row(&cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_cost_is_flat_in_n() {
+        let small = measure(Algorithm::Dag, 8, 3);
+        let large = measure(Algorithm::Dag, 64, 3);
+        assert!((small - large).abs() < 0.6, "dag: {small} vs {large}");
+        assert!(large <= 3.1);
+    }
+
+    #[test]
+    fn lamport_grows_linearly() {
+        let at16 = measure(Algorithm::Lamport, 16, 2);
+        let at32 = measure(Algorithm::Lamport, 32, 2);
+        let ratio = at32 / at16;
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "lamport should double with N: {at16} -> {at32}"
+        );
+    }
+
+    #[test]
+    fn maekawa_grows_sublinearly() {
+        let at16 = measure(Algorithm::Maekawa, 16, 2);
+        let at64 = measure(Algorithm::Maekawa, 64, 2);
+        // 4x nodes should cost ~2x (sqrt), certainly well below 3x.
+        assert!(at64 / at16 < 3.0, "maekawa: {at16} -> {at64}");
+        // And beats broadcast at scale.
+        let sk = measure(Algorithm::SuzukiKasami, 64, 2);
+        assert!(at64 < sk, "maekawa {at64} should beat broadcast {sk}");
+    }
+
+    #[test]
+    fn complexity_classes_order_correctly_at_scale() {
+        let n = 48;
+        let dag = measure(Algorithm::Dag, n, 2);
+        let maekawa = measure(Algorithm::Maekawa, n, 2);
+        let sk = measure(Algorithm::SuzukiKasami, n, 2);
+        let lamport = measure(Algorithm::Lamport, n, 2);
+        assert!(dag < maekawa && maekawa < sk && sk < lamport);
+    }
+}

@@ -1,0 +1,148 @@
+//! `fig8` — the centralized (star) topology is optimal.
+//!
+//! Figure 8 and the surrounding text argue that among all tree
+//! topologies the star minimizes the DAG algorithm's message cost —
+//! correcting Raymond's suggestion that a radiating star is best. This
+//! sweep measures, for the two tree-based algorithms on a family of
+//! 12–13-node topologies, the isolated-request worst case and the
+//! placement-averaged mean.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dmx_topology::Tree;
+
+use super::isolated_worst_and_mean;
+use crate::table::fmt_f64;
+use crate::{Algorithm, Table};
+
+/// The topology family swept (all ~13 nodes).
+pub fn topologies() -> Vec<(String, Tree)> {
+    let mut rng = StdRng::seed_from_u64(8);
+    vec![
+        ("star(13)".into(), Tree::star(13)),
+        ("radiating-star(4x3)".into(), Tree::radiating_star(4, 3)),
+        ("binary(13)".into(), Tree::kary(13, 2)),
+        ("ternary(13)".into(), Tree::kary(13, 3)),
+        ("caterpillar(4x2)".into(), Tree::caterpillar(4, 2)),
+        ("random(13)".into(), Tree::random(13, &mut rng)),
+        ("line(13)".into(), Tree::line(13)),
+    ]
+}
+
+/// Regenerates the Figure 8 comparison.
+///
+/// # Examples
+///
+/// ```
+/// let t = dmx_harness::experiments::topology_sweep::run();
+/// assert!(t.len() >= 6);
+/// ```
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "Figure 8 — topology sweep: messages per isolated entry (worst / mean over placements)",
+        &[
+            "topology",
+            "D",
+            "dag worst (D+1)",
+            "dag mean",
+            "raymond worst (2D)",
+            "raymond mean",
+        ],
+    );
+    for (name, tree) in topologies() {
+        let d = tree.diameter();
+        let (dag_worst, dag_mean) = isolated_worst_and_mean(Algorithm::Dag, &tree);
+        let (ray_worst, ray_mean) = isolated_worst_and_mean(Algorithm::Raymond, &tree);
+        table.row(&[
+            name,
+            d.to_string(),
+            dag_worst.to_string(),
+            fmt_f64(dag_mean),
+            ray_worst.to_string(),
+            fmt_f64(ray_mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_topology::NodeId;
+
+    #[test]
+    fn dag_worst_is_diameter_plus_one_everywhere() {
+        for (name, tree) in topologies() {
+            let (worst, _) = isolated_worst_and_mean(Algorithm::Dag, &tree);
+            assert_eq!(worst as usize, tree.diameter() + 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn raymond_worst_is_twice_diameter_everywhere() {
+        for (name, tree) in topologies() {
+            let (worst, _) = isolated_worst_and_mean(Algorithm::Raymond, &tree);
+            assert_eq!(worst as usize, 2 * tree.diameter(), "{name}");
+        }
+    }
+
+    #[test]
+    fn star_beats_every_other_topology_for_dag() {
+        let rows = topologies();
+        let (star_worst, star_mean) = isolated_worst_and_mean(Algorithm::Dag, &rows[0].1);
+        for (name, tree) in &rows[1..] {
+            let (worst, mean) = isolated_worst_and_mean(Algorithm::Dag, tree);
+            assert!(star_worst <= worst, "{name}: worst");
+            assert!(star_mean <= mean + 1e-9, "{name}: mean");
+        }
+    }
+
+    #[test]
+    fn star_beats_radiating_star_correcting_raymond() {
+        // The thesis' explicit correction of Raymond's claim.
+        let star = Tree::star(13);
+        let radiating = Tree::radiating_star(4, 3);
+        let (sw, sm) = isolated_worst_and_mean(Algorithm::Dag, &star);
+        let (rw, rm) = isolated_worst_and_mean(Algorithm::Dag, &radiating);
+        assert!(sw < rw);
+        assert!(sm < rm);
+    }
+
+    #[test]
+    fn dag_beats_raymond_on_every_topology() {
+        for (name, tree) in topologies() {
+            let (dw, dm) = isolated_worst_and_mean(Algorithm::Dag, &tree);
+            let (rw, rm) = isolated_worst_and_mean(Algorithm::Raymond, &tree);
+            assert!(dw <= rw, "{name}: worst");
+            assert!(dm <= rm + 1e-9, "{name}: mean");
+        }
+    }
+
+    #[test]
+    fn placement_detail_on_the_star() {
+        // Spot-check the three cases of the 6.2 derivation.
+        let tree = Tree::star(5);
+        use super::super::isolated_cost;
+        // Token at center, leaf requests: 2 messages.
+        assert_eq!(
+            isolated_cost(Algorithm::Dag, &tree, NodeId(0), NodeId(3)),
+            2
+        );
+        // Token at leaf, another leaf requests: 3 messages.
+        assert_eq!(
+            isolated_cost(Algorithm::Dag, &tree, NodeId(1), NodeId(3)),
+            3
+        );
+        // Token at leaf, center requests: 2 messages.
+        assert_eq!(
+            isolated_cost(Algorithm::Dag, &tree, NodeId(1), NodeId(0)),
+            2
+        );
+        // Requester holds the token: free.
+        assert_eq!(
+            isolated_cost(Algorithm::Dag, &tree, NodeId(2), NodeId(2)),
+            0
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! `fig2` / `fig6` — the paper's worked examples, replayed exactly.
+//!
+//! Figure 6 prints, after every step, a table of each node's `HOLDING`,
+//! `NEXT` and `FOLLOW` variables. This module replays both walkthroughs
+//! against the real state machine and emits the same tables (in the
+//! paper's 1-based node numbering), so the output can be compared line
+//! by line with the thesis. The golden tests assert every printed value.
+
+use dmx_core::{implicit_queue, init_nodes, DagNode};
+use dmx_topology::{NodeId, Tree};
+
+use crate::Table;
+
+/// Renders a Figure 6-style variable table (paper numbering: nodes
+/// `1..=N`, `0` for "none").
+fn state_table(caption: &str, nodes: &[DagNode]) -> Table {
+    let mut table = Table::new(caption, &["I", "HOLDING_I", "NEXT_I", "FOLLOW_I"]);
+    for (i, node) in nodes.iter().enumerate() {
+        let paper_id = (i + 1).to_string();
+        let holding = if node.holding() { "t" } else { "f" };
+        let next = node
+            .next()
+            .map(|n| (n.0 + 1).to_string())
+            .unwrap_or_else(|| "0".into());
+        let follow = node
+            .follow()
+            .map(|n| (n.0 + 1).to_string())
+            .unwrap_or_else(|| "0".into());
+        table.row(&[paper_id, holding.to_string(), next, follow]);
+    }
+    table
+}
+
+/// Replays Figure 2 (paper nodes 1–5, token at node 5) and returns the
+/// per-step state tables.
+///
+/// # Examples
+///
+/// ```
+/// let steps = dmx_harness::experiments::traces::fig2();
+/// assert_eq!(steps.len(), 5);
+/// ```
+pub fn fig2() -> Vec<Table> {
+    // Paper edges: 1-2, 2-4, 3-4, 4-5 (0-indexed: 0-1, 1-3, 2-3, 3-4).
+    let tree = Tree::from_edges(5, &[(0, 1), (1, 3), (2, 3), (3, 4)]).expect("figure 2 tree");
+    let mut nodes = init_nodes(&tree, NodeId(4));
+    let mut steps = Vec::new();
+
+    // 2a: node 5 holds the token and enters its critical section.
+    nodes[4].request();
+    steps.push(state_table(
+        "Figure 2a — node 5 enters its critical section",
+        &nodes,
+    ));
+
+    // 2b: node 3 wants the CS; REQUEST(3,3) to node 4; NEXT_3 = 0.
+    nodes[2].request();
+    steps.push(state_table(
+        "Figure 2b — node 3 sends REQUEST to node 4",
+        &nodes,
+    ));
+
+    // 2c: node 4 forwards REQUEST(4,3) to node 5; NEXT_4 = 3.
+    nodes[3].receive_request(NodeId(2), NodeId(2));
+    steps.push(state_table(
+        "Figure 2c — node 4 forwards the request to node 5",
+        &nodes,
+    ));
+
+    // 2d: node 5 records FOLLOW_5 = 3, NEXT_5 = 4; later sends PRIVILEGE.
+    nodes[4].receive_request(NodeId(3), NodeId(2));
+    nodes[4].exit();
+    steps.push(state_table(
+        "Figure 2d — node 5 sets FOLLOW_5 = 3, leaves, sends PRIVILEGE to node 3",
+        &nodes,
+    ));
+
+    // 2e: node 3 receives the PRIVILEGE and enters.
+    nodes[2].receive_privilege();
+    steps.push(state_table(
+        "Figure 2e — node 3 enters its critical section",
+        &nodes,
+    ));
+    steps
+}
+
+/// Replays the complete Figure 6 example (paper nodes 1–6, token at
+/// node 3) and returns the state tables for steps 6a–6k.
+///
+/// # Examples
+///
+/// ```
+/// let steps = dmx_harness::experiments::traces::fig6();
+/// assert_eq!(steps.len(), 11); // 6a ..= 6k
+/// ```
+pub fn fig6() -> Vec<Table> {
+    // Paper Figure 6a NEXT values: NEXT_1=2, NEXT_2=3, NEXT_4=3,
+    // NEXT_5=2, NEXT_6=4; node 3 holds.
+    let tree =
+        Tree::from_edges(6, &[(0, 1), (1, 2), (3, 2), (4, 1), (5, 3)]).expect("figure 6 tree");
+    let mut nodes = init_nodes(&tree, NodeId(2));
+    let mut steps = Vec::new();
+
+    steps.push(state_table(
+        "Figure 6a — node 3 is holding the token",
+        &nodes,
+    ));
+
+    nodes[2].request(); // node 3 enters its CS
+    nodes[1].request(); // node 2 sends REQUEST(2,2) to node 3
+    steps.push(state_table(
+        "Figure 6b — node 3 enters; node 2 requests",
+        &nodes,
+    ));
+
+    nodes[2].receive_request(NodeId(1), NodeId(1));
+    steps.push(state_table(
+        "Figure 6c — node 3 sets FOLLOW_3 = 2, NEXT_3 = 2",
+        &nodes,
+    ));
+
+    nodes[0].request(); // node 1 -> REQUEST(1,1) to node 2
+    nodes[4].request(); // node 5 -> REQUEST(5,5) to node 2
+    steps.push(state_table(
+        "Figure 6d — nodes 1 and 5 send requests to node 2",
+        &nodes,
+    ));
+
+    nodes[1].receive_request(NodeId(0), NodeId(0));
+    steps.push(state_table(
+        "Figure 6e — node 2 sets FOLLOW_2 = 1, NEXT_2 = 1",
+        &nodes,
+    ));
+
+    nodes[1].receive_request(NodeId(4), NodeId(4));
+    steps.push(state_table(
+        "Figure 6f — node 2 forwards node 5's request to node 1, NEXT_2 = 5",
+        &nodes,
+    ));
+
+    nodes[0].receive_request(NodeId(1), NodeId(4));
+    steps.push(state_table(
+        "Figure 6g — node 1 sets FOLLOW_1 = 5, NEXT_1 = 2",
+        &nodes,
+    ));
+
+    nodes[2].exit(); // node 3 leaves, PRIVILEGE to node 2
+    steps.push(state_table(
+        "Figure 6h — node 3 leaves and sends PRIVILEGE to node 2",
+        &nodes,
+    ));
+
+    nodes[1].receive_privilege();
+    nodes[1].exit(); // node 2 in and out, PRIVILEGE to node 1
+    steps.push(state_table(
+        "Figure 6i — node 2 enters, leaves, PRIVILEGE to node 1",
+        &nodes,
+    ));
+
+    nodes[0].receive_privilege();
+    nodes[0].exit(); // node 1 in and out, PRIVILEGE to node 5
+    steps.push(state_table(
+        "Figure 6j — node 1 enters, leaves, PRIVILEGE to node 5",
+        &nodes,
+    ));
+
+    nodes[4].receive_privilege();
+    nodes[4].exit(); // node 5 in and out, keeps the token
+    steps.push(state_table(
+        "Figure 6k — node 5 finishes and sets HOLDING_5 = true",
+        &nodes,
+    ));
+
+    steps
+}
+
+/// The implicit queue at Figure 6 step (g), in paper numbering — the
+/// paper reads it off as "2, 1, 5".
+pub fn fig6_implicit_queue_paper_numbering() -> Vec<u32> {
+    let tree =
+        Tree::from_edges(6, &[(0, 1), (1, 2), (3, 2), (4, 1), (5, 3)]).expect("figure 6 tree");
+    let mut nodes = init_nodes(&tree, NodeId(2));
+    nodes[2].request();
+    nodes[1].request();
+    nodes[2].receive_request(NodeId(1), NodeId(1));
+    nodes[0].request();
+    nodes[4].request();
+    nodes[1].receive_request(NodeId(0), NodeId(0));
+    nodes[1].receive_request(NodeId(4), NodeId(4));
+    nodes[0].receive_request(NodeId(1), NodeId(4));
+    implicit_queue(&nodes)
+        .into_iter()
+        .map(|n| n.0 + 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts one row of a state table: (paper id, holding, next, follow).
+    fn assert_row(table: &Table, row: usize, expect: (&str, &str, &str, &str)) {
+        assert_eq!(table.cell(row, 0), expect.0, "{}: id", table.title());
+        assert_eq!(table.cell(row, 1), expect.1, "{}: HOLDING", table.title());
+        assert_eq!(table.cell(row, 2), expect.2, "{}: NEXT", table.title());
+        assert_eq!(table.cell(row, 3), expect.3, "{}: FOLLOW", table.title());
+    }
+
+    #[test]
+    fn fig6_tables_match_the_paper_exactly() {
+        let steps = fig6();
+
+        // 6a: HOLDING = [f f t f f f], NEXT = [2 3 0 3 2 4], FOLLOW all 0.
+        let a = &steps[0];
+        assert_row(a, 0, ("1", "f", "2", "0"));
+        assert_row(a, 1, ("2", "f", "3", "0"));
+        assert_row(a, 2, ("3", "t", "0", "0"));
+        assert_row(a, 3, ("4", "f", "3", "0"));
+        assert_row(a, 4, ("5", "f", "2", "0"));
+        assert_row(a, 5, ("6", "f", "4", "0"));
+
+        // 6b: node 3 entered (HOLDING_3 = f now), node 2 became a sink.
+        let b = &steps[1];
+        assert_row(b, 1, ("2", "f", "0", "0"));
+        assert_row(b, 2, ("3", "f", "0", "0"));
+
+        // 6c: FOLLOW_3 = 2, NEXT_3 = 2.
+        let c = &steps[2];
+        assert_row(c, 2, ("3", "f", "2", "2"));
+
+        // 6d: nodes 1 and 5 are sinks now.
+        let d = &steps[3];
+        assert_row(d, 0, ("1", "f", "0", "0"));
+        assert_row(d, 4, ("5", "f", "0", "0"));
+
+        // 6e: FOLLOW_2 = 1, NEXT_2 = 1.
+        let e = &steps[4];
+        assert_row(e, 1, ("2", "f", "1", "1"));
+
+        // 6f: NEXT_2 = 5 after forwarding node 5's request.
+        let f = &steps[5];
+        assert_row(f, 1, ("2", "f", "5", "1"));
+
+        // 6g: FOLLOW_1 = 5, NEXT_1 = 2; full table from the paper:
+        // NEXT = [2 5 2 3 0 4], FOLLOW = [5 1 2 0 0 0].
+        let g = &steps[6];
+        assert_row(g, 0, ("1", "f", "2", "5"));
+        assert_row(g, 1, ("2", "f", "5", "1"));
+        assert_row(g, 2, ("3", "f", "2", "2"));
+        assert_row(g, 3, ("4", "f", "3", "0"));
+        assert_row(g, 4, ("5", "f", "0", "0"));
+        assert_row(g, 5, ("6", "f", "4", "0"));
+
+        // 6h: FOLLOW_3 cleared after passing the privilege.
+        let h = &steps[7];
+        assert_row(h, 2, ("3", "f", "2", "0"));
+
+        // 6k: node 5 holding, everything else quiescent; NEXT unchanged
+        // from 6g/6h: [2 5 2 3 0 4].
+        let k = &steps[10];
+        assert_row(k, 0, ("1", "f", "2", "0"));
+        assert_row(k, 1, ("2", "f", "5", "0"));
+        assert_row(k, 2, ("3", "f", "2", "0"));
+        assert_row(k, 3, ("4", "f", "3", "0"));
+        assert_row(k, 4, ("5", "t", "0", "0"));
+        assert_row(k, 5, ("6", "f", "4", "0"));
+    }
+
+    #[test]
+    fn fig2_tables_match_the_paper() {
+        let steps = fig2();
+        // 2b: node 3 (row index 2) became a sink.
+        assert_row(&steps[1], 2, ("3", "f", "0", "0"));
+        // 2c: NEXT_4 = 3.
+        assert_row(&steps[2], 3, ("4", "f", "3", "0"));
+        // 2d: node 5 left; FOLLOW_5 cleared after sending the privilege;
+        // NEXT_5 = 4.
+        assert_row(&steps[3], 4, ("5", "f", "4", "0"));
+        // 2e: nothing structural changed while node 3 executes.
+        assert_row(&steps[4], 2, ("3", "f", "0", "0"));
+    }
+
+    #[test]
+    fn fig6_queue_reads_2_1_5() {
+        assert_eq!(fig6_implicit_queue_paper_numbering(), vec![2, 1, 5]);
+    }
+}

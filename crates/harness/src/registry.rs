@@ -1,0 +1,207 @@
+use dmx_baselines::carvalho_roucairol::CarvalhoRoucairolProtocol;
+use dmx_baselines::centralized::CentralizedProtocol;
+use dmx_baselines::lamport::LamportProtocol;
+use dmx_baselines::maekawa::MaekawaProtocol;
+use dmx_baselines::raymond::RaymondProtocol;
+use dmx_baselines::ricart_agrawala::RicartAgrawalaProtocol;
+use dmx_baselines::singhal::SinghalProtocol;
+use dmx_baselines::suzuki_kasami::SuzukiKasamiProtocol;
+use dmx_core::DagProtocol;
+use dmx_simnet::metrics::Metrics;
+use dmx_simnet::{Engine, EngineConfig, EngineError, Protocol, Workload};
+use dmx_topology::{NodeId, Tree};
+
+/// Every mutual exclusion algorithm in the workspace, for uniform
+/// experiment dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The paper's DAG-based algorithm (`dmx-core`).
+    Dag,
+    /// Raymond's tree algorithm.
+    Raymond,
+    /// Central coordinator.
+    Centralized,
+    /// Suzuki–Kasami broadcast token.
+    SuzukiKasami,
+    /// Singhal's heuristic token algorithm.
+    Singhal,
+    /// Maekawa quorums with Sanders' fix.
+    Maekawa,
+    /// Lamport's replicated-queue algorithm.
+    Lamport,
+    /// Ricart–Agrawala.
+    RicartAgrawala,
+    /// Carvalho–Roucairol.
+    CarvalhoRoucairol,
+}
+
+impl Algorithm {
+    /// All nine algorithms, in the order tables list them.
+    pub const ALL: [Algorithm; 9] = [
+        Algorithm::Dag,
+        Algorithm::Raymond,
+        Algorithm::Centralized,
+        Algorithm::SuzukiKasami,
+        Algorithm::Singhal,
+        Algorithm::Maekawa,
+        Algorithm::Lamport,
+        Algorithm::RicartAgrawala,
+        Algorithm::CarvalhoRoucairol,
+    ];
+
+    /// Short stable name used as the first column of every table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Dag => "dag (this paper)",
+            Algorithm::Raymond => "raymond",
+            Algorithm::Centralized => "centralized",
+            Algorithm::SuzukiKasami => "suzuki-kasami",
+            Algorithm::Singhal => "singhal",
+            Algorithm::Maekawa => "maekawa",
+            Algorithm::Lamport => "lamport",
+            Algorithm::RicartAgrawala => "ricart-agrawala",
+            Algorithm::CarvalhoRoucairol => "carvalho-roucairol",
+        }
+    }
+
+    /// `true` for algorithms whose message count depends on the logical
+    /// tree topology (the others only see `N`).
+    pub fn is_tree_based(self) -> bool {
+        matches!(self, Algorithm::Dag | Algorithm::Raymond)
+    }
+
+    /// `true` for algorithms with a token whose initial placement is a
+    /// free experiment parameter. (Singhal's staircase pins the token to
+    /// node 0; assertion-based algorithms have no token at all.)
+    pub fn has_movable_token(self) -> bool {
+        matches!(
+            self,
+            Algorithm::Dag | Algorithm::Raymond | Algorithm::SuzukiKasami | Algorithm::Centralized
+        )
+    }
+}
+
+/// A fully specified single run: topology, initial token placement, and
+/// engine configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario<'a> {
+    /// Logical tree (tree-based algorithms); its size `N` is all the
+    /// other algorithms use.
+    pub tree: &'a Tree,
+    /// Initial token holder / coordinator. Ignored by assertion-based
+    /// algorithms; forced to node 0 for Singhal (staircase requirement).
+    pub holder: NodeId,
+    /// Engine knobs (latency, CS duration, seed, …).
+    pub config: EngineConfig,
+}
+
+/// Runs `algo` under `scenario` with the given closed-loop workload and
+/// returns the collected metrics.
+///
+/// # Errors
+///
+/// Propagates any [`EngineError`] — in a correct build these only occur
+/// if a workload violates the one-outstanding-request model.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_harness::{run_algorithm, Algorithm, Scenario};
+/// use dmx_simnet::EngineConfig;
+/// use dmx_topology::{NodeId, Tree};
+/// use dmx_workload::Saturated;
+///
+/// let tree = Tree::star(8);
+/// let scenario = Scenario { tree: &tree, holder: NodeId(0), config: EngineConfig::default() };
+/// let metrics = run_algorithm(Algorithm::Dag, &scenario, &mut Saturated::new(2))?;
+/// assert_eq!(metrics.cs_entries, 16);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+pub fn run_algorithm(
+    algo: Algorithm,
+    scenario: &Scenario<'_>,
+    workload: &mut dyn Workload,
+) -> Result<Metrics, EngineError> {
+    let n = scenario.tree.len();
+    let holder = scenario.holder;
+    let config = scenario.config;
+    match algo {
+        Algorithm::Dag => drive(
+            DagProtocol::cluster(scenario.tree, holder),
+            config,
+            workload,
+        ),
+        Algorithm::Raymond => drive(
+            RaymondProtocol::cluster(scenario.tree, holder),
+            config,
+            workload,
+        ),
+        Algorithm::Centralized => drive(CentralizedProtocol::cluster(n, holder), config, workload),
+        Algorithm::SuzukiKasami => {
+            drive(SuzukiKasamiProtocol::cluster(n, holder), config, workload)
+        }
+        Algorithm::Singhal => drive(SinghalProtocol::cluster(n, NodeId(0)), config, workload),
+        Algorithm::Maekawa => drive(MaekawaProtocol::cluster(n), config, workload),
+        Algorithm::Lamport => drive(LamportProtocol::cluster(n), config, workload),
+        Algorithm::RicartAgrawala => drive(RicartAgrawalaProtocol::cluster(n), config, workload),
+        Algorithm::CarvalhoRoucairol => {
+            drive(CarvalhoRoucairolProtocol::cluster(n), config, workload)
+        }
+    }
+}
+
+fn drive<P: Protocol>(
+    nodes: Vec<P>,
+    config: EngineConfig,
+    workload: &mut dyn Workload,
+) -> Result<Metrics, EngineError> {
+    let mut engine = Engine::new(nodes, config);
+    let report = engine.run_with_workload(workload)?;
+    Ok(report.metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_simnet::Time;
+    use dmx_workload::{Saturated, SingleShot};
+
+    #[test]
+    fn every_algorithm_serves_a_saturated_round() {
+        let tree = Tree::star(7);
+        let scenario = Scenario {
+            tree: &tree,
+            holder: NodeId(0),
+            config: EngineConfig::default(),
+        };
+        for algo in Algorithm::ALL {
+            let metrics = run_algorithm(algo, &scenario, &mut Saturated::new(2))
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+            assert_eq!(metrics.cs_entries, 14, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn single_shot_matches_paper_counts_on_star() {
+        let tree = Tree::star(8);
+        let scenario = Scenario {
+            tree: &tree,
+            holder: NodeId(7),
+            config: EngineConfig::default(),
+        };
+        let mut shot = SingleShot::new(vec![(Time(0), NodeId(3))]);
+        let m = run_algorithm(Algorithm::Dag, &scenario, &mut shot).unwrap();
+        assert_eq!(m.messages_total, 3);
+        let mut shot = SingleShot::new(vec![(Time(0), NodeId(3))]);
+        let m = run_algorithm(Algorithm::Raymond, &scenario, &mut shot).unwrap();
+        assert_eq!(m.messages_total, 4);
+    }
+}

@@ -1,0 +1,551 @@
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dmx_core::{Action, DagMessage, DagNode};
+use dmx_topology::{NodeId, Tree};
+
+use crate::stats::{ClusterStats, NodeStats};
+
+/// Failure acquiring or releasing the distributed lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// The cluster was shut down (or a node thread died) while the
+    /// request was outstanding.
+    ClusterDown,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::ClusterDown => write!(f, "cluster is no longer running"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Inputs a node thread processes.
+pub(crate) enum Input {
+    /// Local user wants the critical section; reply on the channel when
+    /// the privilege is local.
+    Acquire(Sender<()>),
+    /// Local user left the critical section.
+    Release,
+    /// The user gave up waiting ([`MutexHandle::lock_timeout`]). The
+    /// in-flight REQUEST cannot be recalled (the paper has no cancel
+    /// message), so the node releases the privilege the moment it
+    /// arrives — unless a new `Acquire` adopts the request first.
+    AbandonAcquire,
+    /// A protocol message from a peer.
+    Net {
+        /// Wire sender.
+        from: NodeId,
+        /// Payload.
+        msg: DagMessage,
+    },
+    /// Stop and report stats.
+    Shutdown,
+}
+
+/// The node thread's view of the local user's acquisition.
+enum Pending {
+    /// No acquisition in progress.
+    Idle,
+    /// Waiting for the privilege; reply here on entry.
+    Waiting(Sender<()>),
+    /// The user timed out; release the privilege on arrival.
+    Abandoned,
+}
+
+/// A running cluster: one thread per tree node executing the DAG
+/// algorithm. Obtain per-node [`MutexHandle`]s from [`Cluster::start`]
+/// and call [`Cluster::shutdown`] when done.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug)]
+pub struct Cluster {
+    txs: Vec<Sender<Input>>,
+    joins: Vec<JoinHandle<NodeStats>>,
+}
+
+/// The distributed lock endpoint for one node.
+///
+/// `lock` takes `&mut self`, so the borrow checker enforces the paper's
+/// system model ("each node can have at most one outstanding request")
+/// at compile time: a second `lock` on the same node is impossible while
+/// a [`Guard`] lives.
+#[derive(Debug)]
+pub struct MutexHandle {
+    node: NodeId,
+    tx: Sender<Input>,
+}
+
+/// Possession of the critical section; releasing happens on drop (or
+/// explicitly via [`Guard::unlock`]).
+#[derive(Debug)]
+pub struct Guard<'a> {
+    handle: &'a mut MutexHandle,
+}
+
+impl Cluster {
+    /// Spawns one thread per node of `tree`, with the token initially at
+    /// `holder`, and returns the cluster plus one [`MutexHandle`] per
+    /// node (index = node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `holder` is out of range.
+    pub fn start(tree: &Tree, holder: NodeId) -> (Cluster, Vec<MutexHandle>) {
+        let n = tree.len();
+        assert!(holder.index() < n, "holder out of range");
+        let orientation = tree.orient_toward(holder);
+
+        let channels: Vec<(Sender<Input>, Receiver<Input>)> = (0..n).map(|_| unbounded()).collect();
+        let txs: Vec<Sender<Input>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let mut joins = Vec::with_capacity(n);
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let me = NodeId::from_index(i);
+            let node = DagNode::from_orientation(&orientation, me);
+            let peers = txs.clone();
+            let transmit = move |to: NodeId, from: NodeId, msg: DagMessage| {
+                // A send can only fail during shutdown, when the
+                // counters no longer matter.
+                let _ = peers[to.index()].send(Input::Net { from, msg });
+            };
+            joins.push(std::thread::spawn(move || node_main(node, rx, transmit)));
+        }
+
+        let handles = (0..n)
+            .map(|i| MutexHandle {
+                node: NodeId::from_index(i),
+                tx: txs[i].clone(),
+            })
+            .collect();
+        (Cluster { txs, joins }, handles)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// `true` for a single-node cluster.
+    pub fn is_empty(&self) -> bool {
+        self.txs.len() <= 1
+    }
+
+    /// Stops every node thread and returns the aggregated counters.
+    ///
+    /// Outstanding [`Guard`]s should be dropped first; a lock request
+    /// issued after shutdown fails with [`LockError::ClusterDown`].
+    pub fn shutdown(self) -> ClusterStats {
+        for tx in &self.txs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        let per_node: Vec<NodeStats> = self
+            .joins
+            .into_iter()
+            .map(|j| j.join().expect("node thread panicked"))
+            .collect();
+        ClusterStats::from_nodes(per_node)
+    }
+}
+
+impl MutexHandle {
+    pub(crate) fn new(node: NodeId, tx: Sender<Input>) -> Self {
+        MutexHandle { node, tx }
+    }
+
+    /// This handle's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Acquires the distributed mutex: sends the paper's `REQUEST` along
+    /// the logical tree (if the token is remote) and blocks until the
+    /// `PRIVILEGE` arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::ClusterDown`] if the cluster has shut down.
+    ///
+    /// # Examples
+    ///
+    /// See the [crate-level example](crate).
+    pub fn lock(&mut self) -> Result<Guard<'_>, LockError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Input::Acquire(ack_tx))
+            .map_err(|_| LockError::ClusterDown)?;
+        ack_rx.recv().map_err(|_| LockError::ClusterDown)?;
+        Ok(Guard { handle: self })
+    }
+
+    /// Like [`MutexHandle::lock`], but gives up after `timeout`,
+    /// returning `Ok(None)`.
+    ///
+    /// The REQUEST already travelling the tree cannot be recalled; the
+    /// node thread will release the privilege the moment it arrives —
+    /// or, if this handle calls `lock`/`lock_timeout` again first, the
+    /// new acquisition *adopts* the in-flight request (no extra
+    /// messages).
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::ClusterDown`] if the cluster has shut down.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_runtime::Cluster;
+    /// use dmx_topology::{NodeId, Tree};
+    /// use std::time::Duration;
+    ///
+    /// let (cluster, mut handles) = Cluster::start(&Tree::line(2), NodeId(0));
+    /// let got = handles[1].lock_timeout(Duration::from_secs(1))?.is_some();
+    /// assert!(got); // nobody contends, well within a second
+    /// # drop(handles);
+    /// # cluster.shutdown();
+    /// # Ok::<(), dmx_runtime::LockError>(())
+    /// ```
+    pub fn lock_timeout(&mut self, timeout: Duration) -> Result<Option<Guard<'_>>, LockError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Input::Acquire(ack_tx))
+            .map_err(|_| LockError::ClusterDown)?;
+        match ack_rx.recv_timeout(timeout) {
+            Ok(()) => Ok(Some(Guard { handle: self })),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                self.tx
+                    .send(Input::AbandonAcquire)
+                    .map_err(|_| LockError::ClusterDown)?;
+                Ok(None)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(LockError::ClusterDown),
+        }
+    }
+}
+
+impl Guard<'_> {
+    /// The node holding the critical section.
+    pub fn node(&self) -> NodeId {
+        self.handle.node
+    }
+
+    /// Releases explicitly (equivalent to dropping the guard).
+    pub fn unlock(self) {}
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        // If the cluster is already gone there is nobody to notify.
+        let _ = self.handle.tx.send(Input::Release);
+    }
+}
+
+/// The per-node event loop: drives the pure state machine, handing its
+/// sends to `transmit` (channels here, sockets in [`crate::tcp`]).
+pub(crate) fn node_main<F>(mut node: DagNode, rx: Receiver<Input>, transmit: F) -> NodeStats
+where
+    F: Fn(NodeId, NodeId, DagMessage),
+{
+    let me = node.id();
+    let mut stats = NodeStats::default();
+    let mut pending = Pending::Idle;
+
+    fn send_all<F: Fn(NodeId, NodeId, DagMessage)>(
+        actions: &[Action],
+        me: NodeId,
+        stats: &mut NodeStats,
+        transmit: &F,
+    ) -> bool {
+        let mut entered = false;
+        for action in actions {
+            match *action {
+                Action::Send { to, message } => {
+                    match message {
+                        DagMessage::Request { .. } => stats.requests_sent += 1,
+                        DagMessage::Privilege => stats.privileges_sent += 1,
+                        DagMessage::Initialize => {}
+                    }
+                    transmit(to, me, message);
+                }
+                Action::Enter => entered = true,
+            }
+        }
+        entered
+    }
+
+    // Resolves an Enter: hand the critical section to the waiting user,
+    // or — if the user abandoned — bounce straight out again.
+    fn on_enter<F: Fn(NodeId, NodeId, DagMessage)>(
+        node: &mut DagNode,
+        pending: &mut Pending,
+        me: NodeId,
+        stats: &mut NodeStats,
+        transmit: &F,
+    ) {
+        match std::mem::replace(pending, Pending::Idle) {
+            Pending::Waiting(ack) => {
+                stats.entries += 1;
+                let _ = ack.send(());
+            }
+            Pending::Abandoned => {
+                stats.abandoned += 1;
+                let actions = node.exit();
+                let entered = send_all(&actions, me, stats, transmit);
+                debug_assert!(!entered, "exit never re-enters");
+            }
+            Pending::Idle => {
+                unreachable!("node {me} entered the critical section with no local waiter")
+            }
+        }
+    }
+
+    while let Ok(input) = rx.recv() {
+        match input {
+            Input::Acquire(ack) => match pending {
+                // Adopt the still-in-flight request of a timed-out
+                // acquisition: no new messages needed.
+                Pending::Abandoned => pending = Pending::Waiting(ack),
+                Pending::Waiting(_) => {
+                    unreachable!("node {me} given a second outstanding request")
+                }
+                Pending::Idle => {
+                    assert!(!node.is_executing(), "Acquire while executing");
+                    pending = Pending::Waiting(ack);
+                    let actions = node.request();
+                    if send_all(&actions, me, &mut stats, &transmit) {
+                        on_enter(&mut node, &mut pending, me, &mut stats, &transmit);
+                    }
+                }
+            },
+            Input::Release => {
+                let actions = node.exit();
+                let entered = send_all(&actions, me, &mut stats, &transmit);
+                debug_assert!(!entered);
+            }
+            Input::AbandonAcquire => match std::mem::replace(&mut pending, Pending::Idle) {
+                // Normal case: still waiting; mark for auto-release.
+                Pending::Waiting(_) => pending = Pending::Abandoned,
+                // Race: the grant was already sent but the user timed
+                // out anyway — the node is inside the CS with nobody
+                // using it, so leave immediately.
+                Pending::Idle if node.is_executing() => {
+                    stats.abandoned += 1;
+                    let actions = node.exit();
+                    send_all(&actions, me, &mut stats, &transmit);
+                }
+                other => pending = other, // already resolved; nothing to do
+            },
+            Input::Net { from, msg } => {
+                let actions = match msg {
+                    DagMessage::Request { from: link, origin } => {
+                        debug_assert_eq!(link, from);
+                        node.receive_request(from, origin)
+                    }
+                    DagMessage::Privilege => node.receive_privilege(),
+                    DagMessage::Initialize => Vec::new(), // pre-oriented start-up
+                };
+                if send_all(&actions, me, &mut stats, &transmit) {
+                    on_enter(&mut node, &mut pending, me, &mut stats, &transmit);
+                }
+            }
+            Input::Shutdown => break,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip_on_star() {
+        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(0));
+        {
+            let guard = handles[2].lock().unwrap();
+            assert_eq!(guard.node(), NodeId(2));
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 1);
+        // leaf -> center REQUEST, center -> holder? center IS holder here:
+        // REQUEST 2->0 then PRIVILEGE 0->2 = 2 messages.
+        assert_eq!(stats.messages_total, 2);
+    }
+
+    #[test]
+    fn token_parks_making_reentry_free() {
+        let (cluster, mut handles) = Cluster::start(&Tree::line(3), NodeId(0));
+        handles[2].lock().unwrap();
+        {
+            // Token is now parked at node 2; further locks cost nothing.
+            for _ in 0..10 {
+                handles[2].lock().unwrap();
+            }
+        };
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 11);
+        // First acquisition: 2 REQUEST hops + 1 PRIVILEGE; then silence.
+        assert_eq!(stats.messages_total, 3);
+        assert_eq!(stats.node(NodeId(2)).entries, 11);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let n = 5;
+        let (cluster, handles) = Cluster::start(&Tree::star(n), NodeId(0));
+        let in_cs = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for mut handle in handles {
+            let in_cs = Arc::clone(&in_cs);
+            let counter = Arc::clone(&counter);
+            workers.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let guard = handle.lock().unwrap();
+                    assert!(
+                        !in_cs.swap(true, Ordering::SeqCst),
+                        "two nodes inside the critical section"
+                    );
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    in_cs.store(false, Ordering::SeqCst);
+                    drop(guard);
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 20 * n as u64);
+        assert_eq!(stats.entries, 20 * n as u64);
+    }
+
+    #[test]
+    fn lock_after_shutdown_errors() {
+        let (cluster, mut handles) = Cluster::start(&Tree::line(2), NodeId(0));
+        cluster.shutdown();
+        assert_eq!(handles[1].lock().unwrap_err(), LockError::ClusterDown);
+    }
+
+    #[test]
+    fn explicit_unlock_equals_drop() {
+        let (cluster, mut handles) = Cluster::start(&Tree::line(2), NodeId(1));
+        let guard = handles[0].lock().unwrap();
+        guard.unlock();
+        let _again = handles[0].lock().unwrap();
+        drop(_again);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn single_node_cluster_is_a_plain_mutex() {
+        let (cluster, mut handles) = Cluster::start(&Tree::line(1), NodeId(0));
+        for _ in 0..100 {
+            handles[0].lock().unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 100);
+        assert_eq!(stats.messages_total, 0);
+    }
+
+    #[test]
+    fn lock_timeout_times_out_while_contended_then_autoreleases() {
+        let (cluster, mut handles) = Cluster::start(&Tree::star(3), NodeId(1));
+        let (left, right) = handles.split_at_mut(2);
+        let h1 = &mut left[1];
+        let h2 = &mut right[0];
+
+        let guard = h1.lock().unwrap();
+        // Token is busy at node 1: node 2 gives up after 30ms.
+        assert!(
+            h2.lock_timeout(Duration::from_millis(30))
+                .unwrap()
+                .is_none(),
+            "must time out while the lock is held"
+        );
+        drop(guard); // token now travels to node 2, which auto-releases
+
+        // Node 1 can reacquire: the abandoned grant did not wedge the token.
+        let again = h1.lock_timeout(Duration::from_secs(5)).unwrap();
+        assert!(again.is_some());
+        drop(again);
+        drop(handles);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.node(NodeId(2)).abandoned, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn new_lock_adopts_abandoned_request() {
+        let (cluster, handles) = Cluster::start(&Tree::line(2), NodeId(0));
+        let mut it = handles.into_iter();
+        let mut h0 = it.next().unwrap();
+        let mut h1 = it.next().unwrap();
+
+        let guard = h0.lock().unwrap();
+        // Node 1's REQUEST goes out, then the user gives up.
+        assert!(h1
+            .lock_timeout(Duration::from_millis(20))
+            .unwrap()
+            .is_none());
+
+        // Re-acquire from another thread while node 0 still holds: the
+        // new acquisition adopts the in-flight request.
+        let waiter = std::thread::spawn(move || {
+            let g = h1.lock().unwrap();
+            drop(g);
+            h1
+        });
+        // Give the Acquire time to land before the privilege is released.
+        std::thread::sleep(Duration::from_millis(60));
+        drop(guard);
+        let h1 = waiter.join().unwrap();
+
+        drop(h0);
+        drop(h1);
+        let stats = cluster.shutdown();
+        // One REQUEST covered both of node 1's acquisition attempts, and
+        // the grant went to the adopting attempt (no abandoned bounce).
+        assert_eq!(stats.node(NodeId(1)).requests_sent, 1);
+        assert_eq!(stats.node(NodeId(1)).abandoned, 0);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn uncontended_lock_timeout_succeeds() {
+        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(0));
+        let guard = handles[3].lock_timeout(Duration::from_secs(5)).unwrap();
+        assert!(guard.is_some());
+        drop(guard);
+        drop(handles);
+        assert_eq!(cluster.shutdown().entries, 1);
+    }
+
+    #[test]
+    fn deep_line_still_serves_everyone() {
+        let n = 8;
+        let (cluster, handles) = Cluster::start(&Tree::line(n), NodeId(0));
+        let mut workers = Vec::new();
+        for mut handle in handles {
+            workers.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    handle.lock().unwrap();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 5 * n as u64);
+    }
+}

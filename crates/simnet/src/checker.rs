@@ -1,0 +1,340 @@
+//! Online safety and liveness checking.
+//!
+//! The paper proves three correctness properties in Chapter 5: mutual
+//! exclusion (5.1), deadlock freedom and starvation freedom (5.2). The
+//! checkers here turn those theorems into runtime oracles: the engine feeds
+//! every request/enter/exit event through a [`SafetyChecker`] and a
+//! [`LivenessChecker`], so any protocol bug (or any deliberately hostile
+//! network configuration) surfaces as a precise [`Violation`] instead of a
+//! silently wrong metric.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dmx_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// A correctness violation detected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Two nodes were inside the critical section at once — the property
+    /// of Chapter 5.1 failed.
+    MutualExclusion {
+        /// The node already inside.
+        first: NodeId,
+        /// The node that entered while `first` was inside.
+        second: NodeId,
+        /// When the second entry happened.
+        at: Time,
+    },
+    /// A node signalled exit without being inside.
+    ExitWithoutEntry {
+        /// The offending node.
+        node: NodeId,
+        /// When.
+        at: Time,
+    },
+    /// A node issued a request while one was already outstanding,
+    /// violating the Chapter 2 system model ("at most one outstanding
+    /// request").
+    DuplicateRequest {
+        /// The offending node.
+        node: NodeId,
+        /// When.
+        at: Time,
+    },
+    /// A node entered the critical section with no pending request.
+    SpuriousEntry {
+        /// The offending node.
+        node: NodeId,
+        /// When.
+        at: Time,
+    },
+    /// At quiescence a request was still waiting — deadlock or starvation
+    /// (Chapter 5.2 failed).
+    Starvation {
+        /// The starved node.
+        node: NodeId,
+        /// When it asked.
+        requested_at: Time,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MutualExclusion { first, second, at } => {
+                write!(
+                    f,
+                    "mutual exclusion violated at {at}: {second} entered while {first} was inside"
+                )
+            }
+            Violation::ExitWithoutEntry { node, at } => {
+                write!(
+                    f,
+                    "{node} exited the critical section at {at} without being inside"
+                )
+            }
+            Violation::DuplicateRequest { node, at } => {
+                write!(f, "{node} issued a second outstanding request at {at}")
+            }
+            Violation::SpuriousEntry { node, at } => {
+                write!(
+                    f,
+                    "{node} entered the critical section at {at} without a pending request"
+                )
+            }
+            Violation::Starvation { node, requested_at } => {
+                write!(
+                    f,
+                    "request from {node} issued at {requested_at} was never granted"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Asserts that at most one node is ever inside the critical section.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::checker::SafetyChecker;
+/// use dmx_simnet::Time;
+/// use dmx_topology::NodeId;
+///
+/// let mut c = SafetyChecker::new();
+/// c.on_enter(NodeId(1), Time(1)).unwrap();
+/// assert!(c.on_enter(NodeId(2), Time(2)).is_err()); // second simultaneous entry
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SafetyChecker {
+    inside: Option<NodeId>,
+}
+
+impl SafetyChecker {
+    /// Creates a checker with nobody inside.
+    pub fn new() -> Self {
+        SafetyChecker::default()
+    }
+
+    /// The node currently inside the critical section, if any.
+    pub fn occupant(&self) -> Option<NodeId> {
+        self.inside
+    }
+
+    /// Records an entry.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::MutualExclusion`] if another node is already inside.
+    pub fn on_enter(&mut self, node: NodeId, at: Time) -> Result<(), Violation> {
+        if let Some(first) = self.inside {
+            return Err(Violation::MutualExclusion {
+                first,
+                second: node,
+                at,
+            });
+        }
+        self.inside = Some(node);
+        Ok(())
+    }
+
+    /// Records an exit.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::ExitWithoutEntry`] if `node` was not the occupant.
+    pub fn on_exit(&mut self, node: NodeId, at: Time) -> Result<(), Violation> {
+        if self.inside != Some(node) {
+            return Err(Violation::ExitWithoutEntry { node, at });
+        }
+        self.inside = None;
+        Ok(())
+    }
+}
+
+/// Tracks outstanding requests and detects starvation and model
+/// violations.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::checker::LivenessChecker;
+/// use dmx_simnet::Time;
+/// use dmx_topology::NodeId;
+///
+/// let mut c = LivenessChecker::new();
+/// c.on_request(NodeId(0), Time(0)).unwrap();
+/// assert!(c.at_quiescence().is_err()); // still pending
+/// c.on_grant(NodeId(0), Time(3)).unwrap();
+/// c.at_quiescence().unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LivenessChecker {
+    pending: BTreeMap<NodeId, Time>,
+}
+
+impl LivenessChecker {
+    /// Creates a checker with no pending requests.
+    pub fn new() -> Self {
+        LivenessChecker::default()
+    }
+
+    /// Number of requests currently waiting.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if `node` has an outstanding request.
+    pub fn is_pending(&self, node: NodeId) -> bool {
+        self.pending.contains_key(&node)
+    }
+
+    /// When `node` requested, if pending.
+    pub fn requested_at(&self, node: NodeId) -> Option<Time> {
+        self.pending.get(&node).copied()
+    }
+
+    /// Records a request.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::DuplicateRequest`] if the node already has one
+    /// outstanding.
+    pub fn on_request(&mut self, node: NodeId, at: Time) -> Result<(), Violation> {
+        if self.pending.contains_key(&node) {
+            return Err(Violation::DuplicateRequest { node, at });
+        }
+        self.pending.insert(node, at);
+        Ok(())
+    }
+
+    /// Records a grant, returning the original request time.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::SpuriousEntry`] if the node had no pending request.
+    pub fn on_grant(&mut self, node: NodeId, at: Time) -> Result<Time, Violation> {
+        self.pending
+            .remove(&node)
+            .ok_or(Violation::SpuriousEntry { node, at })
+    }
+
+    /// Called when the event queue drains.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::Starvation`] naming the longest-waiting node if any
+    /// request is still pending.
+    pub fn at_quiescence(&self) -> Result<(), Violation> {
+        match self.pending.iter().min_by_key(|(_, t)| **t) {
+            None => Ok(()),
+            Some((&node, &requested_at)) => Err(Violation::Starvation { node, requested_at }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_accepts_alternation() {
+        let mut c = SafetyChecker::new();
+        for i in 0..5u32 {
+            c.on_enter(NodeId(i), Time(i as u64 * 2)).unwrap();
+            assert_eq!(c.occupant(), Some(NodeId(i)));
+            c.on_exit(NodeId(i), Time(i as u64 * 2 + 1)).unwrap();
+            assert_eq!(c.occupant(), None);
+        }
+    }
+
+    #[test]
+    fn safety_flags_overlap() {
+        let mut c = SafetyChecker::new();
+        c.on_enter(NodeId(0), Time(0)).unwrap();
+        assert_eq!(
+            c.on_enter(NodeId(1), Time(1)),
+            Err(Violation::MutualExclusion {
+                first: NodeId(0),
+                second: NodeId(1),
+                at: Time(1)
+            })
+        );
+    }
+
+    #[test]
+    fn safety_flags_ghost_exit() {
+        let mut c = SafetyChecker::new();
+        assert_eq!(
+            c.on_exit(NodeId(3), Time(9)),
+            Err(Violation::ExitWithoutEntry {
+                node: NodeId(3),
+                at: Time(9)
+            })
+        );
+        c.on_enter(NodeId(1), Time(10)).unwrap();
+        assert!(c.on_exit(NodeId(2), Time(11)).is_err());
+    }
+
+    #[test]
+    fn liveness_tracks_requests() {
+        let mut c = LivenessChecker::new();
+        c.on_request(NodeId(4), Time(2)).unwrap();
+        assert!(c.is_pending(NodeId(4)));
+        assert_eq!(c.requested_at(NodeId(4)), Some(Time(2)));
+        assert_eq!(c.pending_count(), 1);
+        assert_eq!(c.on_grant(NodeId(4), Time(5)), Ok(Time(2)));
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn liveness_flags_duplicates_and_spurious() {
+        let mut c = LivenessChecker::new();
+        c.on_request(NodeId(1), Time(0)).unwrap();
+        assert_eq!(
+            c.on_request(NodeId(1), Time(1)),
+            Err(Violation::DuplicateRequest {
+                node: NodeId(1),
+                at: Time(1)
+            })
+        );
+        assert_eq!(
+            c.on_grant(NodeId(2), Time(2)),
+            Err(Violation::SpuriousEntry {
+                node: NodeId(2),
+                at: Time(2)
+            })
+        );
+    }
+
+    #[test]
+    fn liveness_reports_oldest_starved_request() {
+        let mut c = LivenessChecker::new();
+        c.on_request(NodeId(5), Time(8)).unwrap();
+        c.on_request(NodeId(2), Time(3)).unwrap();
+        assert_eq!(
+            c.at_quiescence(),
+            Err(Violation::Starvation {
+                node: NodeId(2),
+                requested_at: Time(3)
+            })
+        );
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = Violation::MutualExclusion {
+            first: NodeId(0),
+            second: NodeId(1),
+            at: Time(7),
+        };
+        let s = v.to_string();
+        assert!(s.contains("n0") && s.contains("n1") && s.contains("t7"));
+    }
+}

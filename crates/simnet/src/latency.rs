@@ -1,0 +1,161 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// Distribution of message transit times (and, reused, of critical-section
+/// durations).
+///
+/// The paper's metrics are message *counts*, which no latency model can
+/// change; varying latency matters only for time-valued measurements and
+/// for exercising the protocols under message interleavings other than the
+/// synchronous one. All sampling is driven by the engine's seeded RNG, so
+/// runs are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::{LatencyModel, Time};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// assert_eq!(LatencyModel::Fixed(Time(3)).sample(&mut rng), Time(3));
+/// let u = LatencyModel::Uniform { lo: Time(1), hi: Time(5) }.sample(&mut rng);
+/// assert!(u >= Time(1) && u <= Time(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every sample is exactly this long.
+    Fixed(Time),
+    /// Uniformly distributed in `lo..=hi`.
+    Uniform {
+        /// Smallest possible sample.
+        lo: Time,
+        /// Largest possible sample.
+        hi: Time,
+    },
+    /// Geometric approximation of an exponential distribution with the
+    /// given mean (in ticks, at least 1). Heavy-tailed enough to produce
+    /// aggressive interleavings.
+    Exponential {
+        /// Mean of the distribution, in ticks.
+        mean: Time,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniform` model has `lo > hi`.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Time {
+        match self {
+            LatencyModel::Fixed(t) => t,
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform latency needs lo <= hi");
+                Time(rng.gen_range(lo.0..=hi.0))
+            }
+            LatencyModel::Exponential { mean } => {
+                let mean = mean.0.max(1) as f64;
+                // Inverse-CDF sampling, clamped to at least one tick so a
+                // message is never delivered at its send instant.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let t = (-mean * u.ln()).round().max(1.0);
+                Time(t as u64)
+            }
+        }
+    }
+
+    /// The mean of the distribution, in ticks (exact for `Fixed` and
+    /// `Uniform`, nominal for `Exponential`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::{LatencyModel, Time};
+    /// assert_eq!(LatencyModel::Uniform { lo: Time(2), hi: Time(4) }.mean(), Time(3));
+    /// ```
+    pub fn mean(self) -> Time {
+        match self {
+            LatencyModel::Fixed(t) => t,
+            LatencyModel::Uniform { lo, hi } => Time((lo.0 + hi.0) / 2),
+            LatencyModel::Exponential { mean } => mean,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// One tick per hop: the synchronous network the paper reasons about.
+    fn default() -> Self {
+        LatencyModel::Fixed(Time(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(LatencyModel::Fixed(Time(7)).sample(&mut rng), Time(7));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::Uniform {
+            lo: Time(2),
+            hi: Time(9),
+        };
+        for _ in 0..200 {
+            let s = m.sample(&mut rng);
+            assert!(s >= Time(2) && s <= Time(9));
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive_and_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::Exponential { mean: Time(10) };
+        let mut total = 0u64;
+        const SAMPLES: u64 = 4000;
+        for _ in 0..SAMPLES {
+            let s = m.sample(&mut rng);
+            assert!(s >= Time(1));
+            total += s.0;
+        }
+        let empirical = total as f64 / SAMPLES as f64;
+        assert!((empirical - 10.0).abs() < 1.5, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn default_is_one_tick() {
+        assert_eq!(LatencyModel::default(), LatencyModel::Fixed(Time(1)));
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(LatencyModel::Fixed(Time(4)).mean(), Time(4));
+        assert_eq!(LatencyModel::Exponential { mean: Time(6) }.mean(), Time(6));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::Exponential { mean: Time(5) };
+        let a: Vec<Time> = {
+            let mut rng = StdRng::seed_from_u64(33);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<Time> = {
+            let mut rng = StdRng::seed_from_u64(33);
+            (0..20).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Run metrics: everything the paper's evaluation chapter reports.
+//!
+//! Chapter 6 measures four things — messages per critical-section entry
+//! (6.1/6.2), synchronization delay (6.3), and storage overhead (6.4) —
+//! and this module collects all of them plus waiting times and per-kind
+//! message counts for the extended experiments.
+
+use std::collections::BTreeMap;
+
+use dmx_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// One completed critical-section visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrantRecord {
+    /// The node that entered.
+    pub node: NodeId,
+    /// When the node asked.
+    pub requested_at: Time,
+    /// When it entered the critical section.
+    pub granted_at: Time,
+    /// When it left, or `None` while still inside at end of run.
+    pub released_at: Option<Time>,
+    /// Messages delivered system-wide between request and grant.
+    pub messages_during_wait: u64,
+}
+
+impl GrantRecord {
+    /// Waiting time from request to grant, in ticks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_simnet::metrics::GrantRecord;
+    /// use dmx_simnet::Time;
+    /// use dmx_topology::NodeId;
+    ///
+    /// let g = GrantRecord {
+    ///     node: NodeId(1),
+    ///     requested_at: Time(5),
+    ///     granted_at: Time(9),
+    ///     released_at: None,
+    ///     messages_during_wait: 3,
+    /// };
+    /// assert_eq!(g.wait(), Time(4));
+    /// ```
+    pub fn wait(&self) -> Time {
+        self.granted_at.saturating_since(self.requested_at)
+    }
+}
+
+/// One measured synchronization-delay episode: a node left the critical
+/// section while another request was pending, and the next entry happened
+/// `elapsed` ticks (and `messages` total system messages) later.
+///
+/// The paper (6.3): "Synchronization delay is the maximum number of
+/// sequential messages required after a node I leaves its critical section
+/// before a node J can enter its critical section." That is a *critical
+/// path* length: under the default one-tick-per-hop latency model,
+/// `elapsed.ticks()` equals the number of sequential messages, which is
+/// how the Table 6.3 experiment measures it. `messages` counts *all*
+/// deliveries system-wide inside the window — an upper bound on the chain
+/// that also exposes background traffic. For the DAG algorithm the
+/// sequential count is one PRIVILEGE message, irrespective of topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncDelay {
+    /// The node that exited.
+    pub from: NodeId,
+    /// The node that entered next.
+    pub to: NodeId,
+    /// Messages delivered between the exit and the next entry.
+    pub messages: u64,
+    /// Ticks between the exit and the next entry.
+    pub elapsed: Time,
+}
+
+/// Aggregated counters for one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total protocol messages delivered.
+    pub messages_total: u64,
+    /// Total payload bytes (per [`MessageMeta::wire_size`](crate::MessageMeta::wire_size)).
+    pub bytes_total: u64,
+    /// Largest single message payload seen, in bytes — the Chapter 6.4
+    /// comparison point (the DAG algorithm's PRIVILEGE carries 0, while
+    /// Suzuki–Kasami's token hauls `O(N)`).
+    pub max_message_bytes: u64,
+    /// Largest per-node control-state footprint observed, in words
+    /// (only collected when
+    /// [`EngineConfig::track_storage`](crate::EngineConfig) is set).
+    pub max_storage_words: usize,
+    /// Messages lost by the fault model
+    /// ([`EngineConfig::drop_rate`](crate::EngineConfig) > 0).
+    pub messages_dropped: u64,
+    /// Deliveries per message kind.
+    pub by_kind: BTreeMap<String, u64>,
+    /// Number of completed critical-section entries.
+    pub cs_entries: u64,
+    /// Number of requests issued.
+    pub requests: u64,
+    /// Every grant, in grant order.
+    pub grants: Vec<GrantRecord>,
+    /// Every synchronization-delay episode observed.
+    pub sync_delays: Vec<SyncDelay>,
+}
+
+impl Metrics {
+    /// Mean messages per critical-section entry — the paper's headline
+    /// metric (Chapter 6.1/6.2). Returns 0 when no entry completed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_simnet::metrics::Metrics;
+    /// let mut m = Metrics::default();
+    /// m.messages_total = 9;
+    /// m.cs_entries = 3;
+    /// assert_eq!(m.messages_per_entry(), 3.0);
+    /// ```
+    pub fn messages_per_entry(&self) -> f64 {
+        if self.cs_entries == 0 {
+            0.0
+        } else {
+            self.messages_total as f64 / self.cs_entries as f64
+        }
+    }
+
+    /// Largest observed synchronization delay, in messages (the paper
+    /// quotes the worst case). `None` if no hand-off was observed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::metrics::Metrics;
+    /// assert_eq!(Metrics::default().max_sync_delay_messages(), None);
+    /// ```
+    pub fn max_sync_delay_messages(&self) -> Option<u64> {
+        self.sync_delays.iter().map(|s| s.messages).max()
+    }
+
+    /// Mean synchronization delay in messages over all observed hand-offs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::metrics::Metrics;
+    /// assert_eq!(Metrics::default().mean_sync_delay_messages(), None);
+    /// ```
+    pub fn mean_sync_delay_messages(&self) -> Option<f64> {
+        if self.sync_delays.is_empty() {
+            return None;
+        }
+        let total: u64 = self.sync_delays.iter().map(|s| s.messages).sum();
+        Some(total as f64 / self.sync_delays.len() as f64)
+    }
+
+    /// Mean waiting time (request to grant) in ticks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::metrics::Metrics;
+    /// assert_eq!(Metrics::default().mean_wait_ticks(), None);
+    /// ```
+    pub fn mean_wait_ticks(&self) -> Option<f64> {
+        if self.grants.is_empty() {
+            return None;
+        }
+        let total: u64 = self.grants.iter().map(|g| g.wait().ticks()).sum();
+        Some(total as f64 / self.grants.len() as f64)
+    }
+
+    /// The order in which nodes were granted the critical section.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::metrics::Metrics;
+    /// assert!(Metrics::default().grant_order().is_empty());
+    /// ```
+    pub fn grant_order(&self) -> Vec<NodeId> {
+        self.grants.iter().map(|g| g.node).collect()
+    }
+
+    /// Deliveries of one message kind (0 if never seen).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::metrics::Metrics;
+    /// assert_eq!(Metrics::default().kind_count("REQUEST"), 0);
+    /// ```
+    pub fn kind_count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(node: u32, req: u64, got: u64) -> GrantRecord {
+        GrantRecord {
+            node: NodeId(node),
+            requested_at: Time(req),
+            granted_at: Time(got),
+            released_at: None,
+            messages_during_wait: 0,
+        }
+    }
+
+    #[test]
+    fn messages_per_entry_handles_zero_entries() {
+        let m = Metrics::default();
+        assert_eq!(m.messages_per_entry(), 0.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut m = Metrics::default();
+        m.grants.push(grant(1, 0, 4));
+        m.grants.push(grant(2, 2, 4));
+        m.sync_delays.push(SyncDelay {
+            from: NodeId(1),
+            to: NodeId(2),
+            messages: 1,
+            elapsed: Time(1),
+        });
+        m.sync_delays.push(SyncDelay {
+            from: NodeId(2),
+            to: NodeId(3),
+            messages: 3,
+            elapsed: Time(5),
+        });
+        assert_eq!(m.max_sync_delay_messages(), Some(3));
+        assert_eq!(m.mean_sync_delay_messages(), Some(2.0));
+        assert_eq!(m.mean_wait_ticks(), Some(3.0));
+        assert_eq!(m.grant_order(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn kind_counts() {
+        let mut m = Metrics::default();
+        m.by_kind.insert("REQUEST".to_string(), 5);
+        assert_eq!(m.kind_count("REQUEST"), 5);
+        assert_eq!(m.kind_count("PRIVILEGE"), 0);
+    }
+}

@@ -1,0 +1,239 @@
+use std::fmt::Debug;
+
+use dmx_topology::NodeId;
+
+use crate::time::Time;
+
+/// Metadata every protocol message must expose so the engine can account
+/// for it in the metrics the paper reports.
+///
+/// `kind` feeds the per-message-type counters (the paper counts REQUEST,
+/// PRIVILEGE, REPLY, … separately in Chapter 2); `wire_size` feeds the
+/// storage-overhead comparison of Chapter 6.4, which contrasts the DAG
+/// algorithm's two-integer REQUEST and empty PRIVILEGE against token queues
+/// and `N`-entry arrays carried by other algorithms.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::MessageMeta;
+///
+/// #[derive(Clone, Debug)]
+/// enum Msg { Request { origin: u32 }, Privilege }
+///
+/// impl MessageMeta for Msg {
+///     fn kind(&self) -> &'static str {
+///         match self { Msg::Request { .. } => "REQUEST", Msg::Privilege => "PRIVILEGE" }
+///     }
+///     fn wire_size(&self) -> usize {
+///         match self { Msg::Request { .. } => 4, Msg::Privilege => 0 }
+///     }
+/// }
+///
+/// assert_eq!(Msg::Privilege.wire_size(), 0);
+/// ```
+pub trait MessageMeta {
+    /// Short, stable label for this message variant (e.g. `"REQUEST"`).
+    fn kind(&self) -> &'static str;
+
+    /// Payload size in bytes, *excluding* addressing overhead common to all
+    /// algorithms. Used for the storage/overhead table.
+    fn wire_size(&self) -> usize;
+}
+
+impl MessageMeta for () {
+    fn kind(&self) -> &'static str {
+        "UNIT"
+    }
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+/// A mutual exclusion protocol instance for a single node.
+///
+/// One value of the implementing type exists per node; the engine owns all
+/// of them and invokes the callbacks below. All nine algorithms in this
+/// workspace (the paper's DAG algorithm and the eight Chapter 2 baselines)
+/// implement this trait, which is what lets a single harness regenerate
+/// every comparison table.
+///
+/// The callbacks correspond to the paper's two procedures: `on_request_cs`
+/// plus `on_exit_cs` are procedure `P1` split at the critical section, and
+/// `on_message` is procedure `P2` (extended to token receipt).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate) for a minimal implementation.
+pub trait Protocol {
+    /// Wire message type exchanged between nodes.
+    type Message: Clone + Debug + MessageMeta;
+
+    /// Invoked once before any other callback; a place to send setup
+    /// messages (e.g. the paper's Figure 5 `INITIALIZE` flood). Default:
+    /// nothing.
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// The local user asks to enter the critical section. The engine
+    /// guarantees the node is not already requesting or in the critical
+    /// section ("each node can have at most one outstanding request",
+    /// Chapter 2). Call [`Ctx::enter_cs`] if entry is immediate.
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, Self::Message>);
+
+    /// A message from `from` arrives. Call [`Ctx::enter_cs`] if this
+    /// message grants a pending local request.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Ctx<'_, Self::Message>);
+
+    /// The local user leaves the critical section; hand the privilege on if
+    /// someone is waiting.
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, Self::Message>);
+
+    /// Number of *words* (integers/booleans/references) of mutual exclusion
+    /// control state this node currently holds, counting queue and array
+    /// entries. Feeds the Chapter 6.4 storage-overhead table. Default 0
+    /// for protocols that do not participate in that table.
+    fn storage_words(&self) -> usize {
+        0
+    }
+}
+
+/// Per-callback handle protocols use to act on the outside world:
+/// sending messages and signalling critical-section entry.
+///
+/// A fresh `Ctx` is passed to each callback; sends are buffered and the
+/// engine stamps them with link latency after the callback returns.
+#[derive(Debug)]
+pub struct Ctx<'a, M> {
+    me: NodeId,
+    now: Time,
+    n: usize,
+    outbox: &'a mut Vec<(NodeId, M)>,
+    enter: &'a mut bool,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn new(
+        me: NodeId,
+        now: Time,
+        n: usize,
+        outbox: &'a mut Vec<(NodeId, M)>,
+        enter: &'a mut bool,
+    ) -> Self {
+        Ctx {
+            me,
+            now,
+            n,
+            outbox,
+            enter,
+        }
+    }
+
+    /// The node this callback runs on.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of nodes in the system; broadcast-based baselines
+    /// (Lamport, Ricart–Agrawala, Suzuki–Kasami) need it.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Queues `msg` for delivery to `to` over the reliable FIFO link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is the sending node itself or out of range — a
+    /// protocol bug, not a runtime condition.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert_ne!(
+            to, self.me,
+            "protocol bug: {} sent a message to itself",
+            self.me
+        );
+        assert!(
+            to.index() < self.n,
+            "protocol bug: {} sent to out-of-range node {to}",
+            self.me
+        );
+        self.outbox.push((to, msg));
+    }
+
+    /// Signals that the pending local request is granted and the node now
+    /// enters its critical section. The engine records the grant and will
+    /// call [`Protocol::on_exit_cs`] after the configured CS duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice within one callback.
+    pub fn enter_cs(&mut self) {
+        assert!(
+            !*self.enter,
+            "protocol bug: enter_cs called twice in one callback"
+        );
+        *self.enter = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_message_meta() {
+        assert_eq!(().kind(), "UNIT");
+        assert_eq!(().wire_size(), 0);
+    }
+
+    #[test]
+    fn ctx_buffers_sends() {
+        let mut outbox = Vec::new();
+        let mut enter = false;
+        let mut ctx: Ctx<'_, u32> = Ctx::new(NodeId(0), Time(3), 4, &mut outbox, &mut enter);
+        assert_eq!(ctx.me(), NodeId(0));
+        assert_eq!(ctx.now(), Time(3));
+        assert_eq!(ctx.n(), 4);
+        ctx.send(NodeId(2), 99);
+        ctx.enter_cs();
+        assert_eq!(outbox, vec![(NodeId(2), 99)]);
+        assert!(enter);
+    }
+
+    #[test]
+    #[should_panic(expected = "sent a message to itself")]
+    fn ctx_rejects_self_send() {
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut enter = false;
+        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut enter);
+        ctx.send(NodeId(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn ctx_rejects_out_of_range_send() {
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut enter = false;
+        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut enter);
+        ctx.send(NodeId(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "enter_cs called twice")]
+    fn ctx_rejects_double_enter() {
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut enter = false;
+        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut enter);
+        ctx.enter_cs();
+        ctx.enter_cs();
+    }
+}

@@ -1,0 +1,133 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated time in abstract ticks.
+///
+/// The engine is a discrete-event simulator: time jumps from event to
+/// event. Ticks have no physical unit; the paper's metrics (message counts,
+/// synchronization delay *in messages*) are latency-independent, and the
+/// time-valued metrics are reported in these same ticks.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::Time;
+///
+/// let t = Time(10) + Time(5);
+/// assert_eq!(t, Time(15));
+/// assert_eq!(t - Time(10), Time(5));
+/// assert_eq!(t.to_string(), "t15");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// Tick count as a plain integer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::Time;
+    /// assert_eq!(Time(7).ticks(), 7);
+    /// ```
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference, useful for durations when ordering is not
+    /// statically known.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::Time;
+    /// assert_eq!(Time(3).saturating_since(Time(5)), Time(0));
+    /// assert_eq!(Time(5).saturating_since(Time(3)), Time(2));
+    /// ```
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Time {
+        Time(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(value: u64) -> Self {
+        Time(value)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(value: Time) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Time(2) + Time(3), Time(5));
+        assert_eq!(Time(5) - Time(3), Time(2));
+        let mut t = Time(1);
+        t += Time(4);
+        assert_eq!(t, Time(5));
+    }
+
+    #[test]
+    fn ordering_and_default() {
+        assert!(Time(1) < Time(2));
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(u64::from(Time::from(9u64)), 9);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time(12).to_string(), "t12");
+    }
+}

@@ -1,0 +1,320 @@
+//! Serializable event traces.
+//!
+//! A trace records everything that happened in a run at message-kind
+//! granularity. The golden tests replay the paper's Figure 2 and Figure 6
+//! walkthroughs and assert the traces match the printed tables; the
+//! examples pretty-print traces so a reader can follow a REQUEST hop by
+//! hop, exactly like the paper's prose does.
+
+use std::fmt;
+
+use dmx_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// One observable step of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A local user asked to enter the critical section.
+    Request {
+        /// When.
+        at: Time,
+        /// Which node.
+        node: NodeId,
+    },
+    /// A protocol message left its sender.
+    Send {
+        /// When.
+        at: Time,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Message kind label.
+        kind: String,
+    },
+    /// A protocol message reached its receiver.
+    Deliver {
+        /// When.
+        at: Time,
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Message kind label.
+        kind: String,
+    },
+    /// A protocol message was lost by the fault model and will never
+    /// arrive.
+    Drop {
+        /// When it was sent.
+        at: Time,
+        /// Sender.
+        src: NodeId,
+        /// Intended receiver.
+        dst: NodeId,
+        /// Message kind label.
+        kind: String,
+    },
+    /// A node entered its critical section.
+    Enter {
+        /// When.
+        at: Time,
+        /// Which node.
+        node: NodeId,
+    },
+    /// A node left its critical section.
+    Exit {
+        /// When.
+        at: Time,
+        /// Which node.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_simnet::trace::TraceEvent;
+    /// use dmx_simnet::Time;
+    /// use dmx_topology::NodeId;
+    ///
+    /// let e = TraceEvent::Enter { at: Time(4), node: NodeId(2) };
+    /// assert_eq!(e.at(), Time(4));
+    /// ```
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Request { at, .. }
+            | TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Enter { at, .. }
+            | TraceEvent::Exit { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Request { at, node } => write!(f, "{at} {node} requests CS"),
+            TraceEvent::Send { at, src, dst, kind } => {
+                write!(f, "{at} {src} -> {dst} send {kind}")
+            }
+            TraceEvent::Deliver { at, src, dst, kind } => {
+                write!(f, "{at} {src} => {dst} deliver {kind}")
+            }
+            TraceEvent::Drop { at, src, dst, kind } => {
+                write!(f, "{at} {src} -x {dst} DROPPED {kind}")
+            }
+            TraceEvent::Enter { at, node } => write!(f, "{at} {node} ENTERS CS"),
+            TraceEvent::Exit { at, node } => write!(f, "{at} {node} exits CS"),
+        }
+    }
+}
+
+/// An ordered list of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::trace::Trace;
+    /// assert!(Trace::new().is_empty());
+    /// ```
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::trace::Trace;
+    /// assert_eq!(Trace::new().len(), 0);
+    /// ```
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::trace::Trace;
+    /// assert!(Trace::new().is_empty());
+    /// ```
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events in order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::trace::Trace;
+    /// assert_eq!(Trace::new().iter().count(), 0);
+    /// ```
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// All events as a slice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::trace::Trace;
+    /// assert!(Trace::new().as_slice().is_empty());
+    /// ```
+    pub fn as_slice(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Only the deliveries, in order — the unit the paper counts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::trace::Trace;
+    /// assert!(Trace::new().deliveries().is_empty());
+    /// ```
+    pub fn deliveries(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Deliver { .. }))
+            .collect()
+    }
+
+    /// The sequence of nodes that entered the critical section, in order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::trace::Trace;
+    /// assert!(Trace::new().entry_order().is_empty());
+    /// ```
+    pub fn entry_order(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Enter { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Request {
+            at: Time(0),
+            node: NodeId(1),
+        });
+        t.push(TraceEvent::Send {
+            at: Time(0),
+            src: NodeId(1),
+            dst: NodeId(0),
+            kind: "REQUEST".into(),
+        });
+        t.push(TraceEvent::Deliver {
+            at: Time(1),
+            src: NodeId(1),
+            dst: NodeId(0),
+            kind: "REQUEST".into(),
+        });
+        t.push(TraceEvent::Enter {
+            at: Time(2),
+            node: NodeId(1),
+        });
+        t.push(TraceEvent::Exit {
+            at: Time(3),
+            node: NodeId(1),
+        });
+        t
+    }
+
+    #[test]
+    fn filters() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.deliveries().len(), 1);
+        assert_eq!(t.entry_order(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn display_renders_every_event() {
+        let t = sample();
+        let text = t.to_string();
+        assert!(text.contains("n1 requests CS"));
+        assert!(text.contains("n1 -> n0 send REQUEST"));
+        assert!(text.contains("n1 ENTERS CS"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn event_times() {
+        let t = sample();
+        let times: Vec<Time> = t.iter().map(TraceEvent::at).collect();
+        assert_eq!(times, vec![Time(0), Time(0), Time(1), Time(2), Time(3)]);
+    }
+
+    #[test]
+    fn into_iterator_for_ref() {
+        let t = sample();
+        let count = (&t).into_iter().count();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn dropped_messages_render_distinctly() {
+        let e = TraceEvent::Drop {
+            at: Time(4),
+            src: NodeId(0),
+            dst: NodeId(1),
+            kind: "PRIVILEGE".into(),
+        };
+        assert_eq!(e.at(), Time(4));
+        let text = e.to_string();
+        assert!(text.contains("DROPPED PRIVILEGE"));
+        assert!(text.contains("-x"));
+    }
+}

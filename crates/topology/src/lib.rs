@@ -1,0 +1,49 @@
+//! Logical topologies and quorum systems for distributed mutual exclusion.
+//!
+//! The paper's algorithm (and Raymond's tree algorithm it improves on) runs
+//! on a *logical* structure layered over a fully connected physical network.
+//! The logical structure is a tree when edge directions are ignored; the
+//! protocol's `NEXT` pointers orient the edges into a directed acyclic graph
+//! with a single sink. This crate provides:
+//!
+//! * [`NodeId`] — a compact node identifier used across the workspace.
+//! * [`Tree`] — an undirected tree with constructors for every topology the
+//!   paper discusses (line, star/"centralized", radiating star, balanced
+//!   k-ary trees, caterpillars, random trees) and graph metrics (diameter,
+//!   paths, eccentricity).
+//! * [`Orientation`] — edge directions toward a chosen sink, i.e. the
+//!   initial `NEXT` assignment produced by the paper's Figure 5 `INIT`.
+//! * [`quorum`] — Maekawa-style quorum systems (grid and finite projective
+//!   plane constructions) used by the Maekawa baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmx_topology::{NodeId, Tree};
+//!
+//! // The paper's optimal topology: one center, everyone else a leaf.
+//! let star = Tree::star(8);
+//! assert_eq!(star.diameter(), 2);
+//!
+//! // The paper's worst topology: a straight line.
+//! let line = Tree::line(8);
+//! assert_eq!(line.diameter(), 7);
+//!
+//! // Initial NEXT pointers when node 3 holds the token.
+//! let orient = line.orient_toward(NodeId(3));
+//! assert_eq!(orient.next_hop(NodeId(0)), Some(NodeId(1)));
+//! assert_eq!(orient.next_hop(NodeId(3)), None); // the sink
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod orientation;
+pub mod placement;
+pub mod quorum;
+mod tree;
+
+pub use node::NodeId;
+pub use orientation::Orientation;
+pub use tree::{Tree, TreeError};

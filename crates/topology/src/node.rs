@@ -1,0 +1,105 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the logical structure.
+///
+/// Nodes are numbered `0..n` within a [`Tree`](crate::Tree). The paper
+/// numbers nodes `1..=N` and uses `0` as the "no node" sentinel for the
+/// `NEXT`/`FOLLOW` variables; this crate instead numbers from zero and uses
+/// `Option<NodeId>` where the paper uses the sentinel, so the sentinel can
+/// never be confused with a real node.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_topology::NodeId;
+///
+/// let a = NodeId(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as a `usize`, convenient for indexing vectors
+    /// of per-node state.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::NodeId;
+    /// let states = ["idle", "busy"];
+    /// assert_eq!(states[NodeId(1).index()], "busy");
+    /// ```
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a vector index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::NodeId;
+    /// assert_eq!(NodeId::from_index(7), NodeId(7));
+    /// ```
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(0).to_string(), "n0");
+        assert_eq!(NodeId(42).to_string(), "n42");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(NodeId::from(9u32), NodeId(9));
+        assert_eq!(u32::from(NodeId(9)), 9);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_order() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5).max(NodeId(3)), NodeId(5));
+    }
+}

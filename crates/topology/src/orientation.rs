@@ -1,0 +1,177 @@
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// Edge directions for a tree: every node except the single *sink* names
+/// the neighbor on its path toward the sink.
+///
+/// This is exactly the quiescent shape of the paper's `NEXT` pointers —
+/// "the NEXT variable is set to point to the neighbor which is on the path
+/// to the node holding the token" (Chapter 3) — and is what the Figure 5
+/// `INIT` flood computes. Protocols copy this into their mutable per-node
+/// state at start-up.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_topology::{NodeId, Tree};
+///
+/// let tree = Tree::line(4);
+/// let orient = tree.orient_toward(NodeId(2));
+/// assert_eq!(orient.next_hop(NodeId(0)), Some(NodeId(1)));
+/// assert_eq!(orient.next_hop(NodeId(3)), Some(NodeId(2)));
+/// assert_eq!(orient.sink(), NodeId(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Orientation {
+    next: Vec<Option<NodeId>>,
+    sink: NodeId,
+}
+
+impl Orientation {
+    pub(crate) fn new(next: Vec<Option<NodeId>>, sink: NodeId) -> Self {
+        debug_assert_eq!(next[sink.index()], None);
+        debug_assert_eq!(next.iter().filter(|n| n.is_none()).count(), 1);
+        Orientation { next, sink }
+    }
+
+    /// The node all edges point toward (the initial token holder).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// assert_eq!(Tree::star(3).orient_toward(NodeId(1)).sink(), NodeId(1));
+    /// ```
+    #[inline]
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// The neighbor `v` points at, or `None` when `v` is the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let o = Tree::line(3).orient_toward(NodeId(0));
+    /// assert_eq!(o.next_hop(NodeId(2)), Some(NodeId(1)));
+    /// ```
+    #[inline]
+    pub fn next_hop(&self, v: NodeId) -> Option<NodeId> {
+        self.next[v.index()]
+    }
+
+    /// Number of nodes covered by the orientation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// assert_eq!(Tree::star(6).orient_toward(NodeId(0)).len(), 6);
+    /// ```
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// `true` only for the trivial single-node orientation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// assert!(!Tree::star(6).orient_toward(NodeId(0)).is_empty());
+    /// ```
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.next.len() <= 1
+    }
+
+    /// The full `NEXT` vector, indexed by node.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let o = Tree::line(2).orient_toward(NodeId(1));
+    /// assert_eq!(o.as_slice(), &[Some(NodeId(1)), None]);
+    /// ```
+    #[inline]
+    pub fn as_slice(&self) -> &[Option<NodeId>] {
+        &self.next
+    }
+
+    /// Walks pointers from `v` to the sink, returning the visited nodes
+    /// including both `v` and the sink. This is the route a `REQUEST`
+    /// initiated at `v` travels in a quiescent system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let o = Tree::line(4).orient_toward(NodeId(3));
+    /// assert_eq!(
+    ///     o.walk_to_sink(NodeId(0)),
+    ///     vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+    /// );
+    /// ```
+    pub fn walk_to_sink(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(next) = self.next[cur.index()] {
+            path.push(next);
+            cur = next;
+            assert!(
+                path.len() <= self.next.len(),
+                "orientation contains a cycle"
+            );
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+
+    #[test]
+    fn walk_reaches_sink_from_everywhere() {
+        let t = Tree::kary(13, 3);
+        let o = t.orient_toward(NodeId(5));
+        for v in t.nodes() {
+            let walk = o.walk_to_sink(v);
+            assert_eq!(*walk.last().unwrap(), NodeId(5));
+            assert!(walk.len() <= t.len());
+        }
+    }
+
+    #[test]
+    fn walk_length_matches_tree_distance() {
+        let t = Tree::caterpillar(5, 2);
+        let sink = NodeId(4);
+        let o = t.orient_toward(sink);
+        for v in t.nodes() {
+            assert_eq!(o.walk_to_sink(v).len() - 1, t.distance(v, sink));
+        }
+    }
+
+    #[test]
+    fn exactly_one_sink() {
+        let t = Tree::random(20, &mut rand::rngs::mock::StepRng::new(7, 13));
+        let o = t.orient_toward(NodeId(11));
+        let sinks = (0..o.len())
+            .filter(|&i| o.next_hop(NodeId::from_index(i)).is_none())
+            .count();
+        assert_eq!(sinks, 1);
+    }
+}

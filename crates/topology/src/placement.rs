@@ -1,0 +1,213 @@
+//! Topology optimization under non-uniform demand.
+//!
+//! Chapter 6.2 proves the star ("centralized topology") optimal assuming
+//! every node is equally likely to hold and to request the token. Real
+//! workloads are skewed, and because the token *parks* at its last user,
+//! the steady-state cost of serving requester `r` after holder `h` is
+//! `dist(r, h) + 1` messages (0 if `r = h`). This module computes that
+//! expectation exactly for arbitrary trees and request-frequency weights
+//! and finds the best star hub — extending the paper's analysis to the
+//! weighted case (the `ext_hub` experiment validates the prediction
+//! against simulation).
+
+use crate::node::NodeId;
+use crate::tree::Tree;
+
+/// Exact expected messages per critical-section entry for the DAG
+/// algorithm on `tree`, when consecutive critical-section users are
+/// drawn independently with probability proportional to `weights`
+/// (token-parking steady state).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != tree.len()`, if any weight is negative,
+/// or if all weights are zero.
+///
+/// # Examples
+///
+/// With uniform weights on a star this reduces to the paper's
+/// `3 − 5/N + 2/N²`:
+///
+/// ```
+/// use dmx_topology::{placement, Tree};
+///
+/// let n = 8;
+/// let tree = Tree::star(n);
+/// let uniform = vec![1.0; n];
+/// let expected = placement::expected_messages_per_entry(&tree, &uniform);
+/// let paper = 3.0 - 5.0 / n as f64 + 2.0 / (n * n) as f64;
+/// assert!((expected - paper).abs() < 1e-12);
+/// ```
+pub fn expected_messages_per_entry(tree: &Tree, weights: &[f64]) -> f64 {
+    assert_eq!(weights.len(), tree.len(), "one weight per node");
+    assert!(
+        weights.iter().all(|w| *w >= 0.0),
+        "weights must be nonnegative"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "at least one weight must be positive");
+
+    let mut expected = 0.0;
+    for h in tree.nodes() {
+        let wh = weights[h.index()] / total;
+        if wh == 0.0 {
+            continue;
+        }
+        let dist = tree.distances_from(h);
+        for r in tree.nodes() {
+            if r == h {
+                continue;
+            }
+            let wr = weights[r.index()] / total;
+            expected += wh * wr * (dist[r.index()] as f64 + 1.0);
+        }
+    }
+    expected
+}
+
+/// Builds the star over `n` nodes whose center is `hub` (the plain
+/// [`Tree::star`] always centers node 0).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `hub` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_topology::{placement, NodeId};
+///
+/// let star = placement::star_with_hub(5, NodeId(3));
+/// assert_eq!(star.degree(NodeId(3)), 4);
+/// assert_eq!(star.diameter(), 2);
+/// ```
+pub fn star_with_hub(n: usize, hub: NodeId) -> Tree {
+    assert!(n > 0, "star needs at least one node");
+    assert!(hub.index() < n, "hub out of range");
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .filter(|&v| v != hub.0)
+        .map(|v| (hub.0, v))
+        .collect();
+    Tree::from_edges(n, &edges).expect("star edges always form a tree")
+}
+
+/// The star hub minimizing [`expected_messages_per_entry`] for the given
+/// request weights, with the achieved expectation. Ties break toward the
+/// smaller node id.
+///
+/// For uniform weights every hub is equivalent (the paper's symmetric
+/// case); for skewed demand the optimum moves — placing the hub at a hot
+/// node converts its 3-message entries into 2-message ones.
+///
+/// # Panics
+///
+/// Same conditions as [`expected_messages_per_entry`].
+///
+/// # Examples
+///
+/// ```
+/// use dmx_topology::{placement, NodeId};
+///
+/// // Node 2 makes 80% of the requests: as the hub, every transfer that
+/// // involves it costs 2 messages instead of 3.
+/// let weights = [0.05, 0.05, 0.80, 0.05, 0.05];
+/// let (hub, cost) = placement::optimal_star_hub(&weights);
+/// assert_eq!(hub, NodeId(2));
+/// let cold_hub_cost = placement::expected_messages_per_entry(
+///     &placement::star_with_hub(5, NodeId(0)),
+///     &weights,
+/// );
+/// assert!(cost < cold_hub_cost);
+/// ```
+pub fn optimal_star_hub(weights: &[f64]) -> (NodeId, f64) {
+    let n = weights.len();
+    assert!(n > 0, "need at least one node");
+    let mut best = (NodeId(0), f64::INFINITY);
+    for hub in 0..n {
+        let hub = NodeId::from_index(hub);
+        let cost = expected_messages_per_entry(&star_with_hub(n, hub), weights);
+        if cost < best.1 {
+            best = (hub, cost);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_star_matches_paper_formula() {
+        for n in [2usize, 3, 5, 16, 33] {
+            let tree = Tree::star(n);
+            let expected = expected_messages_per_entry(&tree, &vec![1.0; n]);
+            let paper = 3.0 - 5.0 / n as f64 + 2.0 / (n * n) as f64;
+            assert!((expected - paper).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn weights_need_not_be_normalized() {
+        let tree = Tree::line(4);
+        let a = expected_messages_per_entry(&tree, &[1.0, 2.0, 3.0, 4.0]);
+        let b = expected_messages_per_entry(&tree, &[10.0, 20.0, 30.0, 40.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_requester_costs_nothing() {
+        // One node does all the requesting: the token parks there forever.
+        let tree = Tree::line(5);
+        let mut weights = vec![0.0; 5];
+        weights[3] = 1.0;
+        assert_eq!(expected_messages_per_entry(&tree, &weights), 0.0);
+    }
+
+    #[test]
+    fn uniform_weights_make_all_hubs_equal() {
+        let weights = vec![1.0; 6];
+        let costs: Vec<f64> = (0..6)
+            .map(|h| expected_messages_per_entry(&star_with_hub(6, NodeId(h)), &weights))
+            .collect();
+        for c in &costs {
+            assert!((c - costs[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_hot_nodes_want_to_be_adjacent_to_each_other() {
+        // Nodes 1 and 4 exchange the token constantly; the best hub is
+        // one of them (making the exchange a single hop each way).
+        let mut weights = vec![0.01; 6];
+        weights[1] = 0.5;
+        weights[4] = 0.5;
+        let (hub, _) = optimal_star_hub(&weights);
+        assert!(hub == NodeId(1) || hub == NodeId(4), "got {hub}");
+    }
+
+    #[test]
+    fn star_beats_line_under_any_tested_weighting() {
+        for weights in [vec![1.0; 7], {
+            let mut w = vec![0.1; 7];
+            w[6] = 5.0;
+            w
+        }] {
+            let (_, star_cost) = optimal_star_hub(&weights);
+            let line_cost = expected_messages_per_entry(&Tree::line(7), &weights);
+            assert!(star_cost <= line_cost + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn weight_length_is_validated() {
+        expected_messages_per_entry(&Tree::line(3), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight must be positive")]
+    fn all_zero_weights_are_rejected() {
+        expected_messages_per_entry(&Tree::line(3), &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,523 @@
+//! Maekawa-style quorum systems.
+//!
+//! Maekawa's algorithm (the √N baseline of Chapter 2.6) grants the critical
+//! section when a node has locked every member of its *quorum* (the paper
+//! calls them committees). Correctness requires that every two quorums
+//! intersect and that each node belongs to its own quorum. The paper notes
+//! the optimal construction is a finite projective plane, attainable when
+//! `N = q² + q + 1`; a √N-sized *grid* construction works for every `N`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmx_topology::quorum::QuorumSystem;
+//!
+//! let qs = QuorumSystem::for_size(13); // 13 = 3² + 3 + 1 -> projective plane
+//! qs.verify().unwrap();
+//! assert_eq!(qs.quorum(dmx_topology::NodeId(0)).len(), 4); // q + 1
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// A quorum (committee) assignment: one member list per node.
+///
+/// Invariants checked by [`QuorumSystem::verify`]:
+/// 1. every node appears in its own quorum;
+/// 2. every pair of quorums has a nonempty intersection;
+/// 3. member lists are sorted and duplicate-free.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuorumSystem {
+    quorums: Vec<Vec<NodeId>>,
+}
+
+/// Violation found by [`QuorumSystem::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuorumError {
+    /// A node was missing from its own quorum.
+    MissingSelf(NodeId),
+    /// Two quorums failed to intersect.
+    DisjointQuorums(NodeId, NodeId),
+    /// A member list contained a duplicate or unsorted entry.
+    MalformedMembers(NodeId),
+    /// A member identifier was out of range.
+    MemberOutOfRange(NodeId, NodeId),
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::MissingSelf(n) => write!(f, "{n} is not in its own quorum"),
+            QuorumError::DisjointQuorums(a, b) => {
+                write!(f, "quorums of {a} and {b} do not intersect")
+            }
+            QuorumError::MalformedMembers(n) => {
+                write!(f, "quorum of {n} is unsorted or has duplicates")
+            }
+            QuorumError::MemberOutOfRange(n, m) => {
+                write!(f, "quorum of {n} names out-of-range member {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+impl QuorumSystem {
+    /// Builds the √N *grid* quorum system over `n` nodes: nodes are laid
+    /// out row-major on a `⌈n/cols⌉ × cols` grid (`cols = ⌈√n⌉`) and a
+    /// node's quorum is its full row plus its full column (existing cells
+    /// only). Any two quorums intersect at a shared row/column cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::quorum::QuorumSystem;
+    /// let qs = QuorumSystem::grid(16);
+    /// qs.verify().unwrap();
+    /// assert_eq!(qs.quorum(dmx_topology::NodeId(5)).len(), 7); // row(4) + col(4) - self
+    /// ```
+    pub fn grid(n: usize) -> Self {
+        assert!(n > 0, "quorum system needs at least one node");
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let mut quorums = Vec::with_capacity(n);
+        for i in 0..n {
+            let (r, c) = (i / cols, i % cols);
+            let mut members = Vec::new();
+            // Full row.
+            for cc in 0..cols {
+                let j = r * cols + cc;
+                if j < n {
+                    members.push(NodeId::from_index(j));
+                }
+            }
+            // Full column.
+            for rr in 0.. {
+                let j = rr * cols + c;
+                if j >= n {
+                    break;
+                }
+                if rr != r {
+                    members.push(NodeId::from_index(j));
+                }
+            }
+            members.sort_unstable();
+            members.dedup();
+            quorums.push(members);
+        }
+        QuorumSystem { quorums }
+    }
+
+    /// Builds the finite-projective-plane quorum system of prime order `q`
+    /// over `N = q² + q + 1` nodes; every quorum has exactly `q + 1`
+    /// members, the optimum Maekawa identified.
+    ///
+    /// Points of PG(2, q) are identified with nodes; each node is assigned
+    /// a distinct line passing through its own point (a perfect matching on
+    /// the point–line incidence graph, which always exists because the
+    /// graph is `(q+1)`-regular bipartite).
+    ///
+    /// Returns `None` if `q < 2` or `q` is not prime (the construction here
+    /// uses arithmetic mod `q`, so prime powers other than primes are not
+    /// supported).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::quorum::QuorumSystem;
+    /// let qs = QuorumSystem::projective_plane(3).unwrap(); // N = 13
+    /// qs.verify().unwrap();
+    /// assert!(qs.quorums().iter().all(|m| m.len() == 4));
+    /// ```
+    pub fn projective_plane(q: u32) -> Option<Self> {
+        if q < 2 || !is_prime(q) {
+            return None;
+        }
+        let q = q as u64;
+        let n = (q * q + q + 1) as usize;
+        // Normalized homogeneous coordinates: (1,a,b), (0,1,b), (0,0,1).
+        let mut coords: Vec<[u64; 3]> = Vec::with_capacity(n);
+        for a in 0..q {
+            for b in 0..q {
+                coords.push([1, a, b]);
+            }
+        }
+        for b in 0..q {
+            coords.push([0, 1, b]);
+        }
+        coords.push([0, 0, 1]);
+        debug_assert_eq!(coords.len(), n);
+
+        // Lines use the same normalized triples as coefficients; a point p
+        // lies on line l iff l·p ≡ 0 (mod q).
+        let on_line = |l: &[u64; 3], p: &[u64; 3]| {
+            (l[0] * p[0] + l[1] * p[1] + l[2] * p[2]).is_multiple_of(q)
+        };
+        let lines: Vec<Vec<usize>> = coords
+            .iter()
+            .map(|l| {
+                (0..n)
+                    .filter(|&pi| on_line(l, &coords[pi]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        debug_assert!(lines.iter().all(|pts| pts.len() == (q + 1) as usize));
+
+        // Perfect matching: assign each point a distinct line through it.
+        let line_of_point = match_points_to_lines(n, &lines)?;
+
+        let mut quorums = Vec::with_capacity(n);
+        for p in 0..n {
+            let mut members: Vec<NodeId> = lines[line_of_point[p]]
+                .iter()
+                .map(|&pt| NodeId::from_index(pt))
+                .collect();
+            members.sort_unstable();
+            quorums.push(members);
+        }
+        Some(QuorumSystem { quorums })
+    }
+
+    /// Picks the best available construction for `n` nodes: the projective
+    /// plane when `n = q² + q + 1` for a prime `q`, the grid otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::quorum::QuorumSystem;
+    /// QuorumSystem::for_size(7).verify().unwrap();   // plane of order 2
+    /// QuorumSystem::for_size(10).verify().unwrap();  // grid fallback
+    /// ```
+    pub fn for_size(n: usize) -> Self {
+        assert!(n > 0, "quorum system needs at least one node");
+        for q in 2u32.. {
+            let plane_n = (q as usize) * (q as usize) + q as usize + 1;
+            if plane_n == n {
+                if let Some(qs) = QuorumSystem::projective_plane(q) {
+                    return qs;
+                }
+                break;
+            }
+            if plane_n > n {
+                break;
+            }
+        }
+        QuorumSystem::grid(n)
+    }
+
+    /// Number of nodes (and quorums).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::quorum::QuorumSystem;
+    /// assert_eq!(QuorumSystem::grid(9).len(), 9);
+    /// ```
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.quorums.len()
+    }
+
+    /// `true` only for the degenerate one-node system.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::quorum::QuorumSystem;
+    /// assert!(QuorumSystem::grid(1).is_empty());
+    /// ```
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.quorums.len() <= 1
+    }
+
+    /// The quorum (sorted member list, including `v` itself) of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, quorum::QuorumSystem};
+    /// let qs = QuorumSystem::grid(4);
+    /// assert!(qs.quorum(NodeId(2)).contains(&NodeId(2)));
+    /// ```
+    #[inline]
+    pub fn quorum(&self, v: NodeId) -> &[NodeId] {
+        &self.quorums[v.index()]
+    }
+
+    /// All quorums, indexed by node.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::quorum::QuorumSystem;
+    /// assert_eq!(QuorumSystem::grid(6).quorums().len(), 6);
+    /// ```
+    #[inline]
+    pub fn quorums(&self) -> &[Vec<NodeId>] {
+        &self.quorums
+    }
+
+    /// Mean quorum size; Maekawa's message complexity is `c · K` for
+    /// quorums of size `K ≈ √N`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::quorum::QuorumSystem;
+    /// let qs = QuorumSystem::projective_plane(2).unwrap();
+    /// assert!((qs.mean_size() - 3.0).abs() < 1e-9);
+    /// ```
+    pub fn mean_size(&self) -> f64 {
+        let total: usize = self.quorums.iter().map(Vec::len).sum();
+        total as f64 / self.quorums.len() as f64
+    }
+
+    /// Largest quorum size.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::quorum::QuorumSystem;
+    /// assert_eq!(QuorumSystem::projective_plane(2).unwrap().max_size(), 3);
+    /// ```
+    pub fn max_size(&self) -> usize {
+        self.quorums.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Checks the Maekawa invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: a node missing from its own
+    /// quorum, a disjoint quorum pair, a malformed member list, or an
+    /// out-of-range member.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::quorum::QuorumSystem;
+    /// QuorumSystem::grid(12).verify().unwrap();
+    /// ```
+    pub fn verify(&self) -> Result<(), QuorumError> {
+        let n = self.quorums.len();
+        for (i, members) in self.quorums.iter().enumerate() {
+            let me = NodeId::from_index(i);
+            if !members.windows(2).all(|w| w[0] < w[1]) {
+                return Err(QuorumError::MalformedMembers(me));
+            }
+            if let Some(&m) = members.iter().find(|m| m.index() >= n) {
+                return Err(QuorumError::MemberOutOfRange(me, m));
+            }
+            if members.binary_search(&me).is_err() {
+                return Err(QuorumError::MissingSelf(me));
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !intersects(&self.quorums[i], &self.quorums[j]) {
+                    return Err(QuorumError::DisjointQuorums(
+                        NodeId::from_index(i),
+                        NodeId::from_index(j),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sorted-list intersection test.
+fn intersects(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+fn is_prime(n: u32) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2u32;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Bipartite matching (points -> lines through them) by augmenting paths.
+/// Returns `line_of_point` or `None` if no perfect matching exists.
+fn match_points_to_lines(n: usize, lines: &[Vec<usize>]) -> Option<Vec<usize>> {
+    // lines_of_point[p] = lines containing p.
+    let mut lines_of_point = vec![Vec::new(); n];
+    for (li, pts) in lines.iter().enumerate() {
+        for &p in pts {
+            lines_of_point[p].push(li);
+        }
+    }
+    let mut point_of_line: Vec<Option<usize>> = vec![None; n];
+    let mut line_of_point: Vec<Option<usize>> = vec![None; n];
+
+    fn augment(
+        p: usize,
+        lines_of_point: &[Vec<usize>],
+        point_of_line: &mut [Option<usize>],
+        line_of_point: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &l in &lines_of_point[p] {
+            if visited[l] {
+                continue;
+            }
+            visited[l] = true;
+            let free = match point_of_line[l] {
+                None => true,
+                Some(other) => {
+                    augment(other, lines_of_point, point_of_line, line_of_point, visited)
+                }
+            };
+            if free {
+                point_of_line[l] = Some(p);
+                line_of_point[p] = Some(l);
+                return true;
+            }
+        }
+        false
+    }
+
+    for p in 0..n {
+        let mut visited = vec![false; n];
+        if !augment(
+            p,
+            &lines_of_point,
+            &mut point_of_line,
+            &mut line_of_point,
+            &mut visited,
+        ) {
+            return None;
+        }
+    }
+    line_of_point.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_valid_for_many_sizes() {
+        for n in 1..=60 {
+            let qs = QuorumSystem::grid(n);
+            qs.verify().unwrap_or_else(|e| panic!("grid({n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn grid_size_scales_as_sqrt() {
+        let qs = QuorumSystem::grid(100);
+        // Row (10) + column (10) - self.
+        assert_eq!(qs.max_size(), 19);
+        assert!(qs.mean_size() < 20.0);
+    }
+
+    #[test]
+    fn plane_exists_for_small_primes() {
+        for q in [2u32, 3, 5, 7] {
+            let n = (q * q + q + 1) as usize;
+            let qs = QuorumSystem::projective_plane(q).unwrap();
+            assert_eq!(qs.len(), n);
+            qs.verify().unwrap_or_else(|e| panic!("plane({q}): {e}"));
+            assert!(qs.quorums().iter().all(|m| m.len() == (q + 1) as usize));
+        }
+    }
+
+    #[test]
+    fn plane_rejects_non_primes() {
+        assert!(QuorumSystem::projective_plane(1).is_none());
+        assert!(QuorumSystem::projective_plane(4).is_none());
+        assert!(QuorumSystem::projective_plane(6).is_none());
+    }
+
+    #[test]
+    fn plane_pairwise_intersections_are_exactly_one() {
+        let qs = QuorumSystem::projective_plane(3).unwrap();
+        for i in 0..qs.len() {
+            for j in (i + 1)..qs.len() {
+                let a = &qs.quorums()[i];
+                let b = &qs.quorums()[j];
+                let common = a.iter().filter(|m| b.contains(m)).count();
+                // Distinct lines meet in exactly one point; two nodes may
+                // share a line, in which case the quorums are identical in
+                // no case (matching gives distinct lines), so always 1.
+                assert_eq!(common, 1, "quorums {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_size_prefers_plane() {
+        // 7 = 2² + 2 + 1.
+        let qs = QuorumSystem::for_size(7);
+        assert_eq!(qs.max_size(), 3);
+        // 12 has no plane; grid gives bigger quorums.
+        let qs = QuorumSystem::for_size(12);
+        assert!(qs.max_size() > 4);
+        qs.verify().unwrap();
+    }
+
+    #[test]
+    fn single_node_quorum() {
+        let qs = QuorumSystem::grid(1);
+        assert!(qs.is_empty());
+        assert_eq!(qs.quorum(NodeId(0)), &[NodeId(0)]);
+        qs.verify().unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = QuorumError::DisjointQuorums(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("do not intersect"));
+    }
+
+    #[test]
+    fn verify_catches_missing_self() {
+        let mut qs = QuorumSystem::grid(4);
+        qs.quorums[0].retain(|&m| m != NodeId(0));
+        assert_eq!(qs.verify(), Err(QuorumError::MissingSelf(NodeId(0))));
+    }
+
+    #[test]
+    fn verify_catches_disjoint() {
+        let qs = QuorumSystem {
+            quorums: vec![vec![NodeId(0)], vec![NodeId(1)]],
+        };
+        assert_eq!(
+            qs.verify(),
+            Err(QuorumError::DisjointQuorums(NodeId(0), NodeId(1)))
+        );
+    }
+}

@@ -1,0 +1,879 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::orientation::Orientation;
+
+/// An undirected tree over nodes `0..n`.
+///
+/// This is the *logical* structure the paper layers over the fully
+/// connected physical network: "we further impose that the structure of the
+/// graph is acyclic even without considering the directions of the edges"
+/// (Chapter 3), which together with connectivity makes the undirected
+/// skeleton a tree. Directions (the `NEXT` pointers) live in the protocol
+/// state, not here; [`Tree::orient_toward`] produces the initial
+/// orientation.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_topology::{NodeId, Tree};
+///
+/// let tree = Tree::from_edges(4, &[(0, 1), (1, 2), (1, 3)])?;
+/// assert_eq!(tree.len(), 4);
+/// assert_eq!(tree.degree(NodeId(1)), 3);
+/// assert_eq!(tree.diameter(), 2);
+/// # Ok::<(), dmx_topology::TreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tree {
+    /// Adjacency lists; `adj[v]` is sorted ascending.
+    adj: Vec<Vec<NodeId>>,
+}
+
+/// Error returned when a set of edges does not describe a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The node count was zero.
+    Empty,
+    /// An edge mentioned a node `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// The number of nodes in the tree.
+        len: usize,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop(NodeId),
+    /// The same undirected edge appeared twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// A tree over `n` nodes needs exactly `n - 1` edges.
+    WrongEdgeCount {
+        /// Edges supplied.
+        got: usize,
+        /// Edges required (`n - 1`).
+        want: usize,
+    },
+    /// The edges were acyclic but did not connect all nodes.
+    Disconnected,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree must contain at least one node"),
+            TreeError::NodeOutOfRange { node, len } => {
+                write!(f, "edge endpoint {node} out of range for {len} nodes")
+            }
+            TreeError::SelfLoop(n) => write!(f, "self loop at {n}"),
+            TreeError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a}-{b}"),
+            TreeError::WrongEdgeCount { got, want } => {
+                write!(f, "tree needs exactly {want} edges, got {got}")
+            }
+            TreeError::Disconnected => write!(f, "edges do not connect all nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl Tree {
+    /// Builds a tree from an explicit edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TreeError`] if the edges do not form a connected acyclic
+    /// graph over exactly `n` nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::Tree;
+    ///
+    /// let t = Tree::from_edges(3, &[(0, 1), (1, 2)])?;
+    /// assert_eq!(t.diameter(), 2);
+    /// assert!(Tree::from_edges(3, &[(0, 1), (0, 1)]).is_err());
+    /// # Ok::<(), dmx_topology::TreeError>(())
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, TreeError> {
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        if edges.len() != n - 1 {
+            return Err(TreeError::WrongEdgeCount {
+                got: edges.len(),
+                want: n - 1,
+            });
+        }
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            let (a, b) = (NodeId(a), NodeId(b));
+            for node in [a, b] {
+                if node.index() >= n {
+                    return Err(TreeError::NodeOutOfRange { node, len: n });
+                }
+            }
+            if a == b {
+                return Err(TreeError::SelfLoop(a));
+            }
+            if adj[a.index()].contains(&b) {
+                return Err(TreeError::DuplicateEdge(a, b));
+            }
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let tree = Tree { adj };
+        // n-1 distinct edges + full connectivity implies acyclicity.
+        if tree.reachable_from(NodeId(0)) != n {
+            return Err(TreeError::Disconnected);
+        }
+        Ok(tree)
+    }
+
+    /// A straight line `0 - 1 - 2 - … - (n-1)`.
+    ///
+    /// The paper's *worst* topology: the upper bound on messages per entry
+    /// degenerates to `N` (Chapter 6.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::Tree;
+    /// assert_eq!(Tree::line(5).diameter(), 4);
+    /// ```
+    pub fn line(n: usize) -> Self {
+        assert!(n > 0, "line topology needs at least one node");
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+        Tree::from_edges(n, &edges).expect("line edges always form a tree")
+    }
+
+    /// The paper's *centralized* (optimal) topology: node `0` in the center,
+    /// all other nodes leaves (Figure 8). Diameter 2, upper bound 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::{NodeId, Tree};
+    /// let star = Tree::star(6);
+    /// assert_eq!(star.degree(NodeId(0)), 5);
+    /// assert_eq!(star.diameter(), 2);
+    /// ```
+    pub fn star(n: usize) -> Self {
+        assert!(n > 0, "star topology needs at least one node");
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+        Tree::from_edges(n, &edges).expect("star edges always form a tree")
+    }
+
+    /// A *radiating star*: `arms` paths of length `arm_len` joined at a
+    /// central node. Raymond's paper suggested this shape as optimal; the
+    /// thesis shows the plain star ([`Tree::star`]) beats it.
+    ///
+    /// Total node count is `1 + arms * arm_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms == 0` or `arm_len == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::Tree;
+    /// let rs = Tree::radiating_star(3, 2); // 7 nodes, diameter 4
+    /// assert_eq!(rs.len(), 7);
+    /// assert_eq!(rs.diameter(), 4);
+    /// ```
+    pub fn radiating_star(arms: usize, arm_len: usize) -> Self {
+        assert!(arms > 0, "radiating star needs at least one arm");
+        assert!(arm_len > 0, "radiating star arms need at least one node");
+        let n = 1 + arms * arm_len;
+        let mut edges = Vec::with_capacity(n - 1);
+        let mut next = 1u32;
+        for _ in 0..arms {
+            let mut prev = 0u32;
+            for _ in 0..arm_len {
+                edges.push((prev, next));
+                prev = next;
+                next += 1;
+            }
+        }
+        Tree::from_edges(n, &edges).expect("radiating star edges always form a tree")
+    }
+
+    /// A balanced `k`-ary tree over `n` nodes (heap-style numbering: the
+    /// children of node `i` are `k*i + 1 ..= k*i + k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::{NodeId, Tree};
+    /// let t = Tree::kary(7, 2); // perfect binary tree of depth 2
+    /// assert_eq!(t.degree(NodeId(0)), 2);
+    /// assert_eq!(t.diameter(), 4);
+    /// ```
+    pub fn kary(n: usize, k: usize) -> Self {
+        assert!(n > 0, "k-ary tree needs at least one node");
+        assert!(k > 0, "k-ary tree needs arity at least one");
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| ((i - 1) / k as u32, i)).collect();
+        Tree::from_edges(n, &edges).expect("k-ary edges always form a tree")
+    }
+
+    /// A caterpillar: a spine line of `spine` nodes, each spine node also
+    /// carrying `legs` leaf nodes. Exercises mixed-degree topologies.
+    ///
+    /// Total node count is `spine * (1 + legs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spine == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::Tree;
+    /// let cat = Tree::caterpillar(3, 2);
+    /// assert_eq!(cat.len(), 9);
+    /// assert_eq!(cat.diameter(), 4); // leg-spine-spine-spine-leg
+    /// ```
+    pub fn caterpillar(spine: usize, legs: usize) -> Self {
+        assert!(spine > 0, "caterpillar needs at least one spine node");
+        let n = spine * (1 + legs);
+        let mut edges = Vec::with_capacity(n - 1);
+        for s in 1..spine as u32 {
+            edges.push((s - 1, s));
+        }
+        let mut next = spine as u32;
+        for s in 0..spine as u32 {
+            for _ in 0..legs {
+                edges.push((s, next));
+                next += 1;
+            }
+        }
+        Tree::from_edges(n, &edges).expect("caterpillar edges always form a tree")
+    }
+
+    /// A uniformly random labelled tree over `n` nodes, drawn via a random
+    /// Prüfer sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::Tree;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let t = Tree::random(10, &mut rng);
+    /// assert_eq!(t.len(), 10);
+    /// ```
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n > 0, "random tree needs at least one node");
+        if n == 1 {
+            return Tree {
+                adj: vec![Vec::new()],
+            };
+        }
+        if n == 2 {
+            return Tree::from_edges(2, &[(0, 1)]).expect("two-node tree");
+        }
+        let prufer: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n as u32)).collect();
+        Tree::from_prufer(&prufer)
+    }
+
+    /// Reconstructs the tree encoded by a Prüfer sequence of length `n - 2`
+    /// (so `n = prufer.len() + 2` nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is `>= n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_topology::Tree;
+    /// // The sequence [1, 1] encodes the star centered on node 1 over 4 nodes.
+    /// let t = Tree::from_prufer(&[1, 1]);
+    /// assert_eq!(t.degree(dmx_topology::NodeId(1)), 3);
+    /// ```
+    pub fn from_prufer(prufer: &[u32]) -> Self {
+        let n = prufer.len() + 2;
+        let mut degree = vec![1u32; n];
+        for &p in prufer {
+            assert!((p as usize) < n, "prufer entry out of range");
+            degree[p as usize] += 1;
+        }
+        let mut edges = Vec::with_capacity(n - 1);
+        // Min-heap of current leaves.
+        let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+            .filter(|&v| degree[v as usize] == 1)
+            .map(std::cmp::Reverse)
+            .collect();
+        for &p in prufer {
+            let std::cmp::Reverse(leaf) = leaves.pop().expect("prufer decoding invariant");
+            edges.push((leaf, p));
+            degree[p as usize] -= 1;
+            if degree[p as usize] == 1 {
+                leaves.push(std::cmp::Reverse(p));
+            }
+        }
+        let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+        let std::cmp::Reverse(b) = leaves.pop().expect("two leaves remain");
+        edges.push((a, b));
+        Tree::from_edges(n, &edges).expect("prufer decoding always yields a tree")
+    }
+
+    /// Number of nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::Tree;
+    /// assert_eq!(Tree::star(5).len(), 5);
+    /// ```
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` if the tree has exactly one node (it can never have
+    /// zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::Tree;
+    /// assert!(!Tree::line(2).is_empty());
+    /// ```
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        // A `Tree` always has >= 1 node; this mirrors the std convention of
+        // pairing `len` with `is_empty` and is `true` only for the
+        // single-node tree which has no edges.
+        self.adj.len() <= 1
+    }
+
+    /// Iterates over all node identifiers `0..n`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::Tree;
+    /// let ids: Vec<_> = Tree::line(3).nodes().collect();
+    /// assert_eq!(ids.len(), 3);
+    /// ```
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// The neighbors of `v`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let star = Tree::star(4);
+    /// assert_eq!(star.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+    /// ```
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// The degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// assert_eq!(Tree::line(3).degree(NodeId(1)), 2);
+    /// ```
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Returns `true` if `a` and `b` share an edge.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let line = Tree::line(3);
+    /// assert!(line.has_edge(NodeId(0), NodeId(1)));
+    /// assert!(!line.has_edge(NodeId(0), NodeId(2)));
+    /// ```
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        a.index() < self.len() && self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// All edges as `(low, high)` pairs, lexicographically sorted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::Tree;
+    /// assert_eq!(Tree::line(3).edges(), vec![(dmx_topology::NodeId(0), dmx_topology::NodeId(1)), (dmx_topology::NodeId(1), dmx_topology::NodeId(2))]);
+    /// ```
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.len().saturating_sub(1));
+        for v in self.nodes() {
+            for &w in self.neighbors(v) {
+                if v < w {
+                    out.push((v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Breadth-first distances from `src` to every node, in edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let d = Tree::line(4).distances_from(NodeId(0));
+    /// assert_eq!(d, vec![0, 1, 2, 3]);
+    /// ```
+    pub fn distances_from(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.len()];
+        dist[src.index()] = 0;
+        let mut queue = VecDeque::from([src]);
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The unique simple path from `a` to `b`, inclusive of both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let p = Tree::line(4).path(NodeId(0), NodeId(3));
+    /// assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    /// ```
+    pub fn path(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        let mut parent: Vec<Option<NodeId>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        seen[a.index()] = true;
+        let mut queue = VecDeque::from([a]);
+        while let Some(v) = queue.pop_front() {
+            if v == b {
+                break;
+            }
+            for &w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    parent[w.index()] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while let Some(p) = parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&a));
+        path
+    }
+
+    /// Graph distance between two nodes, in edges.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// assert_eq!(Tree::star(5).distance(NodeId(1), NodeId(2)), 2);
+    /// ```
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        self.path(a, b).len() - 1
+    }
+
+    /// The eccentricity of `v`: its distance to the farthest node.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// assert_eq!(Tree::line(5).eccentricity(NodeId(2)), 2);
+    /// ```
+    pub fn eccentricity(&self, v: NodeId) -> usize {
+        *self
+            .distances_from(v)
+            .iter()
+            .max()
+            .expect("tree is nonempty")
+    }
+
+    /// The diameter: the length of the longest simple path, in edges. The
+    /// paper defines performance bounds in terms of this quantity `D`.
+    ///
+    /// Computed with the classic double-BFS trick, which is exact on trees.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::Tree;
+    /// assert_eq!(Tree::star(10).diameter(), 2);
+    /// assert_eq!(Tree::line(10).diameter(), 9);
+    /// assert_eq!(Tree::line(1).diameter(), 0);
+    /// ```
+    pub fn diameter(&self) -> usize {
+        let d0 = self.distances_from(NodeId(0));
+        let far = NodeId::from_index(
+            d0.iter()
+                .enumerate()
+                .max_by_key(|(_, d)| **d)
+                .map(|(i, _)| i)
+                .expect("nonempty"),
+        );
+        self.eccentricity(far)
+    }
+
+    /// A center of the tree (a node of minimum eccentricity). Ties broken
+    /// toward the smaller identifier.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// assert_eq!(Tree::line(5).center(), NodeId(2));
+    /// assert_eq!(Tree::star(9).center(), NodeId(0));
+    /// ```
+    pub fn center(&self) -> NodeId {
+        self.nodes()
+            .min_by_key(|&v| (self.eccentricity(v), v))
+            .expect("tree is nonempty")
+    }
+
+    /// Orients every edge toward `sink`, yielding the initial `NEXT`
+    /// assignment of the paper's Figure 5 `INIT` procedure: each non-sink
+    /// node's pointer names its neighbor on the unique path to `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::{NodeId, Tree};
+    /// let o = Tree::star(4).orient_toward(NodeId(2));
+    /// assert_eq!(o.next_hop(NodeId(0)), Some(NodeId(2)));
+    /// assert_eq!(o.next_hop(NodeId(1)), Some(NodeId(0)));
+    /// assert_eq!(o.next_hop(NodeId(2)), None);
+    /// ```
+    pub fn orient_toward(&self, sink: NodeId) -> Orientation {
+        let mut next: Vec<Option<NodeId>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        seen[sink.index()] = true;
+        let mut queue = VecDeque::from([sink]);
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    next[w.index()] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        Orientation::new(next, sink)
+    }
+
+    /// A uniformly random node identifier.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::Tree;
+    /// # use rand::{rngs::StdRng, SeedableRng};
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let v = Tree::star(5).random_node(&mut rng);
+    /// assert!(v.index() < 5);
+    /// ```
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeId {
+        NodeId::from_index(rng.gen_range(0..self.len()))
+    }
+
+    /// A random permutation of all node identifiers; handy for workloads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_topology::Tree;
+    /// # use rand::{rngs::StdRng, SeedableRng};
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let p = Tree::line(6).shuffled_nodes(&mut rng);
+    /// assert_eq!(p.len(), 6);
+    /// ```
+    pub fn shuffled_nodes<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes().collect();
+        ids.shuffle(rng);
+        ids
+    }
+
+    fn reachable_from(&self, src: NodeId) -> usize {
+        let mut seen = vec![false; self.len()];
+        seen[src.index()] = true;
+        let mut queue = VecDeque::from([src]);
+        let mut count = 1;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_edges_accepts_valid_tree() {
+        let t = Tree::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        assert_eq!(t.len(), 5);
+        assert!(t.has_edge(NodeId(1), NodeId(3)));
+        assert!(!t.has_edge(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn from_edges_rejects_empty() {
+        assert_eq!(Tree::from_edges(0, &[]), Err(TreeError::Empty));
+    }
+
+    #[test]
+    fn from_edges_rejects_wrong_count() {
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1)]),
+            Err(TreeError::WrongEdgeCount { got: 1, want: 2 })
+        );
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert_eq!(
+            Tree::from_edges(2, &[(0, 5)]),
+            Err(TreeError::NodeOutOfRange {
+                node: NodeId(5),
+                len: 2
+            })
+        );
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        assert_eq!(
+            Tree::from_edges(2, &[(1, 1)]),
+            Err(TreeError::SelfLoop(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn from_edges_rejects_duplicate_edge() {
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1), (1, 0)]),
+            Err(TreeError::DuplicateEdge(NodeId(1), NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn from_edges_rejects_cycle_as_disconnected() {
+        // 3 edges over 4 nodes with a cycle leaves node 3 unreachable.
+        assert_eq!(
+            Tree::from_edges(4, &[(0, 1), (1, 2), (2, 0)]),
+            Err(TreeError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = Tree::from_edges(1, &[]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.is_empty());
+        assert_eq!(t.diameter(), 0);
+        assert_eq!(t.center(), NodeId(0));
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = Tree::line(6);
+        assert_eq!(t.diameter(), 5);
+        assert_eq!(t.degree(NodeId(0)), 1);
+        assert_eq!(t.degree(NodeId(3)), 2);
+        assert_eq!(t.center(), NodeId(2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Tree::star(7);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.degree(NodeId(0)), 6);
+        for i in 1..7 {
+            assert_eq!(t.degree(NodeId(i)), 1);
+        }
+        assert_eq!(t.center(), NodeId(0));
+    }
+
+    #[test]
+    fn radiating_star_shape() {
+        let t = Tree::radiating_star(4, 3);
+        assert_eq!(t.len(), 13);
+        assert_eq!(t.diameter(), 6);
+        assert_eq!(t.degree(NodeId(0)), 4);
+    }
+
+    #[test]
+    fn kary_shape() {
+        let t = Tree::kary(15, 2);
+        assert_eq!(t.diameter(), 6);
+        assert_eq!(t.degree(NodeId(0)), 2);
+        let t3 = Tree::kary(13, 3);
+        assert_eq!(t3.degree(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = Tree::caterpillar(4, 1);
+        assert_eq!(t.len(), 8);
+        // leg - s0 - s1 - s2 - s3 - leg
+        assert_eq!(t.diameter(), 5);
+    }
+
+    #[test]
+    fn path_and_distance_agree() {
+        let t = Tree::kary(15, 2);
+        for a in t.nodes() {
+            let dists = t.distances_from(a);
+            for b in t.nodes() {
+                assert_eq!(t.distance(a, b), dists[b.index()]);
+                let p = t.path(a, b);
+                assert_eq!(p.first(), Some(&a));
+                assert_eq!(p.last(), Some(&b));
+                // Consecutive path entries are adjacent.
+                for w in p.windows(2) {
+                    assert!(t.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prufer_star_round_trip() {
+        let t = Tree::from_prufer(&[2, 2, 2]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.degree(NodeId(2)), 4);
+    }
+
+    #[test]
+    fn random_trees_are_valid_and_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        for n in [1usize, 2, 3, 10, 37] {
+            let a = Tree::random(n, &mut r1);
+            let b = Tree::random(n, &mut r2);
+            assert_eq!(a, b, "same seed must give the same tree");
+            assert_eq!(a.len(), n);
+            assert_eq!(a.edges().len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn orientation_points_along_paths() {
+        let t = Tree::kary(10, 3);
+        for sink in t.nodes() {
+            let o = t.orient_toward(sink);
+            assert_eq!(o.sink(), sink);
+            for v in t.nodes() {
+                if v == sink {
+                    assert_eq!(o.next_hop(v), None);
+                } else {
+                    let hop = o.next_hop(v).unwrap();
+                    // The hop must be the second node on the path to the sink.
+                    assert_eq!(hop, t.path(v, sink)[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_matches_brute_force_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let t = Tree::random(rng.gen_range(2..30), &mut rng);
+            let brute = t.nodes().map(|v| t.eccentricity(v)).max().unwrap();
+            assert_eq!(t.diameter(), brute);
+        }
+    }
+
+    #[test]
+    fn edges_are_sorted_and_complete() {
+        let t = Tree::caterpillar(3, 2);
+        let e = t.edges();
+        assert_eq!(e.len(), t.len() - 1);
+        let mut sorted = e.clone();
+        sorted.sort();
+        assert_eq!(e, sorted);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let msg = TreeError::WrongEdgeCount { got: 1, want: 2 }.to_string();
+        assert!(msg.contains("exactly 2"));
+        assert!(!TreeError::Disconnected.to_string().is_empty());
+    }
+}

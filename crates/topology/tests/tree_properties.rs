@@ -1,0 +1,95 @@
+//! Property-based tests of the tree and quorum substrates.
+
+use dmx_topology::quorum::QuorumSystem;
+use dmx_topology::{NodeId, Tree};
+use proptest::prelude::*;
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (2usize..=24).prop_flat_map(|n| {
+        if n == 2 {
+            Just(Tree::line(2)).boxed()
+        } else {
+            proptest::collection::vec(0u32..n as u32, n - 2)
+                .prop_map(|p| Tree::from_prufer(&p))
+                .boxed()
+        }
+    })
+}
+
+proptest! {
+    /// A decoded Prüfer sequence always yields a valid tree: n nodes,
+    /// n-1 edges, connected (checked by from_edges inside), and the
+    /// degree of node v equals its Prüfer multiplicity + 1.
+    #[test]
+    fn prufer_decoding_degree_law(prufer in proptest::collection::vec(0u32..10, 8)) {
+        let tree = Tree::from_prufer(&prufer); // n = 10
+        prop_assert_eq!(tree.len(), 10);
+        for v in tree.nodes() {
+            let multiplicity = prufer.iter().filter(|&&p| p == v.0).count();
+            prop_assert_eq!(tree.degree(v), multiplicity + 1);
+        }
+    }
+
+    /// Path endpoints, symmetry, and the triangle equality through the
+    /// unique tree path.
+    #[test]
+    fn distances_are_a_tree_metric(tree in arb_tree(), sel in any::<[prop::sample::Index; 3]>()) {
+        let a = NodeId::from_index(sel[0].index(tree.len()));
+        let b = NodeId::from_index(sel[1].index(tree.len()));
+        let c = NodeId::from_index(sel[2].index(tree.len()));
+        prop_assert_eq!(tree.distance(a, b), tree.distance(b, a));
+        prop_assert!(tree.distance(a, c) <= tree.distance(a, b) + tree.distance(b, c));
+        // Nodes on the a-b path witness equality.
+        let path = tree.path(a, b);
+        for &m in &path {
+            prop_assert_eq!(
+                tree.distance(a, m) + tree.distance(m, b),
+                tree.distance(a, b)
+            );
+        }
+    }
+
+    /// The diameter equals the maximum pairwise distance and the center's
+    /// eccentricity is at most ceil(diameter / 2).
+    #[test]
+    fn diameter_and_center_laws(tree in arb_tree()) {
+        let brute = tree
+            .nodes()
+            .flat_map(|a| tree.nodes().map(move |b| (a, b)))
+            .map(|(a, b)| tree.distance(a, b))
+            .max()
+            .unwrap();
+        prop_assert_eq!(tree.diameter(), brute);
+        let center = tree.center();
+        prop_assert!(tree.eccentricity(center) <= tree.diameter().div_ceil(2));
+    }
+
+    /// Orientations: exactly one sink; every walk terminates at it with
+    /// length equal to the tree distance.
+    #[test]
+    fn orientation_walks_are_shortest_paths(tree in arb_tree(), sel in any::<prop::sample::Index>()) {
+        let sink = NodeId::from_index(sel.index(tree.len()));
+        let orientation = tree.orient_toward(sink);
+        for v in tree.nodes() {
+            let walk = orientation.walk_to_sink(v);
+            prop_assert_eq!(*walk.last().unwrap(), sink);
+            prop_assert_eq!(walk.len() - 1, tree.distance(v, sink));
+        }
+    }
+
+    /// Grid quorum systems satisfy the Maekawa invariants at every size,
+    /// and their size stays within the 2*ceil(sqrt(N)) envelope.
+    #[test]
+    fn grid_quorums_always_verify(n in 1usize..140) {
+        let qs = QuorumSystem::grid(n);
+        prop_assert!(qs.verify().is_ok());
+        let bound = 2 * (n as f64).sqrt().ceil() as usize;
+        prop_assert!(qs.max_size() <= bound, "max {} > {}", qs.max_size(), bound);
+    }
+
+    /// `for_size` always produces a verifying system.
+    #[test]
+    fn for_size_always_verifies(n in 1usize..80) {
+        prop_assert!(QuorumSystem::for_size(n).verify().is_ok());
+    }
+}

@@ -1,0 +1,422 @@
+//! Workload generators for the mutual exclusion experiments.
+//!
+//! The paper's Chapter 6 analysis assumes specific demand patterns —
+//! single isolated requests (6.1 upper bounds), a uniformly random
+//! requester with the token uniformly placed (6.2 average bounds), and
+//! "heavy demand" saturation (6.2's closing remark, 6.3 synchronization
+//! delay). Each pattern is a [`Workload`] implementation driving the
+//! engine's closed loop: the engine asks the workload when each node
+//! requests next after leaving the critical section.
+//!
+//! * [`SingleShot`] — an explicit request schedule, no re-requests.
+//! * [`Saturated`] — every node re-requests immediately, a fixed number
+//!   of times: maximal contention.
+//! * [`ThinkTime`] — every node cycles request → critical section →
+//!   think, with think times drawn from a [`LatencyModel`]; sweeping the
+//!   mean think time sweeps offered load.
+//! * [`Hotspot`] — like [`ThinkTime`] but one node thinks much less,
+//!   concentrating demand (the favourable case for token algorithms that
+//!   leave the token in place).
+//!
+//! # Examples
+//!
+//! ```
+//! use dmx_simnet::Workload;
+//! use dmx_workload::Saturated;
+//!
+//! let mut w = Saturated::new(3); // three entries per node
+//! let initial = w.initial_requests(4);
+//! assert_eq!(initial.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dmx_simnet::{LatencyModel, Time, Workload};
+use dmx_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An explicit one-time schedule: each `(time, node)` pair issues one
+/// request; nobody re-requests.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::{Time, Workload};
+/// use dmx_topology::NodeId;
+/// use dmx_workload::SingleShot;
+///
+/// let mut w = SingleShot::new(vec![(Time(3), NodeId(1))]);
+/// assert_eq!(w.initial_requests(4), vec![(Time(3), NodeId(1))]);
+/// assert_eq!(w.next_request(NodeId(1), Time(9)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleShot {
+    schedule: Vec<(Time, NodeId)>,
+}
+
+impl SingleShot {
+    /// Wraps an explicit schedule.
+    pub fn new(schedule: Vec<(Time, NodeId)>) -> Self {
+        SingleShot { schedule }
+    }
+
+    /// Convenience: all `n` nodes request at `t = 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::Workload;
+    /// # use dmx_workload::SingleShot;
+    /// assert_eq!(SingleShot::all_at_zero(3).initial_requests(3).len(), 3);
+    /// ```
+    pub fn all_at_zero(n: usize) -> Self {
+        SingleShot {
+            schedule: (0..n)
+                .map(|i| (Time::ZERO, NodeId::from_index(i)))
+                .collect(),
+        }
+    }
+}
+
+impl Workload for SingleShot {
+    fn initial_requests(&mut self, _n: usize) -> Vec<(Time, NodeId)> {
+        self.schedule.clone()
+    }
+
+    fn next_request(&mut self, _node: NodeId, _now: Time) -> Option<Time> {
+        None
+    }
+}
+
+/// Heavy demand: every node requests at `t = 0` and re-requests the
+/// moment it leaves the critical section, `rounds` times in total.
+///
+/// This realizes the paper's "under heavy demand" regime, where the DAG
+/// algorithm and the centralized scheme both approach 3 messages per
+/// entry and every hand-off exercises the synchronization delay.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::{Time, Workload};
+/// use dmx_topology::NodeId;
+/// use dmx_workload::Saturated;
+///
+/// let mut w = Saturated::new(2);
+/// w.initial_requests(2);
+/// assert_eq!(w.next_request(NodeId(0), Time(5)), Some(Time(5)));
+/// assert_eq!(w.next_request(NodeId(0), Time(9)), None); // budget spent
+/// ```
+#[derive(Debug, Clone)]
+pub struct Saturated {
+    rounds: u32,
+    remaining: Vec<u32>,
+}
+
+impl Saturated {
+    /// Each node will enter the critical section `rounds` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(rounds: u32) -> Self {
+        assert!(rounds > 0, "saturated workload needs at least one round");
+        Saturated {
+            rounds,
+            remaining: Vec::new(),
+        }
+    }
+}
+
+impl Workload for Saturated {
+    fn initial_requests(&mut self, n: usize) -> Vec<(Time, NodeId)> {
+        self.remaining = vec![self.rounds - 1; n];
+        (0..n)
+            .map(|i| (Time::ZERO, NodeId::from_index(i)))
+            .collect()
+    }
+
+    fn next_request(&mut self, node: NodeId, now: Time) -> Option<Time> {
+        let left = &mut self.remaining[node.index()];
+        if *left == 0 {
+            None
+        } else {
+            *left -= 1;
+            Some(now)
+        }
+    }
+}
+
+/// Closed-loop think-time workload: after each critical section a node
+/// "thinks" for a random duration before requesting again. The mean
+/// think time sets the offered load.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::{LatencyModel, Time, Workload};
+/// use dmx_workload::ThinkTime;
+///
+/// let mut w = ThinkTime::new(LatencyModel::Exponential { mean: Time(50) }, 5, 42);
+/// let initial = w.initial_requests(8);
+/// assert_eq!(initial.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThinkTime {
+    think: LatencyModel,
+    rounds: u32,
+    seed: u64,
+    rng: StdRng,
+    remaining: Vec<u32>,
+}
+
+impl ThinkTime {
+    /// `rounds` critical-section visits per node, separated by think
+    /// times drawn from `think`; fully deterministic given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(think: LatencyModel, rounds: u32, seed: u64) -> Self {
+        assert!(rounds > 0, "think-time workload needs at least one round");
+        ThinkTime {
+            think,
+            rounds,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: Vec::new(),
+        }
+    }
+}
+
+impl Workload for ThinkTime {
+    fn initial_requests(&mut self, n: usize) -> Vec<(Time, NodeId)> {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.remaining = vec![self.rounds - 1; n];
+        (0..n)
+            .map(|i| {
+                let t = self.think.sample(&mut self.rng);
+                (t, NodeId::from_index(i))
+            })
+            .collect()
+    }
+
+    fn next_request(&mut self, node: NodeId, now: Time) -> Option<Time> {
+        let left = &mut self.remaining[node.index()];
+        if *left == 0 {
+            None
+        } else {
+            *left -= 1;
+            Some(now + self.think.sample(&mut self.rng))
+        }
+    }
+}
+
+/// Skewed demand: one *hot* node thinks briefly while everyone else
+/// thinks long, so most entries come from the hot node.
+///
+/// Token-based algorithms shine here: the token parks at the hot node
+/// and its re-entries are free, while permission-based algorithms keep
+/// paying per entry.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::{LatencyModel, Time, Workload};
+/// use dmx_topology::NodeId;
+/// use dmx_workload::Hotspot;
+///
+/// let mut w = Hotspot::new(
+///     NodeId(2),
+///     LatencyModel::Fixed(Time(1)),    // hot node barely pauses
+///     LatencyModel::Fixed(Time(500)),  // the rest are mostly idle
+///     10,
+///     7,
+/// );
+/// assert_eq!(w.initial_requests(4).len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    hot: NodeId,
+    hot_think: LatencyModel,
+    cold_think: LatencyModel,
+    rounds: u32,
+    seed: u64,
+    rng: StdRng,
+    remaining: Vec<u32>,
+}
+
+impl Hotspot {
+    /// `rounds` entries per node; the hot node uses `hot_think`, all
+    /// others `cold_think`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(
+        hot: NodeId,
+        hot_think: LatencyModel,
+        cold_think: LatencyModel,
+        rounds: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(rounds > 0, "hotspot workload needs at least one round");
+        Hotspot {
+            hot,
+            hot_think,
+            cold_think,
+            rounds,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            remaining: Vec::new(),
+        }
+    }
+
+    fn think_for(&self, node: NodeId) -> LatencyModel {
+        if node == self.hot {
+            self.hot_think
+        } else {
+            self.cold_think
+        }
+    }
+}
+
+impl Workload for Hotspot {
+    fn initial_requests(&mut self, n: usize) -> Vec<(Time, NodeId)> {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.remaining = vec![self.rounds - 1; n];
+        (0..n)
+            .map(|i| {
+                let id = NodeId::from_index(i);
+                let t = self.think_for(id).sample(&mut self.rng);
+                (t, id)
+            })
+            .collect()
+    }
+
+    fn next_request(&mut self, node: NodeId, now: Time) -> Option<Time> {
+        let left = &mut self.remaining[node.index()];
+        if *left == 0 {
+            None
+        } else {
+            *left -= 1;
+            Some(now + self.think_for(node).sample(&mut self.rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_simnet::{Ctx, Engine, EngineConfig, Protocol};
+
+    /// Minimal protocol granting itself instantly; good enough to count
+    /// workload-driven entries.
+    struct Solo;
+    impl Protocol for Solo {
+        type Message = ();
+        fn on_request_cs(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.enter_cs();
+        }
+        fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+        fn on_exit_cs(&mut self, _c: &mut Ctx<'_, ()>) {}
+    }
+
+    #[test]
+    fn single_shot_runs_each_request_once() {
+        let mut engine = Engine::new(vec![Solo], EngineConfig::default());
+        let mut w = SingleShot::new(vec![(Time(1), NodeId(0)), (Time(10), NodeId(0))]);
+        let report = engine.run_with_workload(&mut w).unwrap();
+        assert_eq!(report.metrics.cs_entries, 2);
+    }
+
+    #[test]
+    fn saturated_budget_is_rounds_times_n() {
+        let mut engine = Engine::new(vec![Solo], EngineConfig::default());
+        let mut w = Saturated::new(5);
+        let report = engine.run_with_workload(&mut w).unwrap();
+        assert_eq!(report.metrics.cs_entries, 5);
+    }
+
+    #[test]
+    fn think_time_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut w = ThinkTime::new(LatencyModel::Exponential { mean: Time(9) }, 3, seed);
+            let init = w.initial_requests(5);
+            let next: Vec<_> = (0..5)
+                .map(|i| w.next_request(NodeId(i), Time(100)))
+                .collect();
+            (init, next)
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+
+    #[test]
+    fn think_time_budget_respected() {
+        let mut w = ThinkTime::new(LatencyModel::Fixed(Time(2)), 2, 0);
+        w.initial_requests(1);
+        assert!(w.next_request(NodeId(0), Time(10)).is_some());
+        assert_eq!(w.next_request(NodeId(0), Time(20)), None);
+    }
+
+    #[test]
+    fn hotspot_hot_node_requests_sooner() {
+        let mut w = Hotspot::new(
+            NodeId(0),
+            LatencyModel::Fixed(Time(1)),
+            LatencyModel::Fixed(Time(1000)),
+            2,
+            0,
+        );
+        let init = w.initial_requests(3);
+        assert_eq!(init[0].0, Time(1));
+        assert_eq!(init[1].0, Time(1000));
+        let hot_next = w.next_request(NodeId(0), Time(50)).unwrap();
+        let cold_next = w.next_request(NodeId(1), Time(50)).unwrap();
+        assert!(hot_next < cold_next);
+    }
+
+    #[test]
+    fn initial_requests_reset_state_between_runs() {
+        let mut w = ThinkTime::new(LatencyModel::Fixed(Time(3)), 1, 9);
+        let a = w.initial_requests(4);
+        let b = w.initial_requests(4);
+        assert_eq!(a, b, "re-arming must reproduce the same schedule");
+    }
+
+    #[test]
+    fn hotspot_concentrates_entries_in_time() {
+        // Walk the closed loop by hand (1-tick critical sections): the
+        // hot node exhausts its rounds an order of magnitude sooner.
+        let mut w = Hotspot::new(
+            NodeId(1),
+            LatencyModel::Fixed(Time(2)),
+            LatencyModel::Fixed(Time(100)),
+            30,
+            5,
+        );
+        let init = w.initial_requests(3);
+        let mut finish = Vec::new();
+        for (start, node) in init {
+            let mut t = start + Time(1); // exit of the first visit
+            while let Some(next) = w.next_request(node, t) {
+                t = next + Time(1);
+            }
+            finish.push((node, t));
+        }
+        let hot = finish.iter().find(|(n, _)| *n == NodeId(1)).unwrap().1;
+        let cold = finish.iter().find(|(n, _)| *n == NodeId(0)).unwrap().1;
+        assert!(hot.ticks() * 10 < cold.ticks(), "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn saturated_serves_exactly_rounds_times() {
+        let mut engine = Engine::new(vec![Solo], EngineConfig::default());
+        let report = engine.run_with_workload(&mut Saturated::new(7)).unwrap();
+        assert_eq!(report.metrics.cs_entries, 7);
+        assert!(report.metrics.grants.iter().all(|g| g.node == NodeId(0)));
+    }
+}

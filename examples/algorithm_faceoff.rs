@@ -1,0 +1,59 @@
+//! Every algorithm in the workspace, one table: the Chapter 6
+//! comparison, live.
+//!
+//! Runs all nine algorithms (the paper's DAG algorithm plus its eight
+//! historical competitors) on the same saturated star workload and
+//! prints messages per entry, waiting time, sync delay, and storage
+//! footprint — the four axes the thesis evaluates.
+//!
+//! Run with: `cargo run --release --example algorithm_faceoff`
+
+use dagmutex::harness::experiments::storage;
+use dagmutex::harness::{run_algorithm, Algorithm, Scenario};
+use dagmutex::simnet::EngineConfig;
+use dagmutex::topology::{NodeId, Tree};
+use dagmutex::workload::Saturated;
+
+fn main() {
+    let n = 13; // projective-plane size so Maekawa gets optimal quorums
+    let tree = Tree::star(n);
+    let scenario = Scenario {
+        tree: &tree,
+        holder: NodeId(0),
+        config: EngineConfig {
+            record_trace: false,
+            ..EngineConfig::default()
+        },
+    };
+
+    println!("saturated star, N = {n}: every node requests continuously\n");
+    println!(
+        "{:<20} {:>14} {:>12} {:>12} {:>12} {:>14}",
+        "algorithm", "msgs/entry", "mean wait", "sync delay", "node words", "max msg bytes"
+    );
+    for algo in Algorithm::ALL {
+        let metrics = run_algorithm(algo, &scenario, &mut Saturated::new(4))
+            .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        let (words, bytes) = storage::measure(algo, n);
+        println!(
+            "{:<20} {:>14.2} {:>12.1} {:>12} {:>12} {:>14}",
+            algo.name(),
+            metrics.messages_per_entry(),
+            metrics.mean_wait_ticks().unwrap_or(0.0),
+            metrics
+                .sync_delays
+                .iter()
+                .map(|s| s.elapsed.ticks())
+                .max()
+                .unwrap_or(0),
+            words,
+            bytes,
+        );
+    }
+    println!(
+        "\nreading guide: the DAG algorithm matches the centralized scheme's\n\
+         message count, beats its hand-off latency (1 vs 2), and is the only\n\
+         algorithm whose per-node state (3 words) and message payloads stay\n\
+         constant as N grows."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: use the DAG algorithm as a real distributed lock.
+//!
+//! Five worker threads (one per node of a star topology) each increment
+//! a shared tally 50 times under the distributed mutex. The token parks
+//! wherever it was last used, so a worker on a hot streak pays nothing.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dagmutex::runtime::Cluster;
+use dagmutex::topology::{NodeId, Tree};
+
+fn main() {
+    let tree = Tree::star(5);
+    println!(
+        "topology: star of {} nodes, diameter {}",
+        tree.len(),
+        tree.diameter()
+    );
+
+    let (cluster, handles) = Cluster::start(&tree, NodeId(0));
+
+    let tally = Arc::new(AtomicU64::new(0));
+    let inside = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = handles
+        .into_iter()
+        .map(|mut handle| {
+            let tally = Arc::clone(&tally);
+            let inside = Arc::clone(&inside);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let guard = handle.lock().expect("cluster is running");
+                    // Verify the mutual exclusion guarantee for real:
+                    assert!(
+                        !inside.swap(true, Ordering::SeqCst),
+                        "two nodes in the critical section!"
+                    );
+                    tally.fetch_add(1, Ordering::Relaxed);
+                    inside.store(false, Ordering::SeqCst);
+                    drop(guard); // PRIVILEGE moves on (or parks here)
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker finished");
+    }
+
+    let stats = cluster.shutdown();
+    println!("critical-section entries : {}", stats.entries);
+    println!("total protocol messages  : {}", stats.messages_total);
+    println!(
+        "messages per entry       : {:.2}",
+        stats.messages_per_entry()
+    );
+    println!(
+        "(the paper's bound on a star is 3 per entry; token parking under\n\
+         contention keeps the average below it)"
+    );
+    assert_eq!(tally.load(Ordering::Relaxed), 250);
+}

@@ -1,0 +1,108 @@
+//! Property battery over every baseline algorithm: safety (mutual
+//! exclusion) and liveness (all requests granted) under random system
+//! sizes, schedules, latencies and seeds — the same guarantees the DAG
+//! algorithm is property-tested for in `properties.rs`, so the
+//! comparison tables rest on verified implementations on both sides.
+
+use dagmutex::harness::{run_algorithm, Algorithm, Scenario};
+use dagmutex::simnet::{EngineConfig, LatencyModel, Time};
+use dagmutex::topology::{NodeId, Tree};
+use dagmutex::workload::{SingleShot, ThinkTime};
+use proptest::prelude::*;
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop::sample::select(Algorithm::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One staggered request per node, random latencies: every algorithm
+    /// serves everyone, never violating mutual exclusion (the engine's
+    /// checker runs on every event).
+    #[test]
+    fn every_algorithm_is_safe_and_live(
+        algo in arb_algorithm(),
+        n in 2usize..12,
+        holder in any::<prop::sample::Index>(),
+        times in proptest::collection::vec(0u64..30, 12),
+        seed in any::<u64>(),
+    ) {
+        let tree = Tree::star(n);
+        let holder = NodeId::from_index(holder.index(n));
+        let config = EngineConfig {
+            latency: LatencyModel::Exponential { mean: Time(5) },
+            cs_duration: LatencyModel::Uniform { lo: Time(1), hi: Time(4) },
+            seed,
+            record_trace: false,
+            ..EngineConfig::default()
+        };
+        let scenario = Scenario { tree: &tree, holder, config };
+        let schedule: Vec<(Time, NodeId)> = (0..n)
+            .map(|i| (Time(times[i]), NodeId::from_index(i)))
+            .collect();
+        let metrics = run_algorithm(algo, &scenario, &mut SingleShot::new(schedule))
+            .map_err(|e| {
+                TestCaseError::fail(format!("{}: {e}", algo.name()))
+            })?;
+        prop_assert_eq!(metrics.cs_entries as usize, n);
+    }
+
+    /// Closed-loop (think-time) workloads with re-requests also complete,
+    /// on random tree topologies for the tree-based algorithms.
+    #[test]
+    fn closed_loop_workloads_complete(
+        algo in arb_algorithm(),
+        prufer in proptest::collection::vec(0u32..8, 6), // trees of 8 nodes
+        holder in any::<prop::sample::Index>(),
+        rounds in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let tree = Tree::from_prufer(&prufer);
+        let holder = NodeId::from_index(holder.index(tree.len()));
+        let config = EngineConfig {
+            latency: LatencyModel::Uniform { lo: Time(1), hi: Time(9) },
+            seed,
+            record_trace: false,
+            ..EngineConfig::default()
+        };
+        let scenario = Scenario { tree: &tree, holder, config };
+        let mut workload =
+            ThinkTime::new(LatencyModel::Exponential { mean: Time(20) }, rounds, seed);
+        let metrics = run_algorithm(algo, &scenario, &mut workload)
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", algo.name())))?;
+        prop_assert_eq!(metrics.cs_entries as u64, rounds as u64 * tree.len() as u64);
+    }
+
+    /// Message-count sanity across algorithms: nothing exceeds Lamport's
+    /// 3(N-1) per entry on an isolated request, and token algorithms
+    /// respect their own closed forms.
+    #[test]
+    fn isolated_request_bounds(
+        algo in arb_algorithm(),
+        n in 2usize..14,
+        requester in any::<prop::sample::Index>(),
+        holder in any::<prop::sample::Index>(),
+    ) {
+        let tree = Tree::star(n);
+        let holder = NodeId::from_index(holder.index(n));
+        let requester = NodeId::from_index(requester.index(n));
+        let cost = dagmutex::harness::experiments::isolated_cost(algo, &tree, holder, requester);
+        let k = dagmutex::topology::quorum::QuorumSystem::for_size(n).max_size() as u64;
+        let bound = match algo {
+            Algorithm::Dag | Algorithm::Centralized => 3,
+            Algorithm::Raymond => 4,
+            Algorithm::SuzukiKasami | Algorithm::Singhal => n as u64,
+            Algorithm::Maekawa => 3 * (k - 1),
+            Algorithm::Lamport => 3 * (n as u64 - 1),
+            Algorithm::RicartAgrawala | Algorithm::CarvalhoRoucairol => 2 * (n as u64 - 1),
+        };
+        prop_assert!(
+            cost <= bound,
+            "{}: isolated cost {} exceeds bound {}",
+            algo.name(),
+            cost,
+            bound
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Message-loss fault injection. The paper assumes a reliable network;
+//! these tests establish what that assumption buys and that its
+//! violation is *detected* by the liveness checker, never silent:
+//!
+//! * For the DAG algorithm every protocol message is load-bearing — any
+//!   lost REQUEST or PRIVILEGE strands a requester (or the token), so a
+//!   run with at least one drop must end in a detected starvation.
+//! * Suzuki–Kasami's broadcast is partially redundant: a lost REQUEST
+//!   copy can be masked by the other N−2 copies, so some lossy runs
+//!   still complete — but a lost PRIVILEGE (the token itself) is fatal
+//!   and detected.
+
+use dagmutex::baselines::suzuki_kasami::SuzukiKasamiProtocol;
+use dagmutex::core::DagProtocol;
+use dagmutex::simnet::{Engine, EngineConfig, EngineError, Time};
+use dagmutex::topology::{NodeId, Tree};
+
+fn lossy_config(drop_rate: f64, seed: u64) -> EngineConfig {
+    EngineConfig {
+        drop_rate,
+        seed,
+        record_trace: false,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn zero_drop_rate_changes_nothing() {
+    let tree = Tree::star(6);
+    let run = |rate: f64| {
+        let mut engine = Engine::new(
+            DagProtocol::cluster(&tree, NodeId(0)),
+            lossy_config(rate, 5),
+        );
+        for i in 0..6u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        engine.run_to_quiescence().map(|r| r.metrics.messages_total)
+    };
+    assert_eq!(run(0.0).unwrap(), run(0.0).unwrap());
+}
+
+#[test]
+fn every_dag_message_is_load_bearing() {
+    let tree = Tree::kary(7, 2);
+    let mut lossy_runs = 0;
+    for seed in 0..30u64 {
+        let mut engine = Engine::new(
+            DagProtocol::cluster(&tree, NodeId(3)),
+            lossy_config(0.15, seed),
+        );
+        for i in 0..7u32 {
+            engine.request_at(Time(i as u64), NodeId(i));
+        }
+        let result = engine.run_to_quiescence();
+        let dropped = engine.metrics().messages_dropped;
+        if dropped > 0 {
+            lossy_runs += 1;
+            assert!(
+                matches!(result, Err(EngineError::Violation(_))),
+                "seed {seed}: {dropped} drops went undetected"
+            );
+        } else {
+            result.unwrap_or_else(|e| panic!("seed {seed}: lossless run failed: {e}"));
+        }
+    }
+    assert!(
+        lossy_runs >= 10,
+        "drop rate too low to exercise the fault path"
+    );
+}
+
+#[test]
+fn total_loss_is_starvation_not_hang() {
+    // drop_rate = 1: the very first REQUEST vanishes; the run must end
+    // promptly in a detected starvation, not an infinite loop.
+    let tree = Tree::line(4);
+    let mut engine = Engine::new(DagProtocol::cluster(&tree, NodeId(0)), lossy_config(1.0, 0));
+    engine.request_at(Time(0), NodeId(3));
+    let err = engine.run_to_quiescence().unwrap_err();
+    assert!(matches!(err, EngineError::Violation(_)), "got {err}");
+    assert_eq!(engine.metrics().messages_dropped, 1);
+}
+
+#[test]
+fn broadcast_redundancy_sometimes_masks_request_loss() {
+    // Suzuki-Kasami sends N-1 copies of each request; with mild loss,
+    // some runs complete anyway (redundancy), while the failed ones are
+    // all *detected*. The DAG algorithm can never mask (previous test),
+    // which is the flip side of its minimal message count.
+    let mut masked = 0;
+    let mut detected = 0;
+    for seed in 0..40u64 {
+        let mut engine = Engine::new(
+            SuzukiKasamiProtocol::cluster(8, NodeId(0)),
+            lossy_config(0.05, seed),
+        );
+        for i in 0..8u32 {
+            engine.request_at(Time(i as u64), NodeId(i));
+        }
+        let result = engine.run_to_quiescence();
+        let dropped = engine.metrics().messages_dropped;
+        match (dropped, result) {
+            (0, r) => r.map(|_| ()).expect("lossless run must pass"),
+            (_, Ok(_)) => masked += 1,
+            (_, Err(EngineError::Violation(_))) => detected += 1,
+            (_, Err(e)) => panic!("unexpected failure mode: {e}"),
+        }
+    }
+    assert!(
+        masked > 0,
+        "expected some losses to be masked by redundancy"
+    );
+    assert!(
+        detected > 0,
+        "expected some losses to be fatal and detected"
+    );
+}
+
+#[test]
+fn dropped_messages_are_visible_in_the_trace() {
+    let tree = Tree::line(3);
+    let config = EngineConfig {
+        drop_rate: 1.0,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(DagProtocol::cluster(&tree, NodeId(0)), config);
+    engine.request_at(Time(0), NodeId(2));
+    let _ = engine.run_to_quiescence();
+    let rendered = engine.trace().to_string();
+    assert!(rendered.contains("DROPPED REQUEST"), "trace: {rendered}");
+}

@@ -1,0 +1,86 @@
+//! The paper's Figure 5 `INIT` procedure, end to end: starting from a
+//! token holder that floods `INITIALIZE` over the tree, every node's
+//! `NEXT` pointer must come to point along its unique path to the
+//! holder — the same fixed point `Tree::orient_toward` computes
+//! centrally — after exactly `N − 1` messages.
+
+use dagmutex::core::DagProtocol;
+use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Time};
+use dagmutex::topology::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn check_flood(tree: &Tree, holder: NodeId, seed: u64) {
+    let config = EngineConfig {
+        latency: LatencyModel::Uniform {
+            lo: Time(1),
+            hi: Time(10),
+        },
+        seed,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(DagProtocol::cluster_with_flood(tree, holder), config);
+    let report = engine.run_to_quiescence().expect("flood terminates");
+    assert_eq!(
+        report.metrics.messages_total as usize,
+        tree.len() - 1,
+        "one INITIALIZE per non-holder"
+    );
+    assert_eq!(
+        report.metrics.kind_count("INITIALIZE") as usize,
+        tree.len() - 1
+    );
+    let orientation = tree.orient_toward(holder);
+    for id in tree.nodes() {
+        let protocol = engine.node(id);
+        assert!(protocol.is_initialized(), "{id} missed the flood");
+        assert_eq!(protocol.node().next(), orientation.next_hop(id), "{id}");
+        assert_eq!(protocol.node().holding(), id == holder);
+    }
+}
+
+#[test]
+fn flood_orients_canonical_topologies() {
+    for tree in [
+        Tree::line(9),
+        Tree::star(9),
+        Tree::kary(9, 2),
+        Tree::caterpillar(3, 2),
+    ] {
+        for holder in [0u32, 3, 8] {
+            check_flood(&tree, NodeId(holder), 7);
+        }
+    }
+}
+
+#[test]
+fn flood_orients_random_trees_under_random_latency() {
+    let mut rng = StdRng::seed_from_u64(55);
+    for trial in 0..15 {
+        let n = rng.gen_range(2..25);
+        let tree = Tree::random(n, &mut rng);
+        let holder = tree.random_node(&mut rng);
+        check_flood(&tree, holder, trial);
+    }
+}
+
+#[test]
+fn flooded_system_serves_requests_afterwards() {
+    let tree = Tree::kary(10, 3);
+    let mut engine = Engine::new(
+        DagProtocol::cluster_with_flood(&tree, NodeId(4)),
+        EngineConfig::default(),
+    );
+    engine.run_to_quiescence().expect("flood done");
+    engine.reset_metrics();
+    for i in 0..10u32 {
+        engine.request_at(engine.now() + Time(i as u64), NodeId(i));
+    }
+    let report = engine.run_to_quiescence().expect("requests served");
+    assert_eq!(report.metrics.cs_entries, 10);
+    assert_eq!(
+        report.metrics.kind_count("INITIALIZE"),
+        0,
+        "metrics were reset"
+    );
+}

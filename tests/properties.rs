@@ -1,0 +1,189 @@
+//! Property-based tests of the DAG algorithm's Chapter 5 invariants on
+//! arbitrary trees, schedules, and network timings:
+//!
+//! 1. mutual exclusion (Theorem, 5.1) — checked online by the engine;
+//! 2. deadlock/starvation freedom (Theorems 1–2, 5.2) — every request is
+//!    granted by quiescence;
+//! 3. the undirected `NEXT` structure stays acyclic (assumption 2 of the
+//!    proofs, preserved by every step);
+//! 4. Lemma 2: every node walks its `NEXT` pointers to a sink in fewer
+//!    than `N` hops;
+//! 5. the implicit queue read from node states equals the realized grant
+//!    order;
+//! 6. an isolated request costs at most `D + 1` messages (Chapter 6.1).
+
+use dagmutex::core::{
+    implicit_queue, next_edges, sink_nodes, undirected_acyclic, walk_to_sink, DagProtocol,
+};
+use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Time};
+use dagmutex::topology::{NodeId, Tree};
+use proptest::prelude::*;
+
+/// A random tree of 2..=16 nodes via its Prüfer sequence.
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    (2usize..=16).prop_flat_map(|n| {
+        if n == 2 {
+            Just(Tree::line(2)).boxed()
+        } else {
+            proptest::collection::vec(0u32..n as u32, n - 2)
+                .prop_map(|prufer| Tree::from_prufer(&prufer))
+                .boxed()
+        }
+    })
+}
+
+/// Tree + holder + subset of requesters with request times + seed.
+fn arb_scenario() -> impl Strategy<Value = (Tree, NodeId, Vec<(u64, u32)>, u64)> {
+    arb_tree().prop_flat_map(|tree| {
+        let n = tree.len();
+        (
+            Just(tree),
+            0..n as u32,
+            proptest::collection::vec((0u64..40, 0..n as u32), 1..=n),
+            any::<u64>(),
+        )
+            .prop_map(|(tree, holder, mut reqs, seed)| {
+                // At most one outstanding request per node (system model):
+                // deduplicate requesters.
+                reqs.sort_by_key(|&(_, node)| node);
+                reqs.dedup_by_key(|&mut (_, node)| node);
+                (tree, NodeId(holder), reqs, seed)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Invariants 1–4 hold across random trees, schedules, and latencies;
+    /// the engine's checkers enforce 1–2, the post-state asserts 3–4.
+    #[test]
+    fn safety_liveness_and_structure((tree, holder, reqs, seed) in arb_scenario()) {
+        let config = EngineConfig {
+            latency: LatencyModel::Exponential { mean: Time(4) },
+            cs_duration: LatencyModel::Uniform { lo: Time(1), hi: Time(5) },
+            seed,
+            record_trace: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(DagProtocol::cluster(&tree, holder), config);
+        for &(t, node) in &reqs {
+            engine.request_at(Time(t), NodeId(node));
+        }
+        let report = engine.run_to_quiescence().expect("safety or liveness violated");
+        prop_assert_eq!(report.metrics.cs_entries as usize, reqs.len());
+
+        let states: Vec<_> = engine.nodes().iter().map(|p| p.node().clone()).collect();
+        // (3) undirected acyclicity is preserved.
+        prop_assert!(undirected_acyclic(&states));
+        // (4) Lemma 2: every node reaches a sink in < N hops.
+        for v in tree.nodes() {
+            let path = walk_to_sink(&states, v).expect("no directed cycle");
+            prop_assert!(path.len() <= tree.len());
+        }
+        // Quiescent system: exactly one sink, which holds the token.
+        let sinks = sink_nodes(&states);
+        prop_assert_eq!(sinks.len(), 1);
+        prop_assert!(states[sinks[0].index()].holding());
+        // The NEXT graph still spans N-1 of the tree's edges.
+        let edges = next_edges(&states);
+        prop_assert_eq!(edges.len(), tree.len() - 1);
+        for (a, b) in edges {
+            prop_assert!(tree.has_edge(a, b), "NEXT edge {}-{} left the tree", a, b);
+        }
+    }
+
+    /// Invariant 5: freeze the system mid-critical-section after all
+    /// requests are absorbed; the FOLLOW chain must equal the grant order.
+    #[test]
+    fn implicit_queue_is_the_grant_order((tree, holder, reqs, _seed) in arb_scenario()) {
+        let n = tree.len() as u64;
+        let config = EngineConfig {
+            // Unit latency; CS long enough that the first entrant is
+            // still inside after every request has reached its sink.
+            cs_duration: LatencyModel::Fixed(Time(100 * n)),
+            record_trace: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(DagProtocol::cluster(&tree, holder), config);
+        // The holder requests first so it is the one inside the CS while
+        // the queue builds up.
+        engine.request_at(Time(0), holder);
+        for &(t, node) in &reqs {
+            if NodeId(node) != holder {
+                engine.request_at(Time(1 + t), NodeId(node));
+            }
+        }
+        // Absorb all request traffic (each travels < N hops at 1 tick).
+        let absorb_by = Time(50 * n);
+        while engine.next_event_time().map(|t| t < absorb_by).unwrap_or(false) {
+            engine.step().expect("no violations");
+        }
+        let states: Vec<_> = engine.nodes().iter().map(|p| p.node().clone()).collect();
+        let queue = implicit_queue(&states);
+        let report = engine.run_to_quiescence().expect("completes");
+        let grants = report.metrics.grant_order();
+        prop_assert_eq!(grants[0], holder);
+        prop_assert_eq!(queue, grants[1..].to_vec());
+    }
+
+    /// Invariant 6: an isolated request never costs more than D + 1
+    /// messages, on any tree and any placement.
+    #[test]
+    fn isolated_request_costs_at_most_diameter_plus_one(
+        tree in arb_tree(),
+        holder_sel in any::<prop::sample::Index>(),
+        requester_sel in any::<prop::sample::Index>(),
+    ) {
+        let holder = NodeId::from_index(holder_sel.index(tree.len()));
+        let requester = NodeId::from_index(requester_sel.index(tree.len()));
+        let mut engine =
+            Engine::new(DagProtocol::cluster(&tree, holder), EngineConfig::default());
+        engine.request_at(Time(0), requester);
+        let report = engine.run_to_quiescence().expect("completes");
+        let bound = if requester == holder { 0 } else { tree.diameter() as u64 + 1 };
+        prop_assert!(
+            report.metrics.messages_total <= bound.max(1),
+            "cost {} exceeds D+1 = {}",
+            report.metrics.messages_total,
+            bound
+        );
+        // And the exact cost is distance + 1 in the quiescent case.
+        if requester != holder {
+            let exact = tree.distance(requester, holder) as u64 + 1;
+            prop_assert_eq!(report.metrics.messages_total, exact);
+        }
+    }
+
+    /// Re-requesting in waves keeps all invariants: the same node set
+    /// requests repeatedly with quiescence in between.
+    #[test]
+    fn repeated_waves_stay_correct(
+        tree in arb_tree(),
+        holder_sel in any::<prop::sample::Index>(),
+        waves in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let holder = NodeId::from_index(holder_sel.index(tree.len()));
+        let config = EngineConfig {
+            latency: LatencyModel::Uniform { lo: Time(1), hi: Time(7) },
+            seed,
+            record_trace: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(DagProtocol::cluster(&tree, holder), config);
+        for _ in 0..waves {
+            for v in tree.nodes() {
+                engine.request_at(engine.now(), v);
+            }
+            engine.run_to_quiescence().expect("wave completes");
+        }
+        prop_assert_eq!(
+            engine.metrics().cs_entries as usize,
+            waves * tree.len()
+        );
+        let states: Vec<_> = engine.nodes().iter().map(|p| p.node().clone()).collect();
+        prop_assert!(undirected_acyclic(&states));
+        prop_assert_eq!(sink_nodes(&states).len(), 1);
+    }
+}
