@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use dmx_topology::NodeId;
 
 /// A Lamport logical clock paired with the owner's identifier, yielding
@@ -23,14 +21,14 @@ use dmx_topology::NodeId;
 /// let tb = b.tick();
 /// assert!(ta < tb);            // b's later request loses the tie-break
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LamportClock {
     counter: u64,
     me: NodeId,
 }
 
 /// A totally ordered request timestamp: `(counter, node)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp {
     counter: u64,
     node: NodeId,

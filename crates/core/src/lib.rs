@@ -26,6 +26,28 @@
 //! * `dmx-runtime` drives the same state machine over real threads and
 //!   channels.
 //!
+//! # Buffered-action API and the perf model
+//!
+//! Every [`DagNode`] input method comes in two forms:
+//!
+//! * the paper-style form (`request`, `receive_request`,
+//!   `receive_privilege`, `exit`) returns a fresh `Vec<Action>` — it
+//!   reads exactly like procedures `P1`/`P2` in the paper and is what
+//!   the doctests, the figure replays, and casual callers use;
+//! * the buffered form (`request_into`, `receive_request_into`,
+//!   `receive_privilege_into`, `exit_into`) pushes into a
+//!   caller-provided `Vec<Action>` instead.
+//!
+//! The buffered form exists because these handlers sit on the hottest
+//! path in the workspace: the simulation engine dispatches millions of
+//! them per second when regenerating the paper's tables, and a `Vec`
+//! allocation per handler call was the single largest cost. Both
+//! runtimes ([`DagProtocol`] and `dmx-runtime`'s cluster loop) keep one
+//! scratch buffer per node and reuse it for every event, which — with
+//! the engine's own buffer reuse — makes the steady-state simulation
+//! loop fully allocation-free (`dagmutex`'s `alloc_free` integration
+//! test proves this with a counting allocator).
+//!
 //! # Examples
 //!
 //! Replaying the start of the paper's Figure 2 walkthrough by hand:

@@ -1,6 +1,5 @@
 use dmx_simnet::MessageMeta;
 use dmx_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// The algorithm's wire messages.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// Storage overhead (Chapter 6.4): "A REQUEST message carries two integer
 /// variables, and a PRIVILEGE message needs no data structure." The
 /// [`MessageMeta::wire_size`] implementation reports exactly that.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DagMessage {
     /// `REQUEST(X, Y)`: `from` (paper's `X`) is the adjacent node the
     /// message came from, `origin` (paper's `Y`) the node whose user wants

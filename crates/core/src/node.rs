@@ -1,12 +1,11 @@
 use dmx_topology::{NodeId, Orientation, Tree};
-use serde::{Deserialize, Serialize};
 
 use crate::message::DagMessage;
 use crate::state::NodeState;
 
 /// An effect requested by the pure state machine; the surrounding runtime
 /// (simulator or threaded cluster) performs it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
     /// Transmit `message` to node `to` over the reliable FIFO network.
     Send {
@@ -57,7 +56,7 @@ pub enum Action {
 /// assert_eq!(b.receive_privilege(), vec![Action::Enter]);
 /// assert_eq!(b.state(), NodeState::E);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DagNode {
     me: NodeId,
     /// Paper's `HOLDING`: the node possesses the token but is idle.
@@ -195,7 +194,8 @@ impl DagNode {
     }
 
     /// Procedure `P1`, first half: the local user wants the critical
-    /// section.
+    /// section. Paper-style wrapper over [`DagNode::request_into`]
+    /// returning a fresh `Vec`.
     ///
     /// If the node holds the token it enters immediately (`HOLDING :=
     /// false`). Otherwise it sends `REQUEST(I, I)` toward the sink and
@@ -208,6 +208,20 @@ impl DagNode {
     /// model allows "at most one outstanding request" per node
     /// (Chapter 2), and the runtimes enforce it before calling.
     pub fn request(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.request_into(&mut actions);
+        actions
+    }
+
+    /// Buffered form of [`DagNode::request`]: pushes the resulting
+    /// [`Action`]s into `actions` instead of allocating a `Vec`. The
+    /// hot-path runtimes (the simulator adapter and the threaded
+    /// cluster) call this with a reused scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DagNode::request`].
+    pub fn request_into(&mut self, actions: &mut Vec<Action>) {
         assert!(
             !self.requesting && !self.executing,
             "protocol bug: {} requested while already requesting or executing",
@@ -217,20 +231,21 @@ impl DagNode {
             debug_assert!(self.is_sink(), "a holding node must be a sink (Lemma 1)");
             self.holding = false;
             self.executing = true;
-            return vec![Action::Enter];
+            actions.push(Action::Enter);
+            return;
         }
         let to = self
             .next
             .expect("a non-holding, non-requesting node always has a NEXT pointer (Lemma 1)");
         self.requesting = true;
         self.next = None; // become the new sink
-        vec![Action::Send {
+        actions.push(Action::Send {
             to,
             message: DagMessage::Request {
                 from: self.me,
                 origin: self.me,
             },
-        }]
+        });
     }
 
     /// Procedure `P2`: `REQUEST(from, origin)` arrived from neighbor
@@ -250,16 +265,33 @@ impl DagNode {
     /// Lemma 1) or if `FOLLOW` would be overwritten (impossible: a sink
     /// leaves sink-hood after its first subsequent request).
     pub fn receive_request(&mut self, from: NodeId, origin: NodeId) -> Vec<Action> {
-        let actions = match self.next {
+        let mut actions = Vec::new();
+        self.receive_request_into(from, origin, &mut actions);
+        actions
+    }
+
+    /// Buffered form of [`DagNode::receive_request`]: pushes into
+    /// `actions` instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DagNode::receive_request`].
+    pub fn receive_request_into(
+        &mut self,
+        from: NodeId,
+        origin: NodeId,
+        actions: &mut Vec<Action>,
+    ) {
+        match self.next {
             None => {
                 // Sink.
                 if self.holding {
                     debug_assert!(!self.requesting && !self.executing);
                     self.holding = false;
-                    vec![Action::Send {
+                    actions.push(Action::Send {
                         to: origin,
                         message: DagMessage::Privilege,
-                    }]
+                    });
                 } else {
                     assert!(
                         self.requesting || self.executing,
@@ -273,19 +305,17 @@ impl DagNode {
                         self.follow
                     );
                     self.follow = Some(origin);
-                    Vec::new()
                 }
             }
-            Some(next) => vec![Action::Send {
+            Some(next) => actions.push(Action::Send {
                 to: next,
                 message: DagMessage::Request {
                     from: self.me,
                     origin,
                 },
-            }],
-        };
+            }),
+        }
         self.next = Some(from);
-        actions
     }
 
     /// Procedure `P1`, second half: the `PRIVILEGE` (token) arrived; the
@@ -296,6 +326,18 @@ impl DagNode {
     ///
     /// Panics if the node was not waiting for the privilege.
     pub fn receive_privilege(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.receive_privilege_into(&mut actions);
+        actions
+    }
+
+    /// Buffered form of [`DagNode::receive_privilege`]: pushes into
+    /// `actions` instead of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DagNode::receive_privilege`].
+    pub fn receive_privilege_into(&mut self, actions: &mut Vec<Action>) {
         assert!(
             self.requesting,
             "protocol bug: PRIVILEGE arrived at {} which is not requesting",
@@ -304,7 +346,7 @@ impl DagNode {
         debug_assert!(!self.holding && !self.executing);
         self.requesting = false;
         self.executing = true;
-        vec![Action::Enter]
+        actions.push(Action::Enter);
     }
 
     /// Procedure `P1`, tail: the local user leaves the critical section.
@@ -316,6 +358,18 @@ impl DagNode {
     ///
     /// Panics if the node is not inside the critical section.
     pub fn exit(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.exit_into(&mut actions);
+        actions
+    }
+
+    /// Buffered form of [`DagNode::exit`]: pushes into `actions` instead
+    /// of allocating.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DagNode::exit`].
+    pub fn exit_into(&mut self, actions: &mut Vec<Action>) {
         assert!(
             self.executing,
             "protocol bug: {} exited the critical section without being inside",
@@ -323,14 +377,11 @@ impl DagNode {
         );
         self.executing = false;
         match self.follow.take() {
-            Some(f) => vec![Action::Send {
+            Some(f) => actions.push(Action::Send {
                 to: f,
                 message: DagMessage::Privilege,
-            }],
-            None => {
-                self.holding = true;
-                Vec::new()
-            }
+            }),
+            None => self.holding = true,
         }
     }
 

@@ -45,6 +45,10 @@ pub struct DagProtocol {
     neighbors: Vec<NodeId>,
     /// This node starts the flood because it holds the token.
     flood_root: bool,
+    /// Reused action buffer: the [`DagNode`] handlers push into it and
+    /// every callback drains it into the [`Ctx`], so steady-state event
+    /// handling allocates nothing.
+    scratch: Vec<Action>,
 }
 
 impl DagProtocol {
@@ -67,6 +71,7 @@ impl DagProtocol {
             node: Some(DagNode::from_orientation(orientation, me)),
             neighbors: Vec::new(),
             flood_root: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -101,6 +106,7 @@ impl DagProtocol {
                         node: Some(DagNode::new(id, None)),
                         neighbors,
                         flood_root: true,
+                        scratch: Vec::new(),
                     }
                 } else {
                     DagProtocol {
@@ -108,6 +114,7 @@ impl DagProtocol {
                         node: None,
                         neighbors,
                         flood_root: false,
+                        scratch: Vec::new(),
                     }
                 }
             })
@@ -131,8 +138,10 @@ impl DagProtocol {
             .expect("node not initialized: run the INITIALIZE flood to quiescence first")
     }
 
-    fn apply(actions: Vec<Action>, ctx: &mut Ctx<'_, DagMessage>) {
-        for action in actions {
+    /// Drains the scratch buffer into the engine context, retaining the
+    /// buffer's capacity for the next callback.
+    fn apply(scratch: &mut Vec<Action>, ctx: &mut Ctx<'_, DagMessage>) {
+        for action in scratch.drain(..) {
             match action {
                 Action::Send { to, message } => ctx.send(to, message),
                 Action::Enter => ctx.enter_cs(),
@@ -157,7 +166,8 @@ impl Protocol for DagProtocol {
             .node
             .as_mut()
             .expect("request before initialization completed");
-        Self::apply(node.request(), ctx);
+        node.request_into(&mut self.scratch);
+        Self::apply(&mut self.scratch, ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: DagMessage, ctx: &mut Ctx<'_, DagMessage>) {
@@ -178,18 +188,21 @@ impl Protocol for DagProtocol {
             DagMessage::Request { from: link, origin } => {
                 debug_assert_eq!(link, from, "REQUEST's X field must match the wire sender");
                 let node = self.node.as_mut().expect("message before initialization");
-                Self::apply(node.receive_request(from, origin), ctx);
+                node.receive_request_into(from, origin, &mut self.scratch);
+                Self::apply(&mut self.scratch, ctx);
             }
             DagMessage::Privilege => {
                 let node = self.node.as_mut().expect("message before initialization");
-                Self::apply(node.receive_privilege(), ctx);
+                node.receive_privilege_into(&mut self.scratch);
+                Self::apply(&mut self.scratch, ctx);
             }
         }
     }
 
     fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, DagMessage>) {
         let node = self.node.as_mut().expect("exit before initialization");
-        Self::apply(node.exit(), ctx);
+        node.exit_into(&mut self.scratch);
+        Self::apply(&mut self.scratch, ctx);
     }
 
     fn storage_words(&self) -> usize {

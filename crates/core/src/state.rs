@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The six node states of the paper's Figure 4 state transition graph.
 ///
 /// The state is *derived* from the node's variables (plus whether the
@@ -29,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(NodeState::RF.is_requesting());
 /// assert_eq!(NodeState::EF.to_string(), "EF");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeState {
     /// Not requesting, not holding.
     N,

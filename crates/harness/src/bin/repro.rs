@@ -22,6 +22,28 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("ext_fair", "extension: per-node fairness"),
 ];
 
+/// Run explicitly (`repro -- bench`); excluded from the default sweep
+/// because it is timing-sensitive and writes a file.
+const BENCH_ID: (&str, &str) = (
+    "bench",
+    "engine hot-loop throughput suite; writes BENCH_CURRENT.json",
+);
+
+fn run_bench() {
+    let results = experiments::hot_loop::run_suite();
+    let json = format!(
+        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"results\": {}\n}}\n",
+        experiments::hot_loop::results_json(&results)
+    );
+    // Always a distinct file: BENCH_PR<n>.json artifacts are curated
+    // (they carry unreproducible pre-refactor baselines) and must
+    // never be clobbered by a fresh run, regardless of cwd.
+    let path = "BENCH_CURRENT.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {path}");
+}
+
 fn run_one(id: &str) -> bool {
     match id {
         "fig2" => {
@@ -56,6 +78,7 @@ fn run_one(id: &str) -> bool {
             experiments::hub_placement::run(10, dmx_topology::NodeId(7), 0.6, 4_000)
         ),
         "ext_fair" => println!("{}", experiments::fairness::run(10, 6)),
+        "bench" => run_bench(),
         _ => return false,
     }
     true
@@ -67,6 +90,8 @@ fn main() {
         for (id, desc) in EXPERIMENTS {
             println!("{id:10} {desc}");
         }
+        let (id, desc) = BENCH_ID;
+        println!("{id:10} {desc}");
         return;
     }
     let ids: Vec<&str> = if args.is_empty() {

@@ -3,6 +3,7 @@
 
 pub mod average_bound;
 pub mod fairness;
+pub mod hot_loop;
 pub mod hub_placement;
 pub mod load_sweep;
 pub mod scaling;

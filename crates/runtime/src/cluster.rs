@@ -132,9 +132,11 @@ impl Cluster {
         self.txs.len()
     }
 
-    /// `true` for a single-node cluster.
+    /// `true` for a cluster with no nodes — consistent with
+    /// [`Cluster::len`] (it used to report `true` for a single-node
+    /// cluster, the same inconsistency `Engine::is_empty` had).
     pub fn is_empty(&self) -> bool {
-        self.txs.len() <= 1
+        self.txs.is_empty()
     }
 
     /// Stops every node thread and returns the aggregated counters.
@@ -255,6 +257,9 @@ where
     let me = node.id();
     let mut stats = NodeStats::default();
     let mut pending = Pending::Idle;
+    // Reused across the whole loop: the buffered DagNode handlers push
+    // into it, so steady-state message handling allocates nothing.
+    let mut actions: Vec<Action> = Vec::new();
 
     fn send_all<F: Fn(NodeId, NodeId, DagMessage)>(
         actions: &[Action],
@@ -280,13 +285,15 @@ where
     }
 
     // Resolves an Enter: hand the critical section to the waiting user,
-    // or — if the user abandoned — bounce straight out again.
+    // or — if the user abandoned — bounce straight out again. `actions`
+    // is the loop's scratch buffer (its previous contents are spent).
     fn on_enter<F: Fn(NodeId, NodeId, DagMessage)>(
         node: &mut DagNode,
         pending: &mut Pending,
         me: NodeId,
         stats: &mut NodeStats,
         transmit: &F,
+        actions: &mut Vec<Action>,
     ) {
         match std::mem::replace(pending, Pending::Idle) {
             Pending::Waiting(ack) => {
@@ -295,8 +302,9 @@ where
             }
             Pending::Abandoned => {
                 stats.abandoned += 1;
-                let actions = node.exit();
-                let entered = send_all(&actions, me, stats, transmit);
+                actions.clear();
+                node.exit_into(actions);
+                let entered = send_all(actions, me, stats, transmit);
                 debug_assert!(!entered, "exit never re-enters");
             }
             Pending::Idle => {
@@ -317,14 +325,23 @@ where
                 Pending::Idle => {
                     assert!(!node.is_executing(), "Acquire while executing");
                     pending = Pending::Waiting(ack);
-                    let actions = node.request();
+                    actions.clear();
+                    node.request_into(&mut actions);
                     if send_all(&actions, me, &mut stats, &transmit) {
-                        on_enter(&mut node, &mut pending, me, &mut stats, &transmit);
+                        on_enter(
+                            &mut node,
+                            &mut pending,
+                            me,
+                            &mut stats,
+                            &transmit,
+                            &mut actions,
+                        );
                     }
                 }
             },
             Input::Release => {
-                let actions = node.exit();
+                actions.clear();
+                node.exit_into(&mut actions);
                 let entered = send_all(&actions, me, &mut stats, &transmit);
                 debug_assert!(!entered);
             }
@@ -336,22 +353,31 @@ where
                 // using it, so leave immediately.
                 Pending::Idle if node.is_executing() => {
                     stats.abandoned += 1;
-                    let actions = node.exit();
+                    actions.clear();
+                    node.exit_into(&mut actions);
                     send_all(&actions, me, &mut stats, &transmit);
                 }
                 other => pending = other, // already resolved; nothing to do
             },
             Input::Net { from, msg } => {
-                let actions = match msg {
+                actions.clear();
+                match msg {
                     DagMessage::Request { from: link, origin } => {
                         debug_assert_eq!(link, from);
-                        node.receive_request(from, origin)
+                        node.receive_request_into(from, origin, &mut actions);
                     }
-                    DagMessage::Privilege => node.receive_privilege(),
-                    DagMessage::Initialize => Vec::new(), // pre-oriented start-up
-                };
+                    DagMessage::Privilege => node.receive_privilege_into(&mut actions),
+                    DagMessage::Initialize => {} // pre-oriented start-up
+                }
                 if send_all(&actions, me, &mut stats, &transmit) {
-                    on_enter(&mut node, &mut pending, me, &mut stats, &transmit);
+                    on_enter(
+                        &mut node,
+                        &mut pending,
+                        me,
+                        &mut stats,
+                        &transmit,
+                        &mut actions,
+                    );
                 }
             }
             Input::Shutdown => break,

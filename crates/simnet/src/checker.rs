@@ -8,16 +8,14 @@
 //! network configuration) surfaces as a precise [`Violation`] instead of a
 //! silently wrong metric.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use dmx_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::time::Time;
 
 /// A correctness violation detected during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Violation {
     /// Two nodes were inside the critical section at once — the property
     /// of Chapter 5.1 failed.
@@ -176,7 +174,11 @@ impl SafetyChecker {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LivenessChecker {
-    pending: BTreeMap<NodeId, Time>,
+    /// Request time per node, indexed by node id; grown on first sight
+    /// of a node so steady-state request/grant cycles never allocate
+    /// (this checker runs on the engine's hot path).
+    pending: Vec<Option<Time>>,
+    outstanding: usize,
 }
 
 impl LivenessChecker {
@@ -187,17 +189,17 @@ impl LivenessChecker {
 
     /// Number of requests currently waiting.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.outstanding
     }
 
     /// `true` if `node` has an outstanding request.
     pub fn is_pending(&self, node: NodeId) -> bool {
-        self.pending.contains_key(&node)
+        self.requested_at(node).is_some()
     }
 
     /// When `node` requested, if pending.
     pub fn requested_at(&self, node: NodeId) -> Option<Time> {
-        self.pending.get(&node).copied()
+        self.pending.get(node.index()).copied().flatten()
     }
 
     /// Records a request.
@@ -207,10 +209,15 @@ impl LivenessChecker {
     /// [`Violation::DuplicateRequest`] if the node already has one
     /// outstanding.
     pub fn on_request(&mut self, node: NodeId, at: Time) -> Result<(), Violation> {
-        if self.pending.contains_key(&node) {
+        if self.pending.len() <= node.index() {
+            self.pending.resize(node.index() + 1, None);
+        }
+        let slot = &mut self.pending[node.index()];
+        if slot.is_some() {
             return Err(Violation::DuplicateRequest { node, at });
         }
-        self.pending.insert(node, at);
+        *slot = Some(at);
+        self.outstanding += 1;
         Ok(())
     }
 
@@ -220,9 +227,13 @@ impl LivenessChecker {
     ///
     /// [`Violation::SpuriousEntry`] if the node had no pending request.
     pub fn on_grant(&mut self, node: NodeId, at: Time) -> Result<Time, Violation> {
-        self.pending
-            .remove(&node)
-            .ok_or(Violation::SpuriousEntry { node, at })
+        match self.pending.get_mut(node.index()).and_then(Option::take) {
+            Some(requested_at) => {
+                self.outstanding -= 1;
+                Ok(requested_at)
+            }
+            None => Err(Violation::SpuriousEntry { node, at }),
+        }
     }
 
     /// Called when the event queue drains.
@@ -232,9 +243,15 @@ impl LivenessChecker {
     /// [`Violation::Starvation`] naming the longest-waiting node if any
     /// request is still pending.
     pub fn at_quiescence(&self) -> Result<(), Violation> {
-        match self.pending.iter().min_by_key(|(_, t)| **t) {
+        match self
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (NodeId::from_index(i), t)))
+            .min_by_key(|&(_, t)| t)
+        {
             None => Ok(()),
-            Some((&node, &requested_at)) => Err(Violation::Starvation { node, requested_at }),
+            Some((node, requested_at)) => Err(Violation::Starvation { node, requested_at }),
         }
     }
 }

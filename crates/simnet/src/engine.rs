@@ -1,5 +1,5 @@
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use dmx_topology::NodeId;
@@ -45,9 +45,11 @@ pub struct EngineConfig {
     pub fifo: bool,
     /// Record a full [`Trace`]. Disable for large parameter sweeps.
     pub record_trace: bool,
-    /// After every event, sample each node's
-    /// [`Protocol::storage_words`] and keep the maximum (the Chapter 6.4
-    /// high-water mark). Costs O(N) per event; off by default.
+    /// Track the maximum per-node control-state footprint (the Chapter
+    /// 6.4 high-water mark). A node's storage only changes inside its
+    /// own callbacks, so the engine samples just the node each event
+    /// dispatched to — O(1) per event (plus one full scan at start-up
+    /// and after [`Engine::reset_metrics`]). Off by default.
     pub track_storage: bool,
     /// Probability (0.0..=1.0) that a message is lost in transit. The
     /// paper assumes a *reliable* network; a nonzero rate deliberately
@@ -148,14 +150,29 @@ enum EventKind<M> {
 }
 
 struct QueuedEvent<M> {
-    at: Time,
-    seq: u64,
+    /// `(time << 64) | sequence-number`, packed so heap sift compares —
+    /// the most-executed comparisons in the engine — are a single
+    /// branch. The sequence number tie-breaks same-tick events in
+    /// schedule order, which is what makes runs deterministic.
+    key: u128,
     kind: EventKind<M>,
+}
+
+impl<M> QueuedEvent<M> {
+    #[inline]
+    fn pack(at: Time, seq: u64) -> u128 {
+        (u128::from(at.0) << 64) | u128::from(seq)
+    }
+
+    #[inline]
+    fn at(&self) -> Time {
+        Time((self.key >> 64) as u64)
+    }
 }
 
 impl<M> PartialEq for QueuedEvent<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<M> Eq for QueuedEvent<M> {}
@@ -167,7 +184,7 @@ impl<M> PartialOrd for QueuedEvent<M> {
 impl<M> Ord for QueuedEvent<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse to pop earliest (time, seq).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -206,8 +223,15 @@ pub struct Engine<P: Protocol> {
     queue: BinaryHeap<QueuedEvent<P::Message>>,
     seq: u64,
     now: Time,
-    /// Earliest allowed delivery per (src, dst) to honor FIFO links.
-    link_clock: HashMap<(NodeId, NodeId), Time>,
+    /// Earliest allowed delivery per (src, dst) to honor FIFO links,
+    /// stored flat at `src * n + dst`: a single indexed load on the send
+    /// path instead of a hash-map probe. Empty when `config.fifo` is
+    /// off. O(n²) memory — fine at the current sweep sizes (8 MB at
+    /// n = 1023); revisit (per-edge indexing) before very large N.
+    link_clock: Vec<Time>,
+    /// Scratch buffer lent to every [`Ctx`]; persists across dispatches
+    /// so the steady-state hot path performs no allocation.
+    outbox: Vec<(NodeId, P::Message)>,
     trace: Trace,
     metrics: Metrics,
     safety: SafetyChecker,
@@ -246,7 +270,12 @@ impl<P: Protocol> Engine<P> {
             queue: BinaryHeap::new(),
             seq: 0,
             now: Time::ZERO,
-            link_clock: HashMap::new(),
+            link_clock: if config.fifo {
+                vec![Time::ZERO; n * n]
+            } else {
+                Vec::new()
+            },
+            outbox: Vec::new(),
             trace: Trace::new(),
             metrics: Metrics::default(),
             safety: SafetyChecker::new(),
@@ -262,6 +291,7 @@ impl<P: Protocol> Engine<P> {
             let entered = engine.dispatch(id, |node, ctx| node.on_init(ctx));
             assert!(!entered, "protocol bug: {id} entered the CS from on_init");
         }
+        engine.seed_storage_high_water_mark();
         engine
     }
 
@@ -270,9 +300,13 @@ impl<P: Protocol> Engine<P> {
         self.nodes.len()
     }
 
-    /// `true` for a single-node system.
+    /// `true` when the engine drives no nodes — consistent with
+    /// [`Engine::len`]. The constructor rejects an empty node set, so
+    /// this is always `false`; it exists to honor the `len`/`is_empty`
+    /// API convention (it used to report `true` for a *single-node*
+    /// system, contradicting `len() == 1`).
     pub fn is_empty(&self) -> bool {
-        self.nodes.len() <= 1
+        self.nodes.is_empty()
     }
 
     /// Current simulated time.
@@ -318,7 +352,7 @@ impl<P: Protocol> Engine<P> {
     /// The timestamp of the next queued event, if any. Lets scripted tests
     /// run "until just before time t".
     pub fn next_event_time(&self) -> Option<Time> {
-        self.queue.peek().map(|e| e.at)
+        self.queue.peek().map(QueuedEvent::at)
     }
 
     /// Forgets all metrics and trace collected so far (bookkeeping for
@@ -329,6 +363,45 @@ impl<P: Protocol> Engine<P> {
         self.trace = Trace::new();
         self.open_grant.iter_mut().for_each(|g| *g = None);
         self.handoff = None;
+        self.seed_storage_high_water_mark();
+    }
+
+    /// Pre-sizes the event queue and the per-grant metric vectors so a
+    /// run expected to hold at most `queued_events` simultaneous events
+    /// and record at most `grants` critical-section entries performs no
+    /// heap allocation inside [`Engine::step`] (with `record_trace`
+    /// off). Optional: without it the same path merely amortizes
+    /// allocation through doubling growth.
+    pub fn reserve(&mut self, queued_events: usize, grants: usize) {
+        self.queue.reserve(queued_events);
+        self.metrics.grants.reserve(grants);
+        self.metrics.sync_delays.reserve(grants);
+    }
+
+    /// Full-scan seed of `max_storage_words`; after this the hot path
+    /// only samples the node an event dispatched to.
+    fn seed_storage_high_water_mark(&mut self) {
+        if !self.config.track_storage {
+            return;
+        }
+        let peak = self
+            .nodes
+            .iter()
+            .map(Protocol::storage_words)
+            .max()
+            .unwrap_or(0);
+        self.metrics.max_storage_words = self.metrics.max_storage_words.max(peak);
+    }
+
+    /// Samples the storage footprint of the node the current event
+    /// dispatched to. Only that node's state can have changed, so this
+    /// O(1) probe maintains the same high-water mark the previous
+    /// every-event O(N) scan did.
+    fn note_storage(&mut self, id: NodeId) {
+        let words = self.nodes[id.index()].storage_words();
+        if words > self.metrics.max_storage_words {
+            self.metrics.max_storage_words = words;
+        }
     }
 
     /// Schedules a critical-section request for `node` at absolute time
@@ -362,10 +435,14 @@ impl<P: Protocol> Engine<P> {
         let Some(ev) = self.queue.pop() else {
             return Ok(None);
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        debug_assert!(ev.at() >= self.now, "time went backwards");
+        self.now = ev.at();
+        // The node this event dispatches to — the only node whose state
+        // (and storage footprint) the event can change.
+        let touched;
         match ev.kind {
             EventKind::Request { node } => {
+                touched = node;
                 self.liveness.on_request(node, self.now)?;
                 self.metrics.requests += 1;
                 self.msgs_at_request[node.index()] = self.metrics.messages_total;
@@ -378,21 +455,18 @@ impl<P: Protocol> Engine<P> {
                 }
             }
             EventKind::Deliver { src, dst, msg } => {
+                touched = dst;
+                let wire_bytes = msg.wire_size() as u64;
                 self.metrics.messages_total += 1;
-                self.metrics.bytes_total += msg.wire_size() as u64;
-                self.metrics.max_message_bytes =
-                    self.metrics.max_message_bytes.max(msg.wire_size() as u64);
-                *self
-                    .metrics
-                    .by_kind
-                    .entry(msg.kind().to_string())
-                    .or_insert(0) += 1;
+                self.metrics.bytes_total += wire_bytes;
+                self.metrics.max_message_bytes = self.metrics.max_message_bytes.max(wire_bytes);
+                self.metrics.by_kind.increment(msg.kind());
                 if self.config.record_trace {
                     self.trace.push(TraceEvent::Deliver {
                         at: self.now,
                         src,
                         dst,
-                        kind: msg.kind().to_string(),
+                        kind: msg.kind(),
                     });
                 }
                 let entered = self.dispatch(dst, |p, ctx| p.on_message(src, msg, ctx));
@@ -401,6 +475,7 @@ impl<P: Protocol> Engine<P> {
                 }
             }
             EventKind::Exit { node } => {
+                touched = node;
                 self.safety.on_exit(node, self.now)?;
                 if let Some(gi) = self.open_grant[node.index()].take() {
                     self.metrics.grants[gi].released_at = Some(self.now);
@@ -422,13 +497,7 @@ impl<P: Protocol> Engine<P> {
             }
         }
         if self.config.track_storage {
-            let peak = self
-                .nodes
-                .iter()
-                .map(Protocol::storage_words)
-                .max()
-                .unwrap_or(0);
-            self.metrics.max_storage_words = self.metrics.max_storage_words.max(peak);
+            self.note_storage(touched);
         }
         Ok(Some(self.now))
     }
@@ -500,7 +569,7 @@ impl<P: Protocol> Engine<P> {
                     limit: self.config.max_events,
                 });
             }
-            if let Some((node, released)) = self.just_released.take() {
+            if let Some((node, released)) = self.take_just_released() {
                 if let Some(next) = workload.next_request(node, released) {
                     let next = next.max(self.now);
                     self.request_at(next, node);
@@ -543,21 +612,36 @@ impl<P: Protocol> Engine<P> {
         Ok(())
     }
 
+    /// The node that exited the critical section on the most recent
+    /// [`Engine::step`], if any; consumed on read. External closed-loop
+    /// drivers use this to schedule re-requests without the engine
+    /// calling back into them (see [`Engine::run_with_workload`]).
+    pub fn take_just_released(&mut self) -> Option<(NodeId, Time)> {
+        self.just_released.take()
+    }
+
     /// Runs `f` on node `id` with a fresh [`Ctx`]; schedules any sends.
     /// Returns whether the callback signalled critical-section entry.
+    ///
+    /// The send buffer lent to the `Ctx` is the engine's persistent
+    /// `outbox`, moved out for the duration of the call (an empty `Vec`
+    /// takes its place — no allocation) and moved back drained, so
+    /// steady-state dispatches reuse its capacity.
     fn dispatch<F>(&mut self, id: NodeId, f: F) -> bool
     where
         F: FnOnce(&mut P, &mut Ctx<'_, P::Message>),
     {
-        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+        let mut outbox = std::mem::take(&mut self.outbox);
+        debug_assert!(outbox.is_empty(), "outbox must drain between dispatches");
         let mut enter = false;
         {
             let mut ctx = Ctx::new(id, self.now, self.nodes.len(), &mut outbox, &mut enter);
             f(&mut self.nodes[id.index()], &mut ctx);
         }
-        for (to, msg) in outbox {
+        for (to, msg) in outbox.drain(..) {
             self.send_from(id, to, msg);
         }
+        self.outbox = outbox;
         enter
     }
 
@@ -567,7 +651,7 @@ impl<P: Protocol> Engine<P> {
                 at: self.now,
                 src,
                 dst,
-                kind: msg.kind().to_string(),
+                kind: msg.kind(),
             });
         }
         if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate.min(1.0)) {
@@ -577,7 +661,7 @@ impl<P: Protocol> Engine<P> {
                     at: self.now,
                     src,
                     dst,
-                    kind: msg.kind().to_string(),
+                    kind: msg.kind(),
                 });
             }
             return;
@@ -585,7 +669,7 @@ impl<P: Protocol> Engine<P> {
         let latency = self.config.latency.sample(&mut self.rng);
         let mut deliver_at = self.now + latency;
         if self.config.fifo {
-            let clock = self.link_clock.entry((src, dst)).or_insert(Time::ZERO);
+            let clock = &mut self.link_clock[src.index() * self.nodes.len() + dst.index()];
             if deliver_at < *clock {
                 deliver_at = *clock;
             }
@@ -597,7 +681,10 @@ impl<P: Protocol> Engine<P> {
     fn push(&mut self, at: Time, kind: EventKind<P::Message>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { at, seq, kind });
+        self.queue.push(QueuedEvent {
+            key: QueuedEvent::<P::Message>::pack(at, seq),
+            kind,
+        });
     }
 }
 

@@ -1,5 +1,4 @@
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::time::Time;
 
@@ -23,7 +22,7 @@ use crate::time::Time;
 /// let u = LatencyModel::Uniform { lo: Time(1), hi: Time(5) }.sample(&mut rng);
 /// assert!(u >= Time(1) && u <= Time(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LatencyModel {
     /// Every sample is exactly this long.
     Fixed(Time),

@@ -18,7 +18,34 @@
 //!   section) and post-hoc liveness checking (every request granted).
 //! * [`metrics`] — messages per entry, per-kind counts, wire bytes,
 //!   synchronization delay in messages and in time, waiting times.
-//! * [`trace`] — a serializable event trace for golden tests and debugging.
+//! * [`trace`] — an event trace for golden tests and debugging.
+//!
+//! # Performance model
+//!
+//! [`Engine::step`] is the hottest code in the workspace — every table,
+//! figure, and sweep the harness regenerates is millions of calls to it
+//! — and it is **allocation-free in steady state** when traces are off:
+//!
+//! * each dispatch lends the protocol a persistent outbox buffer
+//!   instead of allocating one (and `dmx-core`'s handlers push into
+//!   reused scratch buffers the same way);
+//! * message-kind accounting and traces use the interned
+//!   `&'static str` labels [`MessageMeta::kind`] returns — no
+//!   per-delivery `String`;
+//! * FIFO link clocks live in a flat `n × n` vector indexed by
+//!   `src * n + dst`, and the liveness checker indexes a plain vector
+//!   by node id — no hash maps or tree maps on the event path;
+//! * storage tracking samples only the node an event dispatched to
+//!   (O(1)), seeded by a full scan at start-up;
+//! * the event queue orders by a packed `(time, seq)` `u128` key, one
+//!   comparison per heap sift step.
+//!
+//! Collections that must grow with run length (the event queue, grant
+//! and sync-delay records) amortize via doubling; call
+//! [`Engine::reserve`] to pre-size them and make a bounded run strictly
+//! allocation-free — the `alloc_free` integration test in the umbrella
+//! crate pins that property with a counting allocator, and
+//! `BENCH_PR1.json` at the repo root records measured events/sec.
 //!
 //! # Examples
 //!

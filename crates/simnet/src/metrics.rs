@@ -5,15 +5,12 @@
 //! and this module collects all of them plus waiting times and per-kind
 //! message counts for the extended experiments.
 
-use std::collections::BTreeMap;
-
 use dmx_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::time::Time;
 
 /// One completed critical-section visit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GrantRecord {
     /// The node that entered.
     pub node: NodeId,
@@ -64,7 +61,7 @@ impl GrantRecord {
 /// deliveries system-wide inside the window — an upper bound on the chain
 /// that also exposes background traffic. For the DAG algorithm the
 /// sequential count is one PRIVILEGE message, irrespective of topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyncDelay {
     /// The node that exited.
     pub from: NodeId,
@@ -76,8 +73,75 @@ pub struct SyncDelay {
     pub elapsed: Time,
 }
 
+/// Per-message-kind delivery counters.
+///
+/// Keys are the `&'static str` labels
+/// [`MessageMeta::kind`](crate::MessageMeta::kind) returns, interned by
+/// the compiler, so counting a delivery allocates nothing. A protocol
+/// has a handful of message kinds at most, which makes a linear scan
+/// over a flat vector faster than hashing a `String` key ever was — the
+/// previous `BTreeMap<String, u64>` representation allocated one
+/// `String` per delivered message on the engine's hottest path.
+///
+/// Entries appear in first-seen order; two runs with the same seed
+/// produce identical `KindCounts` (which is what the determinism golden
+/// test asserts). Equality is order-sensitive.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KindCounts {
+    counts: Vec<(&'static str, u64)>,
+}
+
+impl KindCounts {
+    /// Adds one delivery of `kind`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::metrics::KindCounts;
+    /// let mut k = KindCounts::default();
+    /// k.increment("REQUEST");
+    /// k.increment("REQUEST");
+    /// assert_eq!(k.get("REQUEST"), 2);
+    /// ```
+    pub fn increment(&mut self, kind: &'static str) {
+        for (key, count) in &mut self.counts {
+            // Interned literals usually share an address; fall back to a
+            // content compare for equal labels from different crates.
+            if std::ptr::eq(*key, kind) || *key == kind {
+                *count += 1;
+                return;
+            }
+        }
+        self.counts.push((kind, 1));
+    }
+
+    /// Deliveries of `kind` (0 if never seen).
+    pub fn get(&self, kind: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(key, _)| *key == kind)
+            .map(|&(_, count)| count)
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(kind, count)` pairs in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().copied()
+    }
+
+    /// Number of distinct kinds seen.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` when no delivery was counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
 /// Aggregated counters for one engine run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Total protocol messages delivered.
     pub messages_total: u64,
@@ -95,7 +159,7 @@ pub struct Metrics {
     /// ([`EngineConfig::drop_rate`](crate::EngineConfig) > 0).
     pub messages_dropped: u64,
     /// Deliveries per message kind.
-    pub by_kind: BTreeMap<String, u64>,
+    pub by_kind: KindCounts,
     /// Number of completed critical-section entries.
     pub cs_entries: u64,
     /// Number of requests issued.
@@ -193,7 +257,7 @@ impl Metrics {
     /// assert_eq!(Metrics::default().kind_count("REQUEST"), 0);
     /// ```
     pub fn kind_count(&self, kind: &str) -> u64 {
-        self.by_kind.get(kind).copied().unwrap_or(0)
+        self.by_kind.get(kind)
     }
 }
 
@@ -243,8 +307,23 @@ mod tests {
     #[test]
     fn kind_counts() {
         let mut m = Metrics::default();
-        m.by_kind.insert("REQUEST".to_string(), 5);
+        for _ in 0..5 {
+            m.by_kind.increment("REQUEST");
+        }
         assert_eq!(m.kind_count("REQUEST"), 5);
         assert_eq!(m.kind_count("PRIVILEGE"), 0);
+    }
+
+    #[test]
+    fn kind_counts_match_content_not_just_pointer() {
+        let mut k = KindCounts::default();
+        k.increment("REQUEST");
+        // A label with equal content but (potentially) another address.
+        let other: &'static str = Box::leak(String::from("REQUEST").into_boxed_str());
+        k.increment(other);
+        assert_eq!(k.get("REQUEST"), 2);
+        assert_eq!(k.len(), 1);
+        assert!(!k.is_empty());
+        assert_eq!(k.iter().collect::<Vec<_>>(), vec![("REQUEST", 2)]);
     }
 }

@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// Simulated time in abstract ticks.
 ///
 /// The engine is a discrete-event simulator: time jumps from event to
@@ -20,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t - Time(10), Time(5));
 /// assert_eq!(t.to_string(), "t15");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(pub u64);
 
 impl Time {

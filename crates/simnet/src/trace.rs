@@ -1,7 +1,8 @@
-//! Serializable event traces.
+//! Event traces.
 //!
 //! A trace records everything that happened in a run at message-kind
-//! granularity. The golden tests replay the paper's Figure 2 and Figure 6
+//! granularity, using interned `&'static str` kind labels so recording
+//! is cheap (one `Vec` push per event, no string allocation). The golden tests replay the paper's Figure 2 and Figure 6
 //! walkthroughs and assert the traces match the printed tables; the
 //! examples pretty-print traces so a reader can follow a REQUEST hop by
 //! hop, exactly like the paper's prose does.
@@ -9,12 +10,11 @@
 use std::fmt;
 
 use dmx_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::time::Time;
 
 /// One observable step of a simulation run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A local user asked to enter the critical section.
     Request {
@@ -31,8 +31,12 @@ pub enum TraceEvent {
         src: NodeId,
         /// Receiver.
         dst: NodeId,
-        /// Message kind label.
-        kind: String,
+        /// Message kind label (interned: [`MessageMeta::kind`]
+        /// returns `&'static str`, so recording an event allocates no
+        /// string).
+        ///
+        /// [`MessageMeta::kind`]: crate::MessageMeta::kind
+        kind: &'static str,
     },
     /// A protocol message reached its receiver.
     Deliver {
@@ -42,8 +46,12 @@ pub enum TraceEvent {
         src: NodeId,
         /// Receiver.
         dst: NodeId,
-        /// Message kind label.
-        kind: String,
+        /// Message kind label (interned: [`MessageMeta::kind`]
+        /// returns `&'static str`, so recording an event allocates no
+        /// string).
+        ///
+        /// [`MessageMeta::kind`]: crate::MessageMeta::kind
+        kind: &'static str,
     },
     /// A protocol message was lost by the fault model and will never
     /// arrive.
@@ -54,8 +62,12 @@ pub enum TraceEvent {
         src: NodeId,
         /// Intended receiver.
         dst: NodeId,
-        /// Message kind label.
-        kind: String,
+        /// Message kind label (interned: [`MessageMeta::kind`]
+        /// returns `&'static str`, so recording an event allocates no
+        /// string).
+        ///
+        /// [`MessageMeta::kind`]: crate::MessageMeta::kind
+        kind: &'static str,
     },
     /// A node entered its critical section.
     Enter {
@@ -118,7 +130,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// An ordered list of [`TraceEvent`]s.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -253,13 +265,13 @@ mod tests {
             at: Time(0),
             src: NodeId(1),
             dst: NodeId(0),
-            kind: "REQUEST".into(),
+            kind: "REQUEST",
         });
         t.push(TraceEvent::Deliver {
             at: Time(1),
             src: NodeId(1),
             dst: NodeId(0),
-            kind: "REQUEST".into(),
+            kind: "REQUEST",
         });
         t.push(TraceEvent::Enter {
             at: Time(2),
@@ -310,7 +322,7 @@ mod tests {
             at: Time(4),
             src: NodeId(0),
             dst: NodeId(1),
-            kind: "PRIVILEGE".into(),
+            kind: "PRIVILEGE",
         };
         assert_eq!(e.at(), Time(4));
         let text = e.to_string();

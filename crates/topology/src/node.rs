@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node in the logical structure.
 ///
 /// Nodes are numbered `0..n` within a [`Tree`](crate::Tree). The paper
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.index(), 3);
 /// assert_eq!(a.to_string(), "n3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::node::NodeId;
 
 /// Edge directions for a tree: every node except the single *sink* names
@@ -22,7 +20,7 @@ use crate::node::NodeId;
 /// assert_eq!(orient.next_hop(NodeId(3)), Some(NodeId(2)));
 /// assert_eq!(orient.sink(), NodeId(2));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Orientation {
     next: Vec<Option<NodeId>>,
     sink: NodeId,

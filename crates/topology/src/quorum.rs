@@ -19,8 +19,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::NodeId;
 
 /// A quorum (committee) assignment: one member list per node.
@@ -29,7 +27,7 @@ use crate::node::NodeId;
 /// 1. every node appears in its own quorum;
 /// 2. every pair of quorums has a nonempty intersection;
 /// 3. member lists are sorted and duplicate-free.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuorumSystem {
     quorums: Vec<Vec<NodeId>>,
 }

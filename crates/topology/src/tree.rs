@@ -3,7 +3,6 @@ use std::fmt;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::node::NodeId;
 use crate::orientation::Orientation;
@@ -29,7 +28,7 @@ use crate::orientation::Orientation;
 /// assert_eq!(tree.diameter(), 2);
 /// # Ok::<(), dmx_topology::TreeError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
     /// Adjacency lists; `adj[v]` is sorted ascending.
     adj: Vec<Vec<NodeId>>,

@@ -1,0 +1,262 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the criterion API the workspace's `benches/` targets use:
+//! [`Criterion`] with `bench_function` / `benchmark_group` /
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark body is warmed up once, then timed
+//! over `sample_size` batches whose per-iteration mean is reported (best
+//! batch wins, which is robust to scheduler noise). There is no
+//! statistical analysis, plotting, or baseline storage. Set `BENCH_SMOKE=1`
+//! to run every benchmark exactly once — CI uses this to keep bench
+//! targets compiling and running without paying for real measurements.
+
+use std::time::{Duration, Instant};
+
+/// Formats a per-iteration duration like `12.34 µs`.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    /// Best observed mean nanoseconds per iteration.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records the fastest mean iteration
+    /// time over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if smoke_mode() {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            self.best_ns = start.elapsed().as_nanos() as f64;
+            return;
+        }
+        // Warm-up + calibration: size batches so one batch is ~1/sample
+        // of the measurement budget.
+        let start = Instant::now();
+        std::hint::black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let budget = self.measurement.as_nanos() as f64 / self.samples as f64;
+        let per_batch = ((budget / once.as_nanos() as f64).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(body());
+            }
+            let mean = start.elapsed().as_nanos() as f64 / per_batch as f64;
+            if mean < best {
+                best = mean;
+            }
+        }
+        self.best_ns = best;
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// The benchmark driver handed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single call here.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+            best_ns: 0.0,
+        };
+        f(&mut b);
+        println!("bench: {:<50} {:>12}/iter", name, fmt_ns(b.best_ns));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement: self.criterion.measurement,
+            best_ns: 0.0,
+        };
+        f(&mut b, input);
+        println!(
+            "bench: {:<50} {:>12}/iter",
+            format!("{}/{}", self.name, id.id),
+            fmt_ns(b.best_ns)
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u64;
+        std::env::set_var("BENCH_SMOKE", "1");
+        Criterion::default().bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        std::env::remove_var("BENCH_SMOKE");
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        std::env::set_var("BENCH_SMOKE", "1");
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| {
+                seen = x;
+            })
+        });
+        group.finish();
+        std::env::remove_var("BENCH_SMOKE");
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.00 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+    }
+}

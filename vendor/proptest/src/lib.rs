@@ -1,0 +1,617 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API the workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / [`Just`] / mapped / flat-mapped /
+//! boxed strategies, [`collection::vec`], [`sample::Index`],
+//! [`sample::select`], `any::<T>()`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed and case number so
+//!   it can be replayed with `PROPTEST_SEED=<seed>`; it is not minimized.
+//! * `prop_assert!`/`prop_assert_eq!` panic (like `assert!`) instead of
+//!   returning `Err`, which is equivalent for test outcomes.
+//! * Default case count is 64, overridable per test via
+//!   `ProptestConfig::with_cases` or globally via `PROPTEST_CASES`.
+
+pub mod test_runner {
+    /// Per-test configuration (only the fields this workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// An explicit test-case failure (the `Err` side of a property body).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `message`.
+        pub fn fail<M: std::fmt::Display>(message: M) -> Self {
+            TestCaseError {
+                message: message.to_string(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Drives one property test: owns the RNG every strategy draws from.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        seed: u64,
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// A runner seeded from `PROPTEST_SEED` if set, otherwise from
+        /// process entropy.
+        pub fn new(config: ProptestConfig) -> Self {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    use std::hash::{BuildHasher, Hasher};
+                    std::collections::hash_map::RandomState::new()
+                        .build_hasher()
+                        .finish()
+                });
+            TestRunner {
+                cases: config.cases,
+                seed,
+                state: seed,
+            }
+        }
+
+        /// How many cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The seed that reproduces this run via `PROPTEST_SEED`.
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// SplitMix64 step: the raw randomness behind every strategy.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `lo..=hi`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `lo > hi`.
+        pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo <= hi, "empty range");
+            let span = (hi - lo) as u64;
+            if span == u64::MAX {
+                return self.next_u64() as usize;
+            }
+            lo + (self.next_u64() % (span + 1)) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Post-processes every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// A type-erased [`Strategy`].
+    pub struct BoxedStrategy<V> {
+        inner: std::rc::Rc<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: std::rc::Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, runner: &mut TestRunner) -> V {
+            self.inner.new_value(runner)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.new_value(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, runner: &mut TestRunner) -> S2::Value {
+            (self.f)(self.inner.new_value(runner)).new_value(runner)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    runner.usize_inclusive(self.start as usize, (self.end - 1) as usize) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    runner.usize_inclusive(*self.start() as usize, *self.end() as usize) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, usize);
+
+    impl Strategy for core::ops::Range<u64> {
+        type Value = u64;
+        fn new_value(&self, runner: &mut TestRunner) -> u64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + runner.next_u64() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<u64> {
+        type Value = u64;
+        fn new_value(&self, runner: &mut TestRunner) -> u64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            let span = hi - lo;
+            if span == u64::MAX {
+                return runner.next_u64();
+            }
+            lo + runner.next_u64() % (span + 1)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.new_value(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+
+    /// Types with a canonical "generate any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(runner: &mut TestRunner) -> u64 {
+            runner.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(runner: &mut TestRunner) -> u32 {
+            runner.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(runner: &mut TestRunner) -> usize {
+            runner.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    impl<A: Arbitrary, const N: usize> Arbitrary for [A; N] {
+        fn arbitrary(runner: &mut TestRunner) -> [A; N] {
+            core::array::from_fn(|_| A::arbitrary(runner))
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(core::marker::PhantomData<A>);
+
+    /// Generates any value of `A` (via [`Arbitrary`]).
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, runner: &mut TestRunner) -> A {
+            A::arbitrary(runner)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// An inclusive length range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = runner.usize_inclusive(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::{Arbitrary, Strategy};
+    use crate::test_runner::TestRunner;
+
+    /// A length-agnostic index: generated once, projected onto any
+    /// collection length with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// This index projected onto a collection of `len` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(runner: &mut TestRunner) -> Index {
+            Index(runner.next_u64() as usize)
+        }
+    }
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.options[runner.usize_inclusive(0, self.options.len() - 1)].clone()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace mirror so `prop::sample::Index` etc. resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over random strategy draws.
+///
+/// A failing case prints the runner seed; rerun with `PROPTEST_SEED=<n>`
+/// to reproduce it exactly. No shrinking is performed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let seed = runner.seed();
+            let cases = runner.cases();
+            for case in 0..cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut runner);
+                )+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > {
+                            $body
+                            Ok(())
+                        },
+                    ),
+                );
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(rejection)) => {
+                        panic!(
+                            "proptest: case {}/{} rejected ({}); reproduce with \
+                             PROPTEST_SEED={}",
+                            case + 1,
+                            cases,
+                            rejection,
+                            seed
+                        );
+                    }
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest: case {}/{} failed; reproduce with PROPTEST_SEED={}",
+                            case + 1,
+                            cases,
+                            seed
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..500).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 2u64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((2..=4).contains(&y));
+        }
+
+        #[test]
+        fn mapped_strategies_apply(x in arb_even()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_dependent_generation(v in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0u32..10, n)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn tuples_justs_and_indices(
+            (a, b) in (Just(7u32), 0u32..3),
+            sel in any::<prop::sample::Index>(),
+            arr in any::<[prop::sample::Index; 3]>(),
+        ) {
+            prop_assert_eq!(a, 7);
+            prop_assert!(b < 3);
+            prop_assert!(sel.index(5) < 5);
+            prop_assert!(arr[2].index(9) < 9);
+        }
+
+        #[test]
+        fn select_draws_members(x in prop::sample::select(vec![1, 5, 9])) {
+            prop_assert!([1, 5, 9].contains(&x));
+        }
+
+        #[test]
+        fn boxed_strategies_compose(n in (2usize..6).prop_flat_map(|n| {
+            if n == 2 {
+                Just(2usize).boxed()
+            } else {
+                (3usize..=n).boxed()
+            }
+        })) {
+            prop_assert!((2..6).contains(&n));
+        }
+    }
+}
