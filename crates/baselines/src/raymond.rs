@@ -15,6 +15,12 @@ use std::collections::VecDeque;
 use dmx_simnet::{Ctx, MessageMeta, Protocol};
 use dmx_topology::{NodeId, Tree};
 
+use crate::ProtocolAction;
+
+/// Buffered-handler effect type for Raymond's algorithm (see
+/// [`ProtocolAction`]).
+pub type RaymondAction = ProtocolAction<RaymondMessage>;
+
 /// Raymond's two message types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RaymondMessage {
@@ -70,6 +76,10 @@ pub struct RaymondProtocol {
     asked: bool,
     /// Pending requests: neighbor ids, or `me` for the local user.
     queue: VecDeque<NodeId>,
+    /// Reused action buffer: the buffered `*_into` handlers push into it
+    /// and every [`Protocol`] callback drains it into the [`Ctx`], so
+    /// steady-state event handling allocates nothing.
+    scratch: Vec<RaymondAction>,
 }
 
 impl RaymondProtocol {
@@ -81,6 +91,7 @@ impl RaymondProtocol {
             using: false,
             asked: false,
             queue: VecDeque::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -115,16 +126,19 @@ impl RaymondProtocol {
 
     /// Raymond's ASSIGN_PRIVILEGE: if the token is here, idle, and someone
     /// is queued, hand it to the queue head (possibly the local user).
-    fn assign_privilege(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
+    fn assign_privilege(&mut self, actions: &mut Vec<RaymondAction>) {
         if self.holder == self.me && !self.using {
             if let Some(head) = self.queue.pop_front() {
                 self.asked = false;
                 if head == self.me {
                     self.using = true;
-                    ctx.enter_cs();
+                    actions.push(RaymondAction::Enter);
                 } else {
                     self.holder = head;
-                    ctx.send(head, RaymondMessage::Privilege);
+                    actions.push(RaymondAction::Send {
+                        to: head,
+                        message: RaymondMessage::Privilege,
+                    });
                 }
             }
         }
@@ -132,10 +146,53 @@ impl RaymondProtocol {
 
     /// Raymond's MAKE_REQUEST: if we still have queued requests and the
     /// token is elsewhere, make sure exactly one REQUEST is outstanding.
-    fn make_request(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
+    fn make_request(&mut self, actions: &mut Vec<RaymondAction>) {
         if self.holder != self.me && !self.queue.is_empty() && !self.asked {
             self.asked = true;
-            ctx.send(self.holder, RaymondMessage::Request);
+            actions.push(RaymondAction::Send {
+                to: self.holder,
+                message: RaymondMessage::Request,
+            });
+        }
+    }
+
+    /// The local user wants the critical section. Buffered handler (see
+    /// [`ProtocolAction`]); the effects land in `actions`.
+    pub fn request_into(&mut self, actions: &mut Vec<RaymondAction>) {
+        self.queue.push_back(self.me);
+        self.assign_privilege(actions);
+        self.make_request(actions);
+    }
+
+    /// A `REQUEST` arrived from neighbor `from`.
+    pub fn receive_request_into(&mut self, from: NodeId, actions: &mut Vec<RaymondAction>) {
+        self.queue.push_back(from);
+        self.assign_privilege(actions);
+        self.make_request(actions);
+    }
+
+    /// The `PRIVILEGE` arrived from the former holder.
+    pub fn receive_privilege_into(&mut self, actions: &mut Vec<RaymondAction>) {
+        self.holder = self.me;
+        self.assign_privilege(actions);
+        self.make_request(actions);
+    }
+
+    /// The local user leaves the critical section.
+    pub fn exit_into(&mut self, actions: &mut Vec<RaymondAction>) {
+        self.using = false;
+        self.assign_privilege(actions);
+        self.make_request(actions);
+    }
+
+    /// Drains the scratch buffer into the engine context, retaining the
+    /// buffer's capacity for the next callback.
+    fn apply(scratch: &mut Vec<RaymondAction>, ctx: &mut Ctx<'_, RaymondMessage>) {
+        for action in scratch.drain(..) {
+            match action {
+                RaymondAction::Send { to, message } => ctx.send(to, message),
+                RaymondAction::Enter => ctx.enter_cs(),
+            }
         }
     }
 }
@@ -144,30 +201,27 @@ impl Protocol for RaymondProtocol {
     type Message = RaymondMessage;
 
     fn on_request_cs(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
-        self.queue.push_back(self.me);
-        self.assign_privilege(ctx);
-        self.make_request(ctx);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.request_into(&mut scratch);
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn on_message(&mut self, from: NodeId, msg: RaymondMessage, ctx: &mut Ctx<'_, RaymondMessage>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         match msg {
-            RaymondMessage::Request => {
-                self.queue.push_back(from);
-                self.assign_privilege(ctx);
-                self.make_request(ctx);
-            }
-            RaymondMessage::Privilege => {
-                self.holder = self.me;
-                self.assign_privilege(ctx);
-                self.make_request(ctx);
-            }
+            RaymondMessage::Request => self.receive_request_into(from, &mut scratch),
+            RaymondMessage::Privilege => self.receive_privilege_into(&mut scratch),
         }
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, RaymondMessage>) {
-        self.using = false;
-        self.assign_privilege(ctx);
-        self.make_request(ctx);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.exit_into(&mut scratch);
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn storage_words(&self) -> usize {
@@ -263,6 +317,43 @@ mod tests {
             let report = engine.run_to_quiescence().unwrap();
             assert_eq!(report.metrics.cs_entries, 9, "trial {trial}");
         }
+    }
+
+    #[test]
+    fn buffered_handlers_drive_a_two_node_handoff() {
+        // The pure *_into handlers replay a hand-off without any engine.
+        let mut holder = RaymondProtocol::new(NodeId(0), NodeId(0));
+        let mut asker = RaymondProtocol::new(NodeId(1), NodeId(0));
+        let mut actions = Vec::new();
+
+        asker.request_into(&mut actions);
+        assert_eq!(
+            actions,
+            vec![RaymondAction::Send {
+                to: NodeId(0),
+                message: RaymondMessage::Request
+            }]
+        );
+        actions.clear();
+
+        holder.receive_request_into(NodeId(1), &mut actions);
+        assert_eq!(
+            actions,
+            vec![RaymondAction::Send {
+                to: NodeId(1),
+                message: RaymondMessage::Privilege
+            }]
+        );
+        assert_eq!(holder.holder(), NodeId(1), "HOLDER repointed");
+        actions.clear();
+
+        asker.receive_privilege_into(&mut actions);
+        assert_eq!(actions, vec![RaymondAction::Enter]);
+        actions.clear();
+
+        asker.exit_into(&mut actions);
+        assert!(actions.is_empty(), "no waiter: token parks");
+        assert!(asker.has_token());
     }
 
     #[test]

@@ -14,6 +14,12 @@ use std::collections::VecDeque;
 use dmx_simnet::{Ctx, MessageMeta, Protocol};
 use dmx_topology::NodeId;
 
+use crate::ProtocolAction;
+
+/// Buffered-handler effect type for Suzuki–Kasami (see
+/// [`ProtocolAction`]).
+pub type SkAction = ProtocolAction<SkMessage>;
+
 /// The token: last-served numbers and the explicit waiting queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SkToken {
@@ -86,6 +92,10 @@ pub struct SuzukiKasamiProtocol {
     token: Option<SkToken>,
     requesting: bool,
     executing: bool,
+    /// Reused action buffer: the buffered `*_into` handlers push into it
+    /// and every [`Protocol`] callback drains it into the [`Ctx`], so
+    /// steady-state event handling allocates nothing.
+    scratch: Vec<SkAction>,
 }
 
 impl SuzukiKasamiProtocol {
@@ -97,6 +107,7 @@ impl SuzukiKasamiProtocol {
             token: holds_token.then(|| SkToken::new(n)),
             requesting: false,
             executing: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -120,7 +131,7 @@ impl SuzukiKasamiProtocol {
     /// Release-time token maintenance: record our satisfied request and
     /// enqueue every node with an outstanding one, then pass the token to
     /// the queue head (keeping it if the queue is empty).
-    fn update_and_pass(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
+    fn update_and_pass(&mut self, actions: &mut Vec<SkAction>) {
         let mut token = self
             .token
             .take()
@@ -133,8 +144,86 @@ impl SuzukiKasamiProtocol {
             }
         }
         match token.queue.pop_front() {
-            Some(next) => ctx.send(next, SkMessage::Privilege(token)),
+            Some(next) => actions.push(SkAction::Send {
+                to: next,
+                message: SkMessage::Privilege(token),
+            }),
             None => self.token = Some(token),
+        }
+    }
+
+    /// The local user wants the critical section: enter immediately when
+    /// holding, otherwise broadcast `REQUEST(RN[me])`. Buffered handler
+    /// (see [`ProtocolAction`]); the effects land in `actions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the node is already requesting or executing.
+    pub fn request_into(&mut self, actions: &mut Vec<SkAction>) {
+        debug_assert!(!self.requesting && !self.executing);
+        if self.token.is_some() {
+            self.executing = true;
+            actions.push(SkAction::Enter);
+            return;
+        }
+        self.requesting = true;
+        self.rn[self.me.index()] += 1;
+        let n = self.rn[self.me.index()];
+        for j in 0..self.rn.len() {
+            let id = NodeId::from_index(j);
+            if id != self.me {
+                actions.push(SkAction::Send {
+                    to: id,
+                    message: SkMessage::Request { n },
+                });
+            }
+        }
+    }
+
+    /// `REQUEST(seq)` arrived from `from`: raise `RN[from]` and, as an
+    /// idle holder, hand the token over if the request is unserved.
+    pub fn receive_request_into(&mut self, from: NodeId, seq: u64, actions: &mut Vec<SkAction>) {
+        let j = from.index();
+        self.rn[j] = self.rn[j].max(seq);
+        if let Some(token) = &self.token {
+            if !self.executing && !self.requesting && self.rn[j] == token.ln[j] + 1 {
+                let token = self.token.take().expect("checked above");
+                actions.push(SkAction::Send {
+                    to: from,
+                    message: SkMessage::Privilege(token),
+                });
+            }
+        }
+    }
+
+    /// The token arrived, granting the pending request.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the node was not requesting.
+    pub fn receive_privilege_into(&mut self, token: SkToken, actions: &mut Vec<SkAction>) {
+        debug_assert!(self.requesting, "token arrived unrequested");
+        self.token = Some(token);
+        self.requesting = false;
+        self.executing = true;
+        actions.push(SkAction::Enter);
+    }
+
+    /// The local user leaves the critical section; run the release-time
+    /// token maintenance.
+    pub fn exit_into(&mut self, actions: &mut Vec<SkAction>) {
+        self.executing = false;
+        self.update_and_pass(actions);
+    }
+
+    /// Drains the scratch buffer into the engine context, retaining the
+    /// buffer's capacity for the next callback.
+    fn apply(scratch: &mut Vec<SkAction>, ctx: &mut Ctx<'_, SkMessage>) {
+        for action in scratch.drain(..) {
+            match action {
+                SkAction::Send { to, message } => ctx.send(to, message),
+                SkAction::Enter => ctx.enter_cs(),
+            }
         }
     }
 }
@@ -143,49 +232,28 @@ impl Protocol for SuzukiKasamiProtocol {
     type Message = SkMessage;
 
     fn on_request_cs(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
-        if self.token.is_some() {
-            self.executing = true;
-            ctx.enter_cs();
-            return;
-        }
-        self.requesting = true;
-        self.rn[self.me.index()] += 1;
-        let n = self.rn[self.me.index()];
-        for j in 0..ctx.n() {
-            let id = NodeId::from_index(j);
-            if id != self.me {
-                ctx.send(id, SkMessage::Request { n });
-            }
-        }
+        debug_assert_eq!(self.rn.len(), ctx.n(), "cluster size mismatch");
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.request_into(&mut scratch);
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn on_message(&mut self, from: NodeId, msg: SkMessage, ctx: &mut Ctx<'_, SkMessage>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         match msg {
-            SkMessage::Request { n } => {
-                let j = from.index();
-                self.rn[j] = self.rn[j].max(n);
-                // An idle holder passes the token straight away if the
-                // request is unserved.
-                if let Some(token) = &self.token {
-                    if !self.executing && !self.requesting && self.rn[j] == token.ln[j] + 1 {
-                        let token = self.token.take().expect("checked above");
-                        ctx.send(from, SkMessage::Privilege(token));
-                    }
-                }
-            }
-            SkMessage::Privilege(token) => {
-                debug_assert!(self.requesting, "token arrived unrequested");
-                self.token = Some(token);
-                self.requesting = false;
-                self.executing = true;
-                ctx.enter_cs();
-            }
+            SkMessage::Request { n } => self.receive_request_into(from, n, &mut scratch),
+            SkMessage::Privilege(token) => self.receive_privilege_into(token, &mut scratch),
         }
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, SkMessage>) {
-        self.executing = false;
-        self.update_and_pass(ctx);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.exit_into(&mut scratch);
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn storage_words(&self) -> usize {
@@ -270,6 +338,46 @@ mod tests {
         let msg = SkMessage::Privilege(token);
         assert_eq!(msg.wire_size(), 40);
         assert_eq!(SkMessage::Request { n: 1 }.wire_size(), 8);
+    }
+
+    #[test]
+    fn buffered_handlers_drive_a_two_node_handoff() {
+        // The pure *_into handlers replay a hand-off without any engine.
+        let mut holder = SuzukiKasamiProtocol::new(NodeId(0), 2, true);
+        let mut asker = SuzukiKasamiProtocol::new(NodeId(1), 2, false);
+        let mut actions = Vec::new();
+
+        asker.request_into(&mut actions);
+        assert_eq!(
+            actions,
+            vec![SkAction::Send {
+                to: NodeId(0),
+                message: SkMessage::Request { n: 1 }
+            }]
+        );
+        actions.clear();
+
+        holder.receive_request_into(NodeId(1), 1, &mut actions);
+        let token = match actions.pop() {
+            Some(SkAction::Send {
+                to,
+                message: SkMessage::Privilege(token),
+            }) => {
+                assert_eq!(to, NodeId(1));
+                token
+            }
+            other => panic!("expected the token hand-off, got {other:?}"),
+        };
+        assert!(!holder.has_token());
+
+        asker.receive_privilege_into(token, &mut actions);
+        assert_eq!(actions, vec![SkAction::Enter]);
+        actions.clear();
+
+        // Nobody else waits: the exit keeps the token parked.
+        asker.exit_into(&mut actions);
+        assert!(actions.is_empty());
+        assert!(asker.has_token());
     }
 
     #[test]

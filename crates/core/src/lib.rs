@@ -85,7 +85,7 @@ pub mod render;
 mod sim;
 mod state;
 
-pub use message::DagMessage;
+pub use message::{DagMessage, KeyedDagMessage, LockId};
 pub use node::{init_nodes, Action, DagNode};
 pub use observer::{
     implicit_queue, next_edges, sink_nodes, token_holder, undirected_acyclic, walk_to_sink,

@@ -20,20 +20,26 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("ext_scale", "extension: N scaling sweep"),
     ("ext_hub", "extension: weighted hub placement"),
     ("ext_fair", "extension: per-node fairness"),
+    (
+        "ext_lock",
+        "extension: lock-space scaling (keys × skew × n)",
+    ),
 ];
 
 /// Run explicitly (`repro -- bench`); excluded from the default sweep
 /// because it is timing-sensitive and writes a file.
 const BENCH_ID: (&str, &str) = (
     "bench",
-    "engine hot-loop throughput suite; writes BENCH_CURRENT.json",
+    "engine hot-loop + multi-key throughput suites; writes BENCH_CURRENT.json",
 );
 
 fn run_bench() {
     let results = experiments::hot_loop::run_suite();
+    let multi_key = experiments::lock_scaling::bench_suite();
     let json = format!(
-        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"results\": {}\n}}\n",
-        experiments::hot_loop::results_json(&results)
+        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"results\": {},\n  \"multi_key\": {}\n}}\n",
+        experiments::hot_loop::results_json(&results),
+        experiments::lock_scaling::results_json(&multi_key)
     );
     // Always a distinct file: BENCH_PR<n>.json artifacts are curated
     // (they carry unreproducible pre-refactor baselines) and must
@@ -78,6 +84,10 @@ fn run_one(id: &str) -> bool {
             experiments::hub_placement::run(10, dmx_topology::NodeId(7), 0.6, 4_000)
         ),
         "ext_fair" => println!("{}", experiments::fairness::run(10, 6)),
+        "ext_lock" => println!(
+            "{}",
+            experiments::lock_scaling::run(&[15, 127], &[1, 64, 4096], 12)
+        ),
         "bench" => run_bench(),
         _ => return false,
     }

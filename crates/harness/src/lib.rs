@@ -14,6 +14,7 @@
 //! | `ext_scale` | N-scaling extension | [`experiments::scaling`] |
 //! | `ext_hub` | weighted hub placement extension | [`experiments::hub_placement`] |
 //! | `ext_fair` | fairness extension | [`experiments::fairness`] |
+//! | `ext_lock` | lock-space scaling (keys × skew × n) | [`experiments::lock_scaling`] |
 //!
 //! Run them all with `cargo run -p dmx-harness --bin repro --release`, or
 //! a single one by id: `cargo run -p dmx-harness --bin repro -- tab6_1`.

@@ -1,0 +1,105 @@
+//! The wire envelope of a lock space: one simulated delivery that
+//! carries one — or, with batching on, many — keyed algorithm messages.
+//!
+//! Batching is the whole reason the lock space multiplexes instead of
+//! running K engines: when one dispatch produces messages for several
+//! keys to the *same* destination (a node forwarding a batch, a hub
+//! granting several keys at once), they ride in a single [`Envelope`],
+//! so the simulated network — and, in a real deployment, the syscall and
+//! packet budget — is charged once per destination rather than once per
+//! key.
+//!
+//! Wire accounting: a batched envelope pays its inner messages' keyed
+//! wire sizes plus a 4-byte count header; a single keyed message pays no
+//! header at all. Batch payload `Vec`s are recycled through the lock
+//! space's shared pool, so steady-state batching allocates nothing.
+
+use dmx_core::KeyedDagMessage;
+use dmx_simnet::MessageMeta;
+
+/// One network delivery of a lock space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope {
+    /// A single keyed message (batching off, or a lone message for its
+    /// destination).
+    One(KeyedDagMessage),
+    /// Several keyed messages for the same destination, delivered as one
+    /// simulated message. The `Vec` comes from — and returns to — the
+    /// lock space's buffer pool.
+    Batch(Vec<KeyedDagMessage>),
+}
+
+impl Envelope {
+    /// Number of keyed algorithm messages inside.
+    pub fn len(&self) -> usize {
+        match self {
+            Envelope::One(_) => 1,
+            Envelope::Batch(v) => v.len(),
+        }
+    }
+
+    /// `true` for an empty batch (never sent by a correct lock space).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MessageMeta for Envelope {
+    fn kind(&self) -> &'static str {
+        match self {
+            Envelope::One(m) => m.kind(),
+            Envelope::Batch(_) => "BATCH",
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            Envelope::One(m) => m.wire_size(),
+            // A count header plus each keyed message's tagged payload.
+            Envelope::Batch(v) => 4 + v.iter().map(MessageMeta::wire_size).sum::<usize>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_core::{DagMessage, LockId};
+    use dmx_topology::NodeId;
+
+    fn request(key: u32) -> KeyedDagMessage {
+        KeyedDagMessage {
+            lock: LockId(key),
+            msg: DagMessage::Request {
+                from: NodeId(0),
+                origin: NodeId(1),
+            },
+        }
+    }
+
+    fn privilege(key: u32) -> KeyedDagMessage {
+        KeyedDagMessage {
+            lock: LockId(key),
+            msg: DagMessage::Privilege,
+        }
+    }
+
+    #[test]
+    fn single_envelope_reports_inner_kind_and_size() {
+        let one = Envelope::One(privilege(3));
+        assert_eq!(one.kind(), "PRIVILEGE");
+        assert_eq!(one.wire_size(), 4); // just the key tag
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn batch_envelope_sums_inner_sizes_plus_header() {
+        let batch = Envelope::Batch(vec![request(0), privilege(1), request(2)]);
+        assert_eq!(batch.kind(), "BATCH");
+        // header 4 + (4+8) + (4+0) + (4+8)
+        assert_eq!(batch.wire_size(), 4 + 12 + 4 + 12);
+        assert_eq!(batch.len(), 3);
+        assert!(Envelope::Batch(Vec::new()).is_empty());
+    }
+}

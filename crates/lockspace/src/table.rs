@@ -1,0 +1,284 @@
+//! The sharded per-node lock table.
+//!
+//! Each node of a lock space hosts one [`DagNode`] *per key it has ever
+//! seen traffic for*. With thousands of keys and most of them cold at any
+//! given node, the table must make untouched keys cost nothing: instances
+//! are materialized lazily, on the first local request or the first
+//! message that routes through the node for that key.
+//!
+//! Lazy materialization is sound because of the DAG invariant the paper
+//! proves: a node that has processed no message for key `k` still has its
+//! *initial* orientation pointer (toward the key's hub), and every node
+//! that redirected `k`'s traffic repointed its own `NEXT` — so the stale
+//! pointer chain still leads to the current sink. Materializing late with
+//! the initial orientation is therefore indistinguishable from having
+//! materialized every instance up front.
+//!
+//! Layout: a fixed number of shards (`key % shards`), each an
+//! open-addressed hash table with linear probing over `Option<(key,
+//! DagNode)>` slots. Lookups are one multiply-hash plus a short probe —
+//! no `HashMap` SipHash, no per-entry boxing — and steady-state lookups
+//! allocate nothing (growth doubles a shard and rehashes, amortized and
+//! warm-up only).
+
+use dmx_core::{DagNode, LockId};
+
+/// Multiplicative hash spreading dense lock ids across a shard.
+#[inline]
+fn spread(key: u32) -> usize {
+    key.wrapping_mul(0x9E37_79B1) as usize
+}
+
+/// One open-addressed shard. Capacity is always a power of two; the
+/// shard grows at 7/8 occupancy.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    slots: Vec<Option<(u32, DagNode)>>,
+    live: usize,
+}
+
+impl Shard {
+    /// Index of `key`'s slot: `Ok(i)` if present, `Err(i)` naming the
+    /// empty slot it would occupy. Requires a non-empty `slots`.
+    fn probe(&self, key: u32) -> Result<usize, usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = spread(key) & mask;
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => return Ok(i),
+                Some(_) => i = (i + 1) & mask,
+                None => return Err(i),
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(8);
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        for slot in old.into_iter().flatten() {
+            let i = self
+                .probe(slot.0)
+                .expect_err("rehash target slot must be empty");
+            self.slots[i] = Some(slot);
+        }
+    }
+}
+
+/// A node's sharded `LockId -> DagNode` map; see the [module
+/// docs](self) for the design.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_core::{DagNode, LockId};
+/// use dmx_lockspace::LockTable;
+/// use dmx_topology::NodeId;
+///
+/// let mut table = LockTable::new(4);
+/// assert!(table.get(LockId(9)).is_none()); // untouched keys cost nothing
+/// let node = table.get_or_insert_with(LockId(9), || DagNode::new(NodeId(0), None));
+/// assert!(node.holding());
+/// assert_eq!(table.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockTable {
+    shards: Vec<Shard>,
+}
+
+impl LockTable {
+    /// An empty table with `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "lock table needs at least one shard");
+        LockTable {
+            shards: vec![Shard::default(); shards],
+        }
+    }
+
+    /// Number of materialized lock instances.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.live).sum()
+    }
+
+    /// `true` when no instance has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.live == 0)
+    }
+
+    #[inline]
+    fn shard(&self, key: LockId) -> usize {
+        key.index() % self.shards.len()
+    }
+
+    /// The instance for `key`, if materialized.
+    pub fn get(&self, key: LockId) -> Option<&DagNode> {
+        let shard = &self.shards[self.shard(key)];
+        if shard.slots.is_empty() {
+            return None;
+        }
+        match shard.probe(key.0) {
+            Ok(i) => shard.slots[i].as_ref().map(|(_, n)| n),
+            Err(_) => None,
+        }
+    }
+
+    /// Mutable access to `key`'s instance, if materialized.
+    pub fn get_mut(&mut self, key: LockId) -> Option<&mut DagNode> {
+        let si = self.shard(key);
+        let shard = &mut self.shards[si];
+        if shard.slots.is_empty() {
+            return None;
+        }
+        match shard.probe(key.0) {
+            Ok(i) => shard.slots[i].as_mut().map(|(_, n)| n),
+            Err(_) => None,
+        }
+    }
+
+    /// The instance for `key`, materializing it with `init` on first
+    /// touch. Lookups of existing keys — the steady-state case — never
+    /// grow the shard; growth happens only on the insert path, keeping
+    /// at least one empty slot so probes terminate.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: LockId,
+        init: impl FnOnce() -> DagNode,
+    ) -> &mut DagNode {
+        let si = self.shard(key);
+        let shard = &mut self.shards[si];
+        if shard.slots.is_empty() {
+            shard.grow();
+        }
+        let i = match shard.probe(key.0) {
+            Ok(i) => i,
+            Err(mut i) => {
+                if (shard.live + 1) * 8 >= shard.slots.len() * 7 {
+                    shard.grow();
+                    i = shard
+                        .probe(key.0)
+                        .expect_err("key still absent after growth");
+                }
+                shard.slots[i] = Some((key.0, init()));
+                shard.live += 1;
+                i
+            }
+        };
+        shard.slots[i]
+            .as_mut()
+            .map(|(_, n)| n)
+            .expect("slot just probed or filled")
+    }
+
+    /// Iterates `(key, instance)` over every materialized lock, in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (LockId, &DagNode)> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.slots.iter().flatten())
+            .map(|(k, n)| (LockId(*k), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmx_topology::NodeId;
+
+    fn instance(key: u32) -> DagNode {
+        // Key parity decides holding, so tests can tell instances apart.
+        DagNode::new(NodeId(0), (key % 2 == 1).then_some(NodeId(1)))
+    }
+
+    #[test]
+    fn empty_table_has_no_instances() {
+        let table = LockTable::new(8);
+        assert_eq!(table.len(), 0);
+        assert!(table.is_empty());
+        assert!(table.get(LockId(0)).is_none());
+        assert_eq!(table.iter().count(), 0);
+    }
+
+    #[test]
+    fn materializes_on_first_touch_only() {
+        let mut table = LockTable::new(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            table.get_or_insert_with(LockId(7), || {
+                calls += 1;
+                instance(7)
+            });
+        }
+        assert_eq!(calls, 1, "init must run exactly once per key");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn thousands_of_keys_survive_growth_and_rehash() {
+        let mut table = LockTable::new(16);
+        for k in 0..4096u32 {
+            let node = table.get_or_insert_with(LockId(k), || instance(k));
+            assert_eq!(node.holding(), k % 2 == 0, "fresh instance for {k}");
+        }
+        assert_eq!(table.len(), 4096);
+        for k in 0..4096u32 {
+            let node = table.get(LockId(k)).expect("key {k} must persist");
+            assert_eq!(node.is_sink(), k % 2 == 0, "key {k} kept its identity");
+        }
+        assert!(table.get(LockId(4096)).is_none());
+        assert_eq!(table.iter().count(), 4096);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut table = LockTable::new(2);
+        table.get_or_insert_with(LockId(3), || instance(3));
+        table
+            .get_mut(LockId(3))
+            .expect("materialized")
+            .receive_request_into(NodeId(2), NodeId(2), &mut Vec::new());
+        assert_eq!(table.get(LockId(3)).unwrap().next(), Some(NodeId(2)));
+        assert!(table.get_mut(LockId(999)).is_none());
+    }
+
+    #[test]
+    fn lookups_of_existing_keys_never_grow_a_full_shard() {
+        let mut table = LockTable::new(1);
+        // Fill the single shard right up to its growth threshold.
+        let mut k = 0u32;
+        let cap = loop {
+            table.get_or_insert_with(LockId(k), || instance(k));
+            k += 1;
+            let cap = table.shards[0].slots.len();
+            if (table.shards[0].live + 1) * 8 >= cap * 7 {
+                break cap;
+            }
+        };
+        // Hammering existing keys at the threshold must not reallocate.
+        for _ in 0..3 {
+            for existing in 0..k {
+                table.get_or_insert_with(LockId(existing), || panic!("key {existing} exists"));
+            }
+        }
+        assert_eq!(table.shards[0].slots.len(), cap, "lookup grew the shard");
+        // The next genuinely new key grows it once.
+        table.get_or_insert_with(LockId(k), || instance(k));
+        assert_eq!(table.shards[0].slots.len(), cap * 2);
+        assert_eq!(table.len(), k as usize + 1);
+    }
+
+    #[test]
+    fn sparse_keys_spread_over_shards() {
+        let mut table = LockTable::new(8);
+        // Adversarial stride: all keys land in shard 0 (k % 8 == 0) and
+        // must still probe cleanly within it.
+        for k in (0..2048u32).step_by(8) {
+            table.get_or_insert_with(LockId(k), || instance(k));
+        }
+        assert_eq!(table.len(), 256);
+        assert!(table.get(LockId(8)).is_some());
+        assert!(table.get(LockId(9)).is_none());
+    }
+}

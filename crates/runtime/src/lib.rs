@@ -30,8 +30,12 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod lockspace;
 mod stats;
 pub mod tcp;
 
 pub use cluster::{Cluster, Guard, LockError, MutexHandle};
+pub use lockspace::{
+    KeyGuard, LockSpaceCluster, LockSpaceHandle, LockSpaceNodeStats, LockSpaceStats,
+};
 pub use stats::{ClusterStats, NodeStats};

@@ -1,0 +1,509 @@
+//! The multi-lock service over real threads: a [`LockSpaceCluster`]
+//! serves the same keyed-lock API the simulated `dmx-lockspace`
+//! subsystem exposes, one OS thread per node.
+//!
+//! Each node thread owns a lazily-materialized [`LockTable`] of per-key
+//! [`DagNode`]s — the same sharded table, the same lazy-orientation
+//! soundness argument — and exchanges [`KeyedDagMessage`]s over
+//! crossbeam channels (per-sender FIFO, the paper's only network
+//! assumption). Locking key `k` from node `i` runs exactly the per-key
+//! algorithm the simulator measures: `REQUEST`s hop toward `k`'s sink,
+//! the `PRIVILEGE` parks where demand is.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmx_core::LockId;
+//! use dmx_lockspace::Placement;
+//! use dmx_runtime::LockSpaceCluster;
+//! use dmx_topology::{NodeId, Tree};
+//!
+//! let (cluster, mut handles) =
+//!     LockSpaceCluster::start(&Tree::star(4), 64, Placement::Modulo);
+//! {
+//!     let _guard = handles[2].lock(LockId(17))?; // key 17's critical section
+//! } // drop releases; key 17's token stays parked at node 2
+//! let stats = cluster.shutdown();
+//! assert_eq!(stats.entries, 1);
+//! # Ok::<(), dmx_runtime::LockError>(())
+//! ```
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use dmx_core::{Action, DagMessage, DagNode, KeyedDagMessage, LockId};
+use dmx_lockspace::{LockTable, OrientationCache, Placement};
+use dmx_topology::{NodeId, Tree};
+
+use crate::cluster::LockError;
+
+/// Inputs a lock-space node thread processes.
+enum Input {
+    /// Local user wants `key`'s critical section; reply when granted.
+    Acquire(LockId, Sender<()>),
+    /// Local user releases `key`.
+    Release(LockId),
+    /// A keyed protocol message from a peer.
+    Net {
+        /// Wire sender.
+        from: NodeId,
+        /// Payload.
+        msg: KeyedDagMessage,
+    },
+    /// Stop and report stats.
+    Shutdown,
+}
+
+/// Counters one lock-space node accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockSpaceNodeStats {
+    /// Keyed `REQUEST` messages sent by this node.
+    pub requests_sent: u64,
+    /// Keyed `PRIVILEGE` messages sent by this node.
+    pub privileges_sent: u64,
+    /// Critical-section entries performed by this node's local user.
+    pub entries: u64,
+    /// Lock instances this node materialized (keys it saw traffic for).
+    pub keys_materialized: usize,
+}
+
+/// Whole-cluster counters returned by [`LockSpaceCluster::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockSpaceStats {
+    /// Per-node counters, indexed by node.
+    pub per_node: Vec<LockSpaceNodeStats>,
+    /// Total keyed protocol messages exchanged.
+    pub messages_total: u64,
+    /// Total critical-section entries, across all keys.
+    pub entries: u64,
+}
+
+impl LockSpaceStats {
+    fn from_nodes(per_node: Vec<LockSpaceNodeStats>) -> Self {
+        let messages_total = per_node
+            .iter()
+            .map(|s| s.requests_sent + s.privileges_sent)
+            .sum();
+        let entries = per_node.iter().map(|s| s.entries).sum();
+        LockSpaceStats {
+            per_node,
+            messages_total,
+            entries,
+        }
+    }
+
+    /// Counters for one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node(&self, node: NodeId) -> &LockSpaceNodeStats {
+        &self.per_node[node.index()]
+    }
+}
+
+/// A running multi-lock cluster: one thread per tree node, each hosting
+/// per-key DAG instances. Obtain per-node [`LockSpaceHandle`]s from
+/// [`LockSpaceCluster::start`] and call
+/// [`shutdown`](LockSpaceCluster::shutdown) when done.
+#[derive(Debug)]
+pub struct LockSpaceCluster {
+    txs: Vec<Sender<Input>>,
+    joins: Vec<JoinHandle<LockSpaceNodeStats>>,
+}
+
+/// The keyed distributed-lock endpoint for one node.
+///
+/// `lock` takes `&mut self`, so each node has at most one outstanding
+/// acquisition at a time (the lock-space system model), enforced at
+/// compile time while a [`KeyGuard`] lives. Different *nodes* lock
+/// different — or the same — keys fully concurrently.
+#[derive(Debug)]
+pub struct LockSpaceHandle {
+    node: NodeId,
+    tx: Sender<Input>,
+}
+
+/// Possession of one key's critical section; releases on drop (or
+/// explicitly via [`KeyGuard::unlock`]).
+#[derive(Debug)]
+pub struct KeyGuard<'a> {
+    handle: &'a mut LockSpaceHandle,
+    key: LockId,
+}
+
+impl LockSpaceCluster {
+    /// Spawns one thread per node of `tree` serving `keys` locks placed
+    /// per `placement`, and returns the cluster plus one
+    /// [`LockSpaceHandle`] per node (index = node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys == 0` or a [`Placement::Hub`] names an
+    /// out-of-range node.
+    pub fn start(
+        tree: &Tree,
+        keys: u32,
+        placement: Placement,
+    ) -> (LockSpaceCluster, Vec<LockSpaceHandle>) {
+        assert!(keys > 0, "lock space needs at least one key");
+        let n = tree.len();
+        if let Placement::Hub(h) = placement {
+            assert!(h.index() < n, "hub {h} out of range for {n} nodes");
+        }
+        // Each node thread lazily caches the orientations of the hubs it
+        // actually touches (computing one up front per node would cost
+        // O(n²) before the first lock is served); only the tree itself
+        // is shared.
+        let tree = Arc::new(tree.clone());
+
+        let channels: Vec<(Sender<Input>, Receiver<Input>)> = (0..n).map(|_| unbounded()).collect();
+        let txs: Vec<Sender<Input>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let mut joins = Vec::with_capacity(n);
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let me = NodeId::from_index(i);
+            let peers = txs.clone();
+            let tree = Arc::clone(&tree);
+            let transmit = move |to: NodeId, from: NodeId, msg: KeyedDagMessage| {
+                // A send can only fail during shutdown, when the
+                // counters no longer matter.
+                let _ = peers[to.index()].send(Input::Net { from, msg });
+            };
+            joins.push(std::thread::spawn(move || {
+                node_main(me, n, placement, tree, rx, transmit)
+            }));
+        }
+
+        let handles = (0..n)
+            .map(|i| LockSpaceHandle {
+                node: NodeId::from_index(i),
+                tx: txs[i].clone(),
+            })
+            .collect();
+        (LockSpaceCluster { txs, joins }, handles)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// `true` for a cluster with no nodes — consistent with
+    /// [`LockSpaceCluster::len`].
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Stops every node thread and returns the aggregated counters.
+    pub fn shutdown(self) -> LockSpaceStats {
+        for tx in &self.txs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        let per_node: Vec<LockSpaceNodeStats> = self
+            .joins
+            .into_iter()
+            .map(|j| j.join().expect("lock-space node thread panicked"))
+            .collect();
+        LockSpaceStats::from_nodes(per_node)
+    }
+}
+
+impl LockSpaceHandle {
+    /// This handle's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Acquires `key`'s distributed lock: sends the keyed `REQUEST`
+    /// along key's logical tree (if its token is remote) and blocks
+    /// until the keyed `PRIVILEGE` arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::ClusterDown`] if the cluster has shut down.
+    pub fn lock(&mut self, key: LockId) -> Result<KeyGuard<'_>, LockError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Input::Acquire(key, ack_tx))
+            .map_err(|_| LockError::ClusterDown)?;
+        ack_rx.recv().map_err(|_| LockError::ClusterDown)?;
+        Ok(KeyGuard { handle: self, key })
+    }
+}
+
+impl KeyGuard<'_> {
+    /// The locked key.
+    pub fn key(&self) -> LockId {
+        self.key
+    }
+
+    /// The node holding this key's critical section.
+    pub fn node(&self) -> NodeId {
+        self.handle.node
+    }
+
+    /// Releases explicitly (equivalent to dropping the guard).
+    pub fn unlock(self) {}
+}
+
+impl Drop for KeyGuard<'_> {
+    fn drop(&mut self) {
+        // If the cluster is already gone there is nobody to notify.
+        let _ = self.handle.tx.send(Input::Release(self.key));
+    }
+}
+
+/// The per-node event loop: a keyed fan-out of the single-lock
+/// `node_main`, driving one pure [`DagNode`] per materialized key.
+fn node_main<F>(
+    me: NodeId,
+    n: usize,
+    placement: Placement,
+    tree: Arc<Tree>,
+    rx: Receiver<Input>,
+    transmit: F,
+) -> LockSpaceNodeStats
+where
+    F: Fn(NodeId, NodeId, KeyedDagMessage),
+{
+    let mut stats = LockSpaceNodeStats::default();
+    let mut table = LockTable::new(16);
+    let mut pending: Option<(LockId, Sender<()>)> = None;
+    // Reused across the whole loop, like the single-lock runtime.
+    let mut actions: Vec<Action> = Vec::new();
+    // Orientations of the hubs this node has seen traffic for, filled on
+    // first use — untouched hubs cost nothing, like untouched keys.
+    let mut orientations = OrientationCache::new(n);
+
+    fn materialize<'t>(
+        table: &'t mut LockTable,
+        key: LockId,
+        me: NodeId,
+        placement: Placement,
+        tree: &Tree,
+        orientations: &mut OrientationCache,
+    ) -> &'t mut DagNode {
+        // The same materialization seed the simulated lock space uses.
+        table.get_or_insert_with(key, move || {
+            placement.initial_instance(key, me, tree, orientations)
+        })
+    }
+
+    fn send_all<F: Fn(NodeId, NodeId, KeyedDagMessage)>(
+        actions: &[Action],
+        key: LockId,
+        me: NodeId,
+        stats: &mut LockSpaceNodeStats,
+        transmit: &F,
+    ) -> bool {
+        let mut entered = false;
+        for action in actions {
+            match *action {
+                Action::Send { to, message } => {
+                    match message {
+                        DagMessage::Request { .. } => stats.requests_sent += 1,
+                        DagMessage::Privilege => stats.privileges_sent += 1,
+                        DagMessage::Initialize => {}
+                    }
+                    transmit(
+                        to,
+                        me,
+                        KeyedDagMessage {
+                            lock: key,
+                            msg: message,
+                        },
+                    );
+                }
+                Action::Enter => entered = true,
+            }
+        }
+        entered
+    }
+
+    while let Ok(input) = rx.recv() {
+        match input {
+            Input::Acquire(key, ack) => {
+                assert!(
+                    pending.is_none(),
+                    "node {me} given a second outstanding acquisition"
+                );
+                pending = Some((key, ack));
+                actions.clear();
+                materialize(&mut table, key, me, placement, &tree, &mut orientations)
+                    .request_into(&mut actions);
+                if send_all(&actions, key, me, &mut stats, &transmit) {
+                    grant(&mut pending, key, me, &mut stats);
+                }
+            }
+            Input::Release(key) => {
+                actions.clear();
+                table
+                    .get_mut(key)
+                    .expect("released key is materialized")
+                    .exit_into(&mut actions);
+                let entered = send_all(&actions, key, me, &mut stats, &transmit);
+                debug_assert!(!entered, "exit never re-enters");
+            }
+            Input::Net { from, msg } => {
+                let key = msg.lock;
+                actions.clear();
+                match msg.msg {
+                    DagMessage::Request { from: link, origin } => {
+                        debug_assert_eq!(link, from);
+                        materialize(&mut table, key, me, placement, &tree, &mut orientations)
+                            .receive_request_into(from, origin, &mut actions);
+                    }
+                    DagMessage::Privilege => table
+                        .get_mut(key)
+                        .expect("PRIVILEGE only travels to a requester")
+                        .receive_privilege_into(&mut actions),
+                    DagMessage::Initialize => {} // pre-oriented start-up
+                }
+                if send_all(&actions, key, me, &mut stats, &transmit) {
+                    grant(&mut pending, key, me, &mut stats);
+                }
+            }
+            Input::Shutdown => break,
+        }
+    }
+    stats.keys_materialized = table.len();
+    stats
+}
+
+/// Resolves an `Enter` action: hand `key`'s critical section to the
+/// waiting local user.
+fn grant(
+    pending: &mut Option<(LockId, Sender<()>)>,
+    key: LockId,
+    me: NodeId,
+    stats: &mut LockSpaceNodeStats,
+) {
+    match pending.take() {
+        Some((wanted, ack)) => {
+            assert_eq!(
+                wanted, key,
+                "node {me} granted {key} while waiting for {wanted}"
+            );
+            stats.entries += 1;
+            let _ = ack.send(());
+        }
+        None => unreachable!("node {me} entered {key}'s critical section with no local waiter"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn distinct_keys_are_held_concurrently_across_nodes() {
+        let (cluster, handles) =
+            LockSpaceCluster::start(&Tree::star(3), 8, Placement::Hub(NodeId(0)));
+        let barrier = Arc::new(Barrier::new(2));
+        let mut workers = Vec::new();
+        for (i, mut handle) in handles.into_iter().enumerate().skip(1) {
+            let barrier = Arc::clone(&barrier);
+            workers.push(std::thread::spawn(move || {
+                let guard = handle.lock(LockId(i as u32)).unwrap();
+                assert_eq!(guard.key(), LockId(i as u32));
+                // Both nodes are inside *different* keys' critical
+                // sections right now — rendezvous proves the overlap.
+                barrier.wait();
+                drop(guard);
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn same_key_is_mutually_exclusive_under_contention() {
+        let n = 4;
+        let (cluster, handles) = LockSpaceCluster::start(&Tree::star(n), 4, Placement::Modulo);
+        let in_cs = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for mut handle in handles {
+            let in_cs = Arc::clone(&in_cs);
+            let counter = Arc::clone(&counter);
+            workers.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let guard = handle.lock(LockId(2)).unwrap();
+                    assert!(
+                        !in_cs.swap(true, Ordering::SeqCst),
+                        "two nodes inside key 2's critical section"
+                    );
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    in_cs.store(false, Ordering::SeqCst);
+                    drop(guard);
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 25 * n as u64);
+        assert_eq!(stats.entries, 25 * n as u64);
+    }
+
+    #[test]
+    fn token_parks_per_key_making_reentry_free() {
+        let (cluster, mut handles) =
+            LockSpaceCluster::start(&Tree::line(3), 16, Placement::Hub(NodeId(0)));
+        for _ in 0..10 {
+            handles[2].lock(LockId(7)).unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 10);
+        // First acquisition walks the line (2 REQUESTs + 1 PRIVILEGE);
+        // the other nine are free — key 7's token parked at node 2.
+        assert_eq!(stats.messages_total, 3);
+        // Only key 7 ever materialized anywhere.
+        assert!(stats.per_node.iter().all(|s| s.keys_materialized <= 1));
+    }
+
+    #[test]
+    fn one_node_serves_many_keys_sequentially() {
+        let (cluster, mut handles) = LockSpaceCluster::start(&Tree::star(4), 32, Placement::Modulo);
+        for k in 0..32u32 {
+            let guard = handles[1].lock(LockId(k)).unwrap();
+            assert_eq!(guard.node(), NodeId(1));
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 32);
+        assert_eq!(stats.node(NodeId(1)).entries, 32);
+        // Node 1 materialized every key it touched.
+        assert_eq!(stats.node(NodeId(1)).keys_materialized, 32);
+    }
+
+    #[test]
+    fn lock_after_shutdown_errors() {
+        let (cluster, mut handles) = LockSpaceCluster::start(&Tree::line(2), 2, Placement::Modulo);
+        cluster.shutdown();
+        assert_eq!(
+            handles[1].lock(LockId(0)).unwrap_err(),
+            LockError::ClusterDown
+        );
+    }
+
+    #[test]
+    fn explicit_unlock_equals_drop() {
+        let (cluster, mut handles) =
+            LockSpaceCluster::start(&Tree::line(2), 4, Placement::Hub(NodeId(1)));
+        let guard = handles[0].lock(LockId(3)).unwrap();
+        guard.unlock();
+        let again = handles[0].lock(LockId(3)).unwrap();
+        drop(again);
+        drop(handles);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 2);
+    }
+}

@@ -256,6 +256,228 @@ impl LivenessChecker {
     }
 }
 
+/// A [`Violation`] tagged with the lock (key) it happened on, for
+/// multi-lock runs where many independent critical sections share one
+/// network. Keys are plain indexes here; the `dmx-lockspace` crate maps
+/// them to its `LockId` type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyedViolation {
+    /// The lock the violation happened on.
+    pub key: usize,
+    /// What went wrong.
+    pub violation: Violation,
+}
+
+impl fmt::Display for KeyedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock {}: {}", self.key, self.violation)
+    }
+}
+
+impl std::error::Error for KeyedViolation {}
+
+/// Per-key mutual exclusion oracle for multi-lock runs: at most one node
+/// inside each key's critical section, while *different* keys may be held
+/// concurrently (that concurrency is the point of a lock space, and the
+/// checker tracks its high-water mark as evidence it actually happened).
+///
+/// Sized once up front so steady-state checking never allocates.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::checker::KeyedSafetyChecker;
+/// use dmx_simnet::Time;
+/// use dmx_topology::NodeId;
+///
+/// let mut c = KeyedSafetyChecker::with_keys(2);
+/// c.on_enter(0, NodeId(1), Time(1)).unwrap();
+/// c.on_enter(1, NodeId(2), Time(1)).unwrap(); // distinct keys: fine
+/// assert_eq!(c.peak_concurrent(), 2);
+/// assert!(c.on_enter(0, NodeId(3), Time(2)).is_err()); // same key: violation
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyedSafetyChecker {
+    /// Occupant per key.
+    occupant: Vec<Option<NodeId>>,
+    /// Keys currently held.
+    inside: usize,
+    /// High-water mark of concurrently held keys.
+    peak: usize,
+}
+
+impl KeyedSafetyChecker {
+    /// A checker for `keys` locks, nobody inside any of them.
+    pub fn with_keys(keys: usize) -> Self {
+        KeyedSafetyChecker {
+            occupant: vec![None; keys],
+            inside: 0,
+            peak: 0,
+        }
+    }
+
+    /// The node inside `key`'s critical section, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn occupant(&self, key: usize) -> Option<NodeId> {
+        self.occupant[key]
+    }
+
+    /// Number of keys currently held.
+    pub fn concurrent(&self) -> usize {
+        self.inside
+    }
+
+    /// Most keys ever held at the same instant.
+    pub fn peak_concurrent(&self) -> usize {
+        self.peak
+    }
+
+    /// Records `node` entering `key`'s critical section.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::MutualExclusion`] (keyed) if another node is already
+    /// inside the same key's critical section.
+    pub fn on_enter(&mut self, key: usize, node: NodeId, at: Time) -> Result<(), KeyedViolation> {
+        if let Some(first) = self.occupant[key] {
+            return Err(KeyedViolation {
+                key,
+                violation: Violation::MutualExclusion {
+                    first,
+                    second: node,
+                    at,
+                },
+            });
+        }
+        self.occupant[key] = Some(node);
+        self.inside += 1;
+        self.peak = self.peak.max(self.inside);
+        Ok(())
+    }
+
+    /// Records `node` leaving `key`'s critical section.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::ExitWithoutEntry`] (keyed) if `node` was not the
+    /// occupant of `key`.
+    pub fn on_exit(&mut self, key: usize, node: NodeId, at: Time) -> Result<(), KeyedViolation> {
+        if self.occupant[key] != Some(node) {
+            return Err(KeyedViolation {
+                key,
+                violation: Violation::ExitWithoutEntry { node, at },
+            });
+        }
+        self.occupant[key] = None;
+        self.inside -= 1;
+        Ok(())
+    }
+}
+
+/// Liveness oracle for multi-lock runs under the lock-space system model:
+/// each node has **at most one outstanding request across all keys** (the
+/// Chapter 2 "one outstanding request" rule, lifted to the key space),
+/// every request is eventually granted.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::checker::KeyedLivenessChecker;
+/// use dmx_simnet::Time;
+/// use dmx_topology::NodeId;
+///
+/// let mut c = KeyedLivenessChecker::with_nodes(2);
+/// c.on_request(NodeId(0), 7, Time(0)).unwrap();
+/// assert!(c.at_quiescence().is_err()); // still pending
+/// c.on_grant(NodeId(0), 7, Time(3)).unwrap();
+/// c.at_quiescence().unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyedLivenessChecker {
+    /// Per node: the key and time of its outstanding request.
+    pending: Vec<Option<(usize, Time)>>,
+    outstanding: usize,
+}
+
+impl KeyedLivenessChecker {
+    /// A checker for `n` nodes with no pending requests.
+    pub fn with_nodes(n: usize) -> Self {
+        KeyedLivenessChecker {
+            pending: vec![None; n],
+            outstanding: 0,
+        }
+    }
+
+    /// Number of requests currently waiting (across all keys).
+    pub fn pending_count(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Records `node` requesting `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::DuplicateRequest`] (keyed) if the node already has an
+    /// outstanding request on any key.
+    pub fn on_request(&mut self, node: NodeId, key: usize, at: Time) -> Result<(), KeyedViolation> {
+        let slot = &mut self.pending[node.index()];
+        if slot.is_some() {
+            return Err(KeyedViolation {
+                key,
+                violation: Violation::DuplicateRequest { node, at },
+            });
+        }
+        *slot = Some((key, at));
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// Records `node` being granted `key`, returning the request time.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::SpuriousEntry`] (keyed) if the node had no pending
+    /// request, or its pending request was for a different key.
+    pub fn on_grant(&mut self, node: NodeId, key: usize, at: Time) -> Result<Time, KeyedViolation> {
+        match self.pending[node.index()] {
+            Some((k, requested_at)) if k == key => {
+                self.pending[node.index()] = None;
+                self.outstanding -= 1;
+                Ok(requested_at)
+            }
+            _ => Err(KeyedViolation {
+                key,
+                violation: Violation::SpuriousEntry { node, at },
+            }),
+        }
+    }
+
+    /// Called when the event queue drains.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::Starvation`] (keyed) naming the longest-waiting node
+    /// if any request is still pending.
+    pub fn at_quiescence(&self) -> Result<(), KeyedViolation> {
+        match self
+            .pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|(key, t)| (NodeId::from_index(i), key, t)))
+            .min_by_key(|&(_, _, t)| t)
+        {
+            None => Ok(()),
+            Some((node, key, requested_at)) => Err(KeyedViolation {
+                key,
+                violation: Violation::Starvation { node, requested_at },
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +564,60 @@ mod tests {
                 requested_at: Time(3)
             })
         );
+    }
+
+    #[test]
+    fn keyed_safety_allows_distinct_keys_and_flags_same_key() {
+        let mut c = KeyedSafetyChecker::with_keys(3);
+        c.on_enter(0, NodeId(0), Time(0)).unwrap();
+        c.on_enter(2, NodeId(1), Time(0)).unwrap();
+        assert_eq!(c.concurrent(), 2);
+        assert_eq!(c.occupant(0), Some(NodeId(0)));
+        assert_eq!(c.occupant(1), None);
+        let err = c.on_enter(0, NodeId(2), Time(1)).unwrap_err();
+        assert_eq!(err.key, 0);
+        assert!(matches!(err.violation, Violation::MutualExclusion { .. }));
+        c.on_exit(0, NodeId(0), Time(2)).unwrap();
+        c.on_exit(2, NodeId(1), Time(2)).unwrap();
+        assert_eq!(c.concurrent(), 0);
+        assert_eq!(c.peak_concurrent(), 2);
+        assert!(err.to_string().contains("lock 0"));
+    }
+
+    #[test]
+    fn keyed_safety_flags_ghost_exit() {
+        let mut c = KeyedSafetyChecker::with_keys(2);
+        c.on_enter(1, NodeId(0), Time(0)).unwrap();
+        assert!(c.on_exit(1, NodeId(3), Time(1)).is_err());
+        assert!(c.on_exit(0, NodeId(0), Time(1)).is_err());
+    }
+
+    #[test]
+    fn keyed_liveness_tracks_one_outstanding_request_per_node() {
+        let mut c = KeyedLivenessChecker::with_nodes(3);
+        c.on_request(NodeId(1), 5, Time(2)).unwrap();
+        assert_eq!(c.pending_count(), 1);
+        // A second request from the same node — even on another key —
+        // violates the one-outstanding-request model.
+        let err = c.on_request(NodeId(1), 9, Time(3)).unwrap_err();
+        assert!(matches!(err.violation, Violation::DuplicateRequest { .. }));
+        // Granting the wrong key is spurious.
+        assert!(c.on_grant(NodeId(1), 9, Time(4)).is_err());
+        assert_eq!(c.on_grant(NodeId(1), 5, Time(4)), Ok(Time(2)));
+        c.at_quiescence().unwrap();
+    }
+
+    #[test]
+    fn keyed_liveness_reports_oldest_starved_request() {
+        let mut c = KeyedLivenessChecker::with_nodes(4);
+        c.on_request(NodeId(3), 1, Time(9)).unwrap();
+        c.on_request(NodeId(0), 2, Time(4)).unwrap();
+        let err = c.at_quiescence().unwrap_err();
+        assert_eq!(err.key, 2);
+        assert!(matches!(
+            err.violation,
+            Violation::Starvation { node, .. } if node == NodeId(0)
+        ));
     }
 
     #[test]

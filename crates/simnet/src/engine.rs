@@ -55,7 +55,9 @@ pub struct EngineConfig {
     /// paper assumes a *reliable* network; a nonzero rate deliberately
     /// violates that assumption so tests can confirm the failure is
     /// *detected* (starvation / lost token) rather than silent. Sampled
-    /// from the engine's seeded RNG.
+    /// from the engine's seeded RNG. Validated once at [`Engine::new`]:
+    /// NaN and negative values are rejected, values above 1.0 clamp to
+    /// 1.0 — the hot loop uses the value as-is.
     pub drop_rate: f64,
     /// Abort the run after this many processed events (guards against a
     /// livelocked protocol spinning forever).
@@ -147,6 +149,7 @@ enum EventKind<M> {
     Deliver { src: NodeId, dst: NodeId, msg: M },
     Request { node: NodeId },
     Exit { node: NodeId },
+    Wake { node: NodeId },
 }
 
 struct QueuedEvent<M> {
@@ -232,6 +235,9 @@ pub struct Engine<P: Protocol> {
     /// Scratch buffer lent to every [`Ctx`]; persists across dispatches
     /// so the steady-state hot path performs no allocation.
     outbox: Vec<(NodeId, P::Message)>,
+    /// Scratch buffer for [`Ctx::wake_at`] requests, persistent for the
+    /// same reason as `outbox`.
+    wake_buf: Vec<Time>,
     trace: Trace,
     metrics: Metrics,
     safety: SafetyChecker,
@@ -260,8 +266,16 @@ impl<P: Protocol> Engine<P> {
     /// # Panics
     ///
     /// Panics if `nodes` is empty.
-    pub fn new(nodes: Vec<P>, config: EngineConfig) -> Self {
+    pub fn new(nodes: Vec<P>, mut config: EngineConfig) -> Self {
         assert!(!nodes.is_empty(), "engine needs at least one node");
+        // Validate the loss probability once, here, instead of re-clamping
+        // on every delivery in the hot loop.
+        assert!(
+            config.drop_rate.is_finite() && config.drop_rate >= 0.0,
+            "drop_rate must be a finite probability >= 0, got {}",
+            config.drop_rate
+        );
+        config.drop_rate = config.drop_rate.min(1.0);
         let n = nodes.len();
         let mut engine = Engine {
             nodes,
@@ -276,6 +290,7 @@ impl<P: Protocol> Engine<P> {
                 Vec::new()
             },
             outbox: Vec::new(),
+            wake_buf: Vec::new(),
             trace: Trace::new(),
             metrics: Metrics::default(),
             safety: SafetyChecker::new(),
@@ -495,6 +510,17 @@ impl<P: Protocol> Engine<P> {
                     self.enter(node)?;
                 }
             }
+            EventKind::Wake { node } => {
+                touched = node;
+                self.metrics.wakes += 1;
+                if self.config.record_trace {
+                    self.trace.push(TraceEvent::Wake { at: self.now, node });
+                }
+                let entered = self.dispatch(node, |p, ctx| p.on_wake(ctx));
+                if entered {
+                    self.enter(node)?;
+                }
+            }
         }
         if self.config.track_storage {
             self.note_storage(touched);
@@ -632,16 +658,33 @@ impl<P: Protocol> Engine<P> {
         F: FnOnce(&mut P, &mut Ctx<'_, P::Message>),
     {
         let mut outbox = std::mem::take(&mut self.outbox);
+        let mut wake_buf = std::mem::take(&mut self.wake_buf);
         debug_assert!(outbox.is_empty(), "outbox must drain between dispatches");
+        debug_assert!(
+            wake_buf.is_empty(),
+            "wake buffer must drain between dispatches"
+        );
         let mut enter = false;
         {
-            let mut ctx = Ctx::new(id, self.now, self.nodes.len(), &mut outbox, &mut enter);
+            let mut ctx = Ctx::new(
+                id,
+                self.now,
+                self.nodes.len(),
+                &mut outbox,
+                &mut wake_buf,
+                &mut enter,
+            );
             f(&mut self.nodes[id.index()], &mut ctx);
         }
         for (to, msg) in outbox.drain(..) {
             self.send_from(id, to, msg);
         }
+        for at in wake_buf.drain(..) {
+            debug_assert!(at >= self.now, "Ctx::wake_at already rejects past wakes");
+            self.push(at, EventKind::Wake { node: id });
+        }
         self.outbox = outbox;
+        self.wake_buf = wake_buf;
         enter
     }
 
@@ -654,7 +697,7 @@ impl<P: Protocol> Engine<P> {
                 kind: msg.kind(),
             });
         }
-        if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate.min(1.0)) {
+        if self.config.drop_rate > 0.0 && self.rng.gen_bool(self.config.drop_rate) {
             self.metrics.messages_dropped += 1;
             if self.config.record_trace {
                 self.trace.push(TraceEvent::Drop {
@@ -1076,6 +1119,114 @@ mod tests {
         let err = engine.run_to_quiescence().unwrap_err();
         assert_eq!(err, EngineError::EventLimitExceeded { limit: 500 });
         assert!(err.to_string().contains("livelocked"));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_rate must be a finite probability")]
+    fn nan_drop_rate_is_rejected_at_construction() {
+        let config = EngineConfig {
+            drop_rate: f64::NAN,
+            ..EngineConfig::default()
+        };
+        let _ = Engine::new(hub(2), config);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_rate must be a finite probability")]
+    fn negative_drop_rate_is_rejected_at_construction() {
+        let config = EngineConfig {
+            drop_rate: -0.25,
+            ..EngineConfig::default()
+        };
+        let _ = Engine::new(hub(2), config);
+    }
+
+    #[test]
+    fn oversized_drop_rate_clamps_to_certain_loss() {
+        let config = EngineConfig {
+            drop_rate: 17.0,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(hub(3), config);
+        engine.request_at(Time(0), NodeId(1));
+        let err = engine.run_to_quiescence().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Violation(Violation::Starvation { .. })
+        ));
+        assert_eq!(engine.metrics().messages_dropped, 1);
+    }
+
+    #[test]
+    fn wakes_fire_in_time_order_and_are_counted() {
+        /// Schedules three timers up front and records firing times.
+        #[derive(Debug, Default)]
+        struct Alarm {
+            fired: Vec<Time>,
+        }
+        impl Protocol for Alarm {
+            type Message = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.wake_at(Time(9));
+                ctx.wake_at(Time(2));
+                ctx.wake_in(Time(5));
+            }
+            fn on_request_cs(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.enter_cs();
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_exit_cs(&mut self, _c: &mut Ctx<'_, ()>) {}
+            fn on_wake(&mut self, ctx: &mut Ctx<'_, ()>) {
+                self.fired.push(ctx.now());
+            }
+        }
+        let mut engine = Engine::new(vec![Alarm::default(), Alarm::default()], Default::default());
+        engine.run_to_quiescence().unwrap();
+        assert_eq!(
+            engine.node(NodeId(0)).fired,
+            vec![Time(2), Time(5), Time(9)]
+        );
+        assert_eq!(engine.metrics().wakes, 6);
+        let wakes = engine
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, crate::trace::TraceEvent::Wake { .. }))
+            .count();
+        assert_eq!(wakes, 6);
+    }
+
+    #[test]
+    fn wake_can_send_and_reschedule() {
+        /// Node 0 pings node 1 from a timer, twice.
+        #[derive(Debug)]
+        struct Ticker {
+            remaining: u32,
+        }
+        impl Protocol for Ticker {
+            type Message = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                if ctx.me() == NodeId(0) {
+                    ctx.wake_in(Time(1));
+                }
+            }
+            fn on_request_cs(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.enter_cs();
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_exit_cs(&mut self, _c: &mut Ctx<'_, ()>) {}
+            fn on_wake(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.send(NodeId(1), ());
+                self.remaining -= 1;
+                if self.remaining > 0 {
+                    ctx.wake_in(Time(3));
+                }
+            }
+        }
+        let nodes = vec![Ticker { remaining: 2 }, Ticker { remaining: 0 }];
+        let mut engine = Engine::new(nodes, Default::default());
+        engine.run_to_quiescence().unwrap();
+        assert_eq!(engine.metrics().wakes, 2);
+        assert_eq!(engine.metrics().messages_total, 2);
     }
 
     #[test]

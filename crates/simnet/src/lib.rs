@@ -12,10 +12,15 @@
 //!   all eight baselines) implements.
 //! * [`Engine`] — the event loop: delivers messages over per-sender-pair
 //!   FIFO links with a pluggable [`LatencyModel`], injects
-//!   critical-section requests, and applies exits after a configurable CS
-//!   duration.
+//!   critical-section requests, applies exits after a configurable CS
+//!   duration, and fires protocol timers (`Ctx::wake_at` →
+//!   [`Protocol::on_wake`]) for protocols that drive themselves — the
+//!   multi-lock `dmx-lockspace` subsystem runs entirely on timers and
+//!   messages.
 //! * [`checker`] — online safety checking (never two nodes in the critical
-//!   section) and post-hoc liveness checking (every request granted).
+//!   section) and post-hoc liveness checking (every request granted),
+//!   plus the *keyed* variants for multi-lock runs (at most one holder
+//!   per key; distinct keys free to overlap).
 //! * [`metrics`] — messages per entry, per-kind counts, wire bytes,
 //!   synchronization delay in messages and in time, waiting times.
 //! * [`trace`] — an event trace for golden tests and debugging.

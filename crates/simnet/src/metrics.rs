@@ -164,6 +164,10 @@ pub struct Metrics {
     pub cs_entries: u64,
     /// Number of requests issued.
     pub requests: u64,
+    /// Number of protocol timer wake-ups processed
+    /// (see `Ctx::wake_at`). Zero for the single-lock protocols, which
+    /// never schedule timers.
+    pub wakes: u64,
     /// Every grant, in grant order.
     pub grants: Vec<GrantRecord>,
     /// Every synchronization-delay episode observed.
@@ -261,6 +265,166 @@ impl Metrics {
     }
 }
 
+/// Per-key counters for one lock of a multiplexed (multi-lock) run.
+///
+/// The engine itself is key-agnostic — it counts envelopes; the
+/// multi-lock subsystem (`dmx-lockspace`) feeds its per-key protocol
+/// activity through [`KeyedMetrics`], which aggregates one `KeyStats`
+/// per lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyStats {
+    /// Requests issued for this key.
+    pub requests: u64,
+    /// Grants (critical-section entries) completed for this key.
+    pub grants: u64,
+    /// Keyed `REQUEST` messages delivered for this key (counting each
+    /// batched message individually, unlike the engine's envelope count).
+    pub request_messages: u64,
+    /// Keyed `PRIVILEGE` messages delivered for this key.
+    pub privilege_messages: u64,
+    /// Keyed messages of any other kind delivered for this key.
+    pub other_messages: u64,
+    /// Sum of request→grant waits for this key, in ticks.
+    pub wait_ticks: u64,
+}
+
+impl KeyStats {
+    /// All keyed messages delivered for this key.
+    pub fn messages(&self) -> u64 {
+        self.request_messages + self.privilege_messages + self.other_messages
+    }
+
+    /// `true` when the key saw any activity at all.
+    pub fn touched(&self) -> bool {
+        self.requests > 0 || self.grants > 0 || self.messages() > 0
+    }
+}
+
+/// Whole-run summary computed by [`KeyedMetrics::rollup`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KeyedRollup {
+    /// Keys with any recorded activity.
+    pub keys_touched: usize,
+    /// Total requests across all keys.
+    pub requests: u64,
+    /// Total grants across all keys.
+    pub grants: u64,
+    /// Total keyed messages across all keys (pre-batching count).
+    pub messages: u64,
+    /// The key with the most grants, if any key was granted.
+    pub hottest_key: Option<usize>,
+    /// Grants of the hottest key.
+    pub hottest_grants: u64,
+    /// Mean keyed messages per grant (0 when no grants).
+    pub messages_per_grant: f64,
+    /// Mean request→grant wait in ticks (0 when no grants).
+    pub mean_wait_ticks: f64,
+}
+
+/// Per-key metric rollups for a multi-lock run: a dense vector of
+/// [`KeyStats`] indexed by key.
+///
+/// Sized once up front (the key-space size is known when a lock space is
+/// built), so steady-state updates never allocate — this type is on the
+/// multiplexed hot path.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::metrics::KeyedMetrics;
+///
+/// let mut m = KeyedMetrics::with_keys(8);
+/// m.on_request(3);
+/// m.on_grant(3, 5);
+/// assert_eq!(m.stats(3).grants, 1);
+/// assert_eq!(m.rollup().keys_touched, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KeyedMetrics {
+    per_key: Vec<KeyStats>,
+}
+
+impl KeyedMetrics {
+    /// A rollup for `keys` locks, all counters zero.
+    pub fn with_keys(keys: usize) -> Self {
+        KeyedMetrics {
+            per_key: vec![KeyStats::default(); keys],
+        }
+    }
+
+    /// Number of keys tracked.
+    pub fn len(&self) -> usize {
+        self.per_key.len()
+    }
+
+    /// `true` when tracking no keys.
+    pub fn is_empty(&self) -> bool {
+        self.per_key.is_empty()
+    }
+
+    /// Counters for one key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn stats(&self, key: usize) -> &KeyStats {
+        &self.per_key[key]
+    }
+
+    /// Records a request for `key`.
+    pub fn on_request(&mut self, key: usize) {
+        self.per_key[key].requests += 1;
+    }
+
+    /// Records a grant for `key` after waiting `wait_ticks`.
+    pub fn on_grant(&mut self, key: usize, wait_ticks: u64) {
+        let s = &mut self.per_key[key];
+        s.grants += 1;
+        s.wait_ticks += wait_ticks;
+    }
+
+    /// Records the delivery of one keyed message of `kind` for `key`.
+    /// `kind` is the interned label the message's
+    /// [`MessageMeta::kind`](crate::MessageMeta::kind) returns.
+    pub fn on_message(&mut self, key: usize, kind: &'static str) {
+        let s = &mut self.per_key[key];
+        // Pointer compare first: interned literals share an address.
+        if std::ptr::eq(kind, "REQUEST") || kind == "REQUEST" {
+            s.request_messages += 1;
+        } else if std::ptr::eq(kind, "PRIVILEGE") || kind == "PRIVILEGE" {
+            s.privilege_messages += 1;
+        } else {
+            s.other_messages += 1;
+        }
+    }
+
+    /// Iterates `(key, stats)` for every key that saw activity.
+    pub fn iter_touched(&self) -> impl Iterator<Item = (usize, &KeyStats)> + '_ {
+        self.per_key.iter().enumerate().filter(|(_, s)| s.touched())
+    }
+
+    /// Aggregates every key into a [`KeyedRollup`].
+    pub fn rollup(&self) -> KeyedRollup {
+        let mut r = KeyedRollup::default();
+        for (key, s) in self.iter_touched() {
+            r.keys_touched += 1;
+            r.requests += s.requests;
+            r.grants += s.grants;
+            r.messages += s.messages();
+            if s.grants > r.hottest_grants {
+                r.hottest_grants = s.grants;
+                r.hottest_key = Some(key);
+            }
+        }
+        if r.grants > 0 {
+            r.messages_per_grant = r.messages as f64 / r.grants as f64;
+            let wait: u64 = self.per_key.iter().map(|s| s.wait_ticks).sum();
+            r.mean_wait_ticks = wait as f64 / r.grants as f64;
+        }
+        r
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +476,38 @@ mod tests {
         }
         assert_eq!(m.kind_count("REQUEST"), 5);
         assert_eq!(m.kind_count("PRIVILEGE"), 0);
+    }
+
+    #[test]
+    fn keyed_metrics_roll_up() {
+        let mut m = KeyedMetrics::with_keys(4);
+        m.on_request(1);
+        m.on_message(1, "REQUEST");
+        m.on_message(1, "PRIVILEGE");
+        m.on_grant(1, 4);
+        m.on_request(3);
+        m.on_grant(3, 0);
+        m.on_grant(3, 2);
+        let r = m.rollup();
+        assert_eq!(r.keys_touched, 2);
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.grants, 3);
+        assert_eq!(r.messages, 2);
+        assert_eq!(r.hottest_key, Some(3));
+        assert_eq!(r.hottest_grants, 2);
+        assert_eq!(r.mean_wait_ticks, 2.0);
+        assert_eq!(m.stats(1).request_messages, 1);
+        assert_eq!(m.stats(1).privilege_messages, 1);
+        assert!(!m.stats(0).touched());
+        assert_eq!(m.iter_touched().count(), 2);
+    }
+
+    #[test]
+    fn keyed_metrics_classify_other_kinds() {
+        let mut m = KeyedMetrics::with_keys(1);
+        m.on_message(0, "INITIALIZE");
+        assert_eq!(m.stats(0).other_messages, 1);
+        assert_eq!(m.stats(0).messages(), 1);
     }
 
     #[test]

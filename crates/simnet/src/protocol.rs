@@ -90,6 +90,17 @@ pub trait Protocol {
     /// someone is waiting.
     fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, Self::Message>);
 
+    /// A timer set with [`Ctx::wake_at`] (or [`Ctx::wake_in`]) fired.
+    ///
+    /// This is the engine's generic timer facility: protocols that manage
+    /// their own request arrivals or hold durations — the multi-lock
+    /// `dmx-lockspace` subsystem is the first — schedule wake-ups instead
+    /// of relying on the engine's single-lock request/exit machinery.
+    /// Default: nothing (none of the single-lock protocols use timers).
+    fn on_wake(&mut self, ctx: &mut Ctx<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
     /// Number of *words* (integers/booleans/references) of mutual exclusion
     /// control state this node currently holds, counting queue and array
     /// entries. Feeds the Chapter 6.4 storage-overhead table. Default 0
@@ -110,6 +121,7 @@ pub struct Ctx<'a, M> {
     now: Time,
     n: usize,
     outbox: &'a mut Vec<(NodeId, M)>,
+    wakes: &'a mut Vec<Time>,
     enter: &'a mut bool,
 }
 
@@ -119,6 +131,7 @@ impl<'a, M> Ctx<'a, M> {
         now: Time,
         n: usize,
         outbox: &'a mut Vec<(NodeId, M)>,
+        wakes: &'a mut Vec<Time>,
         enter: &'a mut bool,
     ) -> Self {
         Ctx {
@@ -126,6 +139,7 @@ impl<'a, M> Ctx<'a, M> {
             now,
             n,
             outbox,
+            wakes,
             enter,
         }
     }
@@ -169,6 +183,34 @@ impl<'a, M> Ctx<'a, M> {
         self.outbox.push((to, msg));
     }
 
+    /// Schedules a [`Protocol::on_wake`] callback on this node at absolute
+    /// time `at`. Multiple wake-ups may be pending at once; they fire in
+    /// time order (ties in schedule order). Like sends, wake requests are
+    /// buffered and turned into events after the callback returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn wake_at(&mut self, at: Time) {
+        assert!(
+            at >= self.now,
+            "protocol bug: {} scheduled a wake in the past ({at} < {})",
+            self.me,
+            self.now
+        );
+        self.wakes.push(at);
+    }
+
+    /// Schedules a [`Protocol::on_wake`] callback `delay` ticks from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now + delay` overflows into the past (the [`Ctx::wake_at`]
+    /// validation applies).
+    pub fn wake_in(&mut self, delay: Time) {
+        self.wake_at(self.now + delay);
+    }
+
     /// Signals that the pending local request is granted and the node now
     /// enters its critical section. The engine records the grant and will
     /// call [`Protocol::on_exit_cs`] after the configured CS duration.
@@ -198,8 +240,10 @@ mod tests {
     #[test]
     fn ctx_buffers_sends() {
         let mut outbox = Vec::new();
+        let mut wakes = Vec::new();
         let mut enter = false;
-        let mut ctx: Ctx<'_, u32> = Ctx::new(NodeId(0), Time(3), 4, &mut outbox, &mut enter);
+        let mut ctx: Ctx<'_, u32> =
+            Ctx::new(NodeId(0), Time(3), 4, &mut outbox, &mut wakes, &mut enter);
         assert_eq!(ctx.me(), NodeId(0));
         assert_eq!(ctx.now(), Time(3));
         assert_eq!(ctx.n(), 4);
@@ -210,11 +254,33 @@ mod tests {
     }
 
     #[test]
+    fn ctx_buffers_wakes() {
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut wakes = Vec::new();
+        let mut enter = false;
+        let mut ctx = Ctx::new(NodeId(0), Time(3), 4, &mut outbox, &mut wakes, &mut enter);
+        ctx.wake_at(Time(3));
+        ctx.wake_in(Time(5));
+        assert_eq!(wakes, vec![Time(3), Time(8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wake in the past")]
+    fn ctx_rejects_past_wake() {
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut wakes = Vec::new();
+        let mut enter = false;
+        let mut ctx = Ctx::new(NodeId(0), Time(3), 4, &mut outbox, &mut wakes, &mut enter);
+        ctx.wake_at(Time(2));
+    }
+
+    #[test]
     #[should_panic(expected = "sent a message to itself")]
     fn ctx_rejects_self_send() {
         let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut wakes = Vec::new();
         let mut enter = false;
-        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut enter);
+        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut wakes, &mut enter);
         ctx.send(NodeId(1), 0);
     }
 
@@ -222,8 +288,9 @@ mod tests {
     #[should_panic(expected = "out-of-range")]
     fn ctx_rejects_out_of_range_send() {
         let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut wakes = Vec::new();
         let mut enter = false;
-        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut enter);
+        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut wakes, &mut enter);
         ctx.send(NodeId(9), 0);
     }
 
@@ -231,8 +298,9 @@ mod tests {
     #[should_panic(expected = "enter_cs called twice")]
     fn ctx_rejects_double_enter() {
         let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut wakes = Vec::new();
         let mut enter = false;
-        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut enter);
+        let mut ctx = Ctx::new(NodeId(1), Time(0), 4, &mut outbox, &mut wakes, &mut enter);
         ctx.enter_cs();
         ctx.enter_cs();
     }

@@ -83,6 +83,13 @@ pub enum TraceEvent {
         /// Which node.
         node: NodeId,
     },
+    /// A timer set with `Ctx::wake_at` fired on a node.
+    Wake {
+        /// When.
+        at: Time,
+        /// Which node.
+        node: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -105,7 +112,8 @@ impl TraceEvent {
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Drop { at, .. }
             | TraceEvent::Enter { at, .. }
-            | TraceEvent::Exit { at, .. } => *at,
+            | TraceEvent::Exit { at, .. }
+            | TraceEvent::Wake { at, .. } => *at,
         }
     }
 }
@@ -125,6 +133,7 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::Enter { at, node } => write!(f, "{at} {node} ENTERS CS"),
             TraceEvent::Exit { at, node } => write!(f, "{at} {node} exits CS"),
+            TraceEvent::Wake { at, node } => write!(f, "{at} {node} wakes"),
         }
     }
 }

@@ -1,0 +1,445 @@
+//! Keyed (multi-lock) workload generators.
+//!
+//! A lock space serves many named locks at once, so its demand model has
+//! two extra axes the single-lock workloads lack: *which key* each
+//! request targets (uniform or Zipf-skewed popularity — production lock
+//! traffic is famously skewed, a few hot keys and a long cold tail) and
+//! *per-node* request streams (every node runs its own closed loop,
+//! concurrently with all the others).
+//!
+//! The contract mirrors the single-lock [`Workload`](dmx_simnet::Workload)
+//! closed loop, lifted to keys: a [`KeyedWorkload`] hands each node one
+//! deterministic [`KeyStream`], and the node asks its stream for the next
+//! `(time, key)` request after every release. Streams are deterministic
+//! per `(seed, node)`, so multiplexed runs reproduce exactly like
+//! single-lock ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmx_simnet::{LatencyModel, Time};
+//! use dmx_topology::NodeId;
+//! use dmx_workload::{KeyDist, KeyStream, KeyedThinkTime, KeyedWorkload};
+//!
+//! let w = KeyedThinkTime::new(64, KeyDist::Zipf { exponent: 1.2 },
+//!                             LatencyModel::Fixed(Time(5)), 3, 42);
+//! let mut stream = w.stream(NodeId(1));
+//! let (at, key) = stream.next_request(Time::ZERO).unwrap();
+//! assert_eq!(at, Time(5));
+//! assert!(key.index() < 64);
+//! ```
+
+use std::sync::Arc;
+
+use dmx_core::LockId;
+use dmx_simnet::{LatencyModel, Time};
+use dmx_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One node's deterministic request stream over the key space.
+///
+/// `next_request(now)` returns the node's next request as an absolute
+/// `(time, key)` pair with `time >= now`, or `None` when the node is
+/// done. It is first called with [`Time::ZERO`] and then once after each
+/// release, so implementations see a per-node closed loop: at most one
+/// outstanding request per node at any moment.
+pub trait KeyStream: Send {
+    /// The next `(time, key)` this node requests at/after `now`, or
+    /// `None` to retire the node.
+    fn next_request(&mut self, now: Time) -> Option<(Time, LockId)>;
+}
+
+/// A factory of per-node [`KeyStream`]s — the keyed analogue of
+/// [`Workload`](dmx_simnet::Workload).
+pub trait KeyedWorkload {
+    /// The deterministic stream for `node`.
+    fn stream(&self, node: NodeId) -> Box<dyn KeyStream>;
+}
+
+/// Key-popularity distribution for generated streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-skewed popularity: key `k` is drawn with probability
+    /// proportional to `1 / (k + 1)^exponent` (key 0 hottest). Exponents
+    /// around 1 model realistic hot-key skew.
+    Zipf {
+        /// The skew exponent `s` (0 degenerates to uniform).
+        exponent: f64,
+    },
+}
+
+/// Samples keys from a [`KeyDist`]: O(1) for uniform, one binary search
+/// over a precomputed CDF for Zipf (no allocation per sample).
+///
+/// The CDF is shared (`Arc`) between the per-node streams of one
+/// workload, so a 4096-key Zipf table is built once, not once per node.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_workload::{KeyDist, KeySampler};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let sampler = KeySampler::new(16, KeyDist::Zipf { exponent: 1.0 });
+/// let mut rng = StdRng::seed_from_u64(1);
+/// assert!(sampler.sample(&mut rng).index() < 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    keys: u32,
+    /// Cumulative probabilities per key; `None` for the uniform fast path.
+    cdf: Option<Arc<Vec<f64>>>,
+}
+
+impl KeySampler {
+    /// A sampler over `keys` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys == 0`.
+    pub fn new(keys: u32, dist: KeyDist) -> Self {
+        assert!(keys > 0, "key space needs at least one key");
+        let cdf = match dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipf { exponent } => {
+                assert!(
+                    exponent.is_finite() && exponent >= 0.0,
+                    "Zipf exponent must be finite and non-negative"
+                );
+                let mut cdf = Vec::with_capacity(keys as usize);
+                let mut total = 0.0f64;
+                for k in 0..keys {
+                    total += 1.0 / f64::from(k + 1).powf(exponent);
+                    cdf.push(total);
+                }
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                Some(Arc::new(cdf))
+            }
+        };
+        KeySampler { keys, cdf }
+    }
+
+    /// Number of keys in the space.
+    pub fn keys(&self) -> u32 {
+        self.keys
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> LockId {
+        match &self.cdf {
+            None => LockId(rng.gen_range(0..self.keys)),
+            Some(cdf) => {
+                let x = rng.gen_range(0.0..1.0);
+                let idx = cdf.partition_point(|&c| c < x);
+                LockId(idx.min(self.keys as usize - 1) as u32)
+            }
+        }
+    }
+}
+
+/// Closed-loop keyed think-time workload: every node cycles request →
+/// hold → think, drawing each request's key from a [`KeyDist`] and each
+/// think time from a [`LatencyModel`], `rounds` times.
+///
+/// This is the lock-space analogue of [`ThinkTime`](crate::ThinkTime):
+/// sweeping the mean think time sweeps offered load, and sweeping the
+/// distribution sweeps key skew — the `keys × skew × n` grid the
+/// `lock_scaling` experiment walks.
+#[derive(Debug, Clone)]
+pub struct KeyedThinkTime {
+    sampler: KeySampler,
+    think: LatencyModel,
+    rounds: u32,
+    seed: u64,
+}
+
+impl KeyedThinkTime {
+    /// `rounds` critical-section visits per node over `keys` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys == 0` or `rounds == 0`.
+    pub fn new(keys: u32, dist: KeyDist, think: LatencyModel, rounds: u32, seed: u64) -> Self {
+        assert!(rounds > 0, "keyed think-time workload needs >= 1 round");
+        KeyedThinkTime {
+            sampler: KeySampler::new(keys, dist),
+            think,
+            rounds,
+            seed,
+        }
+    }
+
+    /// Number of keys in the space.
+    pub fn keys(&self) -> u32 {
+        self.sampler.keys()
+    }
+}
+
+impl KeyedWorkload for KeyedThinkTime {
+    fn stream(&self, node: NodeId) -> Box<dyn KeyStream> {
+        // Split one seed into per-node streams (SplitMix-style odd
+        // multiplier keeps streams uncorrelated and deterministic).
+        let node_seed = self
+            .seed
+            .wrapping_add((u64::from(node.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Box::new(ThinkStream {
+            rng: StdRng::seed_from_u64(node_seed),
+            sampler: self.sampler.clone(),
+            think: self.think,
+            remaining: self.rounds,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct ThinkStream {
+    rng: StdRng,
+    sampler: KeySampler,
+    think: LatencyModel,
+    remaining: u32,
+}
+
+impl KeyStream for ThinkStream {
+    fn next_request(&mut self, now: Time) -> Option<(Time, LockId)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let at = now + self.think.sample(&mut self.rng);
+        let key = self.sampler.sample(&mut self.rng);
+        Some((at, key))
+    }
+}
+
+/// An explicit keyed schedule: each node issues a fixed `(time, key)`
+/// sequence (sorted by time at construction). Requests whose scheduled
+/// time has already passed are issued immediately.
+///
+/// The workhorse for reproducible cross-checks — e.g. comparing a
+/// multiplexed run's per-key message counts against equivalent
+/// single-lock runs, where the request times must be pinned.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedSchedule {
+    per_node: Vec<Vec<(Time, LockId)>>,
+}
+
+impl KeyedSchedule {
+    /// An empty schedule for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        KeyedSchedule {
+            per_node: vec![Vec::new(); n],
+        }
+    }
+
+    /// Appends a request for `key` by `node` at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn push(&mut self, node: NodeId, at: Time, key: LockId) {
+        self.per_node[node.index()].push((at, key));
+    }
+
+    /// A schedule partitioning the key space across nodes: node `i`
+    /// requests keys `i, i + n, i + 2n, …` (all keys `< keys`), one
+    /// request every `spacing` ticks. Touches **every** key exactly once
+    /// — the deterministic full-coverage driver for scale tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn partition(n: usize, keys: u32, spacing: Time) -> Self {
+        assert!(n > 0, "schedule needs at least one node");
+        let mut s = KeyedSchedule::new(n);
+        for i in 0..n {
+            let mut round = 0u64;
+            let mut k = i as u32;
+            while k < keys {
+                s.push(
+                    NodeId::from_index(i),
+                    Time(round * spacing.ticks()),
+                    LockId(k),
+                );
+                k += n as u32;
+                round += 1;
+            }
+        }
+        s
+    }
+
+    /// A globally serialized round-robin schedule: request `j` (of
+    /// `requests`) is issued by node `j mod n` for key `j mod keys` at
+    /// time `j * spacing`. With `spacing` generously larger than any
+    /// grant latency, every request completes before the next one starts
+    /// — per-key traffic is then independent of the other keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `keys == 0`.
+    pub fn round_robin(n: usize, keys: u32, requests: usize, spacing: Time) -> Self {
+        assert!(n > 0 && keys > 0, "need nodes and keys");
+        let mut s = KeyedSchedule::new(n);
+        for j in 0..requests {
+            s.push(
+                NodeId::from_index(j % n),
+                Time(j as u64 * spacing.ticks()),
+                LockId((j % keys as usize) as u32),
+            );
+        }
+        s
+    }
+
+    /// Number of nodes the schedule covers.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// `true` when the schedule covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// Total scheduled requests across all nodes.
+    pub fn total_requests(&self) -> usize {
+        self.per_node.iter().map(Vec::len).sum()
+    }
+}
+
+impl KeyedWorkload for KeyedSchedule {
+    fn stream(&self, node: NodeId) -> Box<dyn KeyStream> {
+        let mut entries = self.per_node[node.index()].clone();
+        entries.sort_by_key(|&(at, _)| at);
+        Box::new(ScheduleStream { entries, cursor: 0 })
+    }
+}
+
+#[derive(Debug)]
+struct ScheduleStream {
+    entries: Vec<(Time, LockId)>,
+    cursor: usize,
+}
+
+impl KeyStream for ScheduleStream {
+    fn next_request(&mut self, now: Time) -> Option<(Time, LockId)> {
+        let &(at, key) = self.entries.get(self.cursor)?;
+        self.cursor += 1;
+        Some((at.max(now), key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sampler_covers_the_space() {
+        let sampler = KeySampler::new(8, KeyDist::Uniform);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..512 {
+            seen[sampler.sample(&mut rng).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "512 draws must touch all 8 keys");
+    }
+
+    #[test]
+    fn zipf_sampler_skews_toward_low_keys() {
+        let sampler = KeySampler::new(64, KeyDist::Zipf { exponent: 1.2 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 64];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng).index()] += 1;
+        }
+        assert!(
+            counts[0] > counts[32] * 5,
+            "key 0 ({}) must dominate key 32 ({})",
+            counts[0],
+            counts[32]
+        );
+        // Zipf(1.2) over 64 keys gives key 0 roughly a quarter of the mass.
+        assert!(counts[0] > 3_000);
+    }
+
+    #[test]
+    fn zipf_with_zero_exponent_is_uniform() {
+        let sampler = KeySampler::new(4, KeyDist::Zipf { exponent: 0.0 });
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..8_000 {
+            counts[sampler.sample(&mut rng).index()] += 1;
+        }
+        for &c in &counts {
+            assert!((1_700..=2_300).contains(&c), "expected ~2000, got {c}");
+        }
+    }
+
+    #[test]
+    fn think_streams_are_deterministic_per_node_seed() {
+        let w = KeyedThinkTime::new(
+            32,
+            KeyDist::Zipf { exponent: 1.0 },
+            LatencyModel::Exponential { mean: Time(9) },
+            5,
+            42,
+        );
+        let drain = |node| {
+            let mut s = w.stream(node);
+            let mut out = Vec::new();
+            let mut now = Time::ZERO;
+            while let Some((at, k)) = s.next_request(now) {
+                out.push((at, k));
+                now = at + Time(1);
+            }
+            out
+        };
+        assert_eq!(drain(NodeId(3)), drain(NodeId(3)));
+        assert_ne!(drain(NodeId(3)), drain(NodeId(4)));
+        assert_eq!(drain(NodeId(0)).len(), 5);
+    }
+
+    #[test]
+    fn partition_schedule_touches_every_key_once() {
+        let s = KeyedSchedule::partition(5, 17, Time(10));
+        assert_eq!(s.total_requests(), 17);
+        let mut seen = [false; 17];
+        for node in 0..5 {
+            let mut stream = s.stream(NodeId::from_index(node));
+            while let Some((_, k)) = stream.next_request(Time::ZERO) {
+                assert!(!seen[k.index()], "key {k} scheduled twice");
+                seen[k.index()] = true;
+                assert_eq!(k.index() % 5, node, "partition misassigned {k}");
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn round_robin_serializes_requests() {
+        let s = KeyedSchedule::round_robin(3, 2, 7, Time(100));
+        assert_eq!(s.total_requests(), 7);
+        // Node 0 gets requests 0, 3, 6 at times 0, 300, 600.
+        let mut stream = s.stream(NodeId(0));
+        assert_eq!(stream.next_request(Time::ZERO), Some((Time(0), LockId(0))));
+        assert_eq!(
+            stream.next_request(Time(1)),
+            Some((Time(300), LockId(1))),
+            "request 3 targets key 3 % 2 = 1"
+        );
+        assert_eq!(stream.next_request(Time(301)), Some((Time(600), LockId(0))));
+        assert_eq!(stream.next_request(Time(601)), None);
+    }
+
+    #[test]
+    fn schedule_never_requests_in_the_past() {
+        let mut s = KeyedSchedule::new(1);
+        s.push(NodeId(0), Time(5), LockId(0));
+        let mut stream = s.stream(NodeId(0));
+        // The node only becomes free at t = 9; the request slips to then.
+        assert_eq!(stream.next_request(Time(9)), Some((Time(9), LockId(0))));
+    }
+}

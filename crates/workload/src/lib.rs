@@ -18,6 +18,11 @@
 //!   concentrating demand (the favourable case for token algorithms that
 //!   leave the token in place).
 //!
+//! The [`keyed`] module adds the multi-lock axis: per-node request
+//! streams over a key space with uniform or Zipf-skewed key popularity
+//! ([`KeyedThinkTime`]) and pinned schedules ([`KeyedSchedule`]), driving
+//! the `dmx-lockspace` subsystem.
+//!
 //! # Examples
 //!
 //! ```
@@ -31,6 +36,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod keyed;
+
+pub use keyed::{KeyDist, KeySampler, KeyStream, KeyedSchedule, KeyedThinkTime, KeyedWorkload};
 
 use dmx_simnet::{LatencyModel, Time, Workload};
 use dmx_topology::NodeId;

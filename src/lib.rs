@@ -16,7 +16,10 @@
 //! * [`baselines`] — Lamport, Ricart–Agrawala, Carvalho–Roucairol,
 //!   Suzuki–Kasami, Singhal, Maekawa, Raymond, and a centralized
 //!   coordinator.
-//! * [`workload`] — request-arrival generators.
+//! * [`workload`] — request-arrival generators, single-lock and keyed.
+//! * [`lockspace`] — the sharded multi-lock service: thousands of
+//!   independent DAG-protocol locks multiplexed over one network, with
+//!   per-destination batching ([`lockspace::LockSpace`]).
 //! * [`runtime`] — the distributed lock over threads + channels
 //!   ([`runtime::Cluster`]) or loopback TCP ([`runtime::tcp::TcpCluster`]),
 //!   with RAII guards and `lock_timeout`.
@@ -66,6 +69,7 @@
 pub use dmx_baselines as baselines;
 pub use dmx_core as core;
 pub use dmx_harness as harness;
+pub use dmx_lockspace as lockspace;
 pub use dmx_runtime as runtime;
 pub use dmx_simnet as simnet;
 pub use dmx_topology as topology;

@@ -1,12 +1,15 @@
-//! Proves the tentpole property of the zero-allocation refactor: with
-//! tracing off and capacity reserved, a steady-state closed loop of the
-//! DAG algorithm performs **zero heap allocations** across 10,000 engine
-//! steps.
+//! Proves the zero-allocation properties this repo's hot paths claim:
+//! with tracing off and capacity warmed up, steady-state closed loops
+//! perform **zero heap allocations** across 10,000 engine steps — for
+//! the DAG algorithm (PR 1's tentpole), for the ported buffered-handler
+//! baselines (Suzuki–Kasami, Raymond), and for the multiplexed
+//! `dmx-lockspace` hot path with batching on (this PR's tentpole).
 //!
-//! A counting global allocator wraps the system allocator; the test
-//! warms the engine up (letting every buffer reach steady-state
-//! capacity), snapshots the allocation counter, drives 10,000 more
-//! steps, and asserts the counter did not move.
+//! A counting global allocator wraps the system allocator; each phase
+//! warms its engine up (letting every buffer — outboxes, scratch
+//! buffers, lock tables, batch pools — reach steady-state capacity),
+//! snapshots the allocation counter, drives 10,000 more steps, and
+//! asserts the counter did not move.
 //!
 //! Run as `cargo test --test alloc_free` like any other test; it is a
 //! no-harness test target, which keeps the process single-threaded so
@@ -15,9 +18,13 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dagmutex::baselines::raymond::RaymondProtocol;
+use dagmutex::baselines::suzuki_kasami::SuzukiKasamiProtocol;
 use dagmutex::core::DagProtocol;
-use dagmutex::simnet::{Engine, EngineConfig, Time};
+use dagmutex::lockspace::{LockSpace, LockSpaceConfig, Placement};
+use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Protocol, Time};
 use dagmutex::topology::{NodeId, Tree};
+use dagmutex::workload::{KeyDist, KeyedThinkTime};
 
 struct CountingAllocator;
 
@@ -53,7 +60,7 @@ fn allocations() -> u64 {
 
 /// Steps the engine `steps` times, re-requesting immediately whenever a
 /// node exits (a saturated closed loop driven from outside the engine).
-fn drive(engine: &mut Engine<DagProtocol>, steps: usize) {
+fn drive<P: Protocol>(engine: &mut Engine<P>, steps: usize) {
     for _ in 0..steps {
         engine
             .step()
@@ -63,6 +70,108 @@ fn drive(engine: &mut Engine<DagProtocol>, steps: usize) {
             engine.request_at(engine.now(), node);
         }
     }
+}
+
+const STEPS: usize = 10_000;
+
+/// Warms a saturated single-lock closed loop up, then asserts `STEPS`
+/// further steps allocate nothing.
+fn assert_single_lock_alloc_free<P: Protocol>(label: &str, nodes: Vec<P>) {
+    let n = nodes.len();
+    let config = EngineConfig {
+        record_trace: false,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(nodes, config);
+    for i in 0..n {
+        engine.request_at(Time(0), NodeId::from_index(i));
+    }
+
+    // Warm-up: let the queue, outbox, scratch buffers, and per-kind
+    // counters reach their steady-state capacity, then reserve room for
+    // every grant the measured phase can record.
+    drive(&mut engine, 2_000);
+    engine.reserve(4 * n, STEPS);
+
+    let before = allocations();
+    drive(&mut engine, STEPS);
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state Engine::step must not allocate for {label} (got {} \
+         allocations over {STEPS} steps)",
+        after - before
+    );
+    println!("alloc_free: {label} ok (0 allocations across {STEPS} steady-state steps)");
+}
+
+/// The multiplexed tentpole property: a lock space serving 64 keys with
+/// batching on steps allocation-free once its tables, pools, and
+/// orientation caches are warm.
+fn assert_lockspace_alloc_free() {
+    let n = 15;
+    let tree = Tree::kary(n, 2);
+    // Saturated keyed closed loop: think time zero, enough rounds that
+    // the measured window never exhausts a stream.
+    let workload = KeyedThinkTime::new(
+        64,
+        KeyDist::Zipf { exponent: 1.1 },
+        LatencyModel::Fixed(Time(0)),
+        1_000_000,
+        7,
+    );
+    let config = LockSpaceConfig {
+        keys: 64,
+        placement: Placement::Modulo,
+        hold: Time(1),
+        batching: true,
+        ..LockSpaceConfig::default()
+    };
+    let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
+    let engine_config = EngineConfig {
+        record_trace: false,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(nodes, engine_config);
+
+    // Warm-up: materialize every (node, key) pair the streams reach,
+    // grow every lock table shard, batch pool, and staging buffer to
+    // steady state. Cold Zipf-tail keys keep materializing for a while,
+    // so warm in rounds until one full measurement window passes without
+    // a single allocation — if the multiplexed hot path allocated
+    // per-step, no window would ever be quiet and the assertion below
+    // would fail.
+    engine.reserve(64 * n, 0);
+    let mut quiet_after_rounds = None;
+    for round in 0..20 {
+        let before = allocations();
+        for _ in 0..STEPS {
+            engine
+                .step()
+                .expect("no violations")
+                .expect("saturated lock space never quiesces early");
+        }
+        if allocations() == before {
+            quiet_after_rounds = Some(round);
+            break;
+        }
+    }
+
+    assert!(monitor.violation().is_none(), "per-key safety held");
+    assert!(
+        monitor.rollup().grants > 0 && engine.metrics().kind_count("BATCH") > 0,
+        "the measured window must exercise real multiplexed batching"
+    );
+    let rounds = quiet_after_rounds.expect(
+        "steady-state multiplexed Engine::step must stop allocating with \
+         batching on, but every warm-up window still allocated",
+    );
+    println!(
+        "alloc_free: lockspace ok (0 allocations across {STEPS} steady-state \
+         steps, after {rounds} warm-up rounds)"
+    );
 }
 
 /// A plain `main` instead of `#[test]` (`harness = false` in
@@ -85,34 +194,13 @@ fn main() {
         assert!(!engine.trace().is_empty());
     }
 
-    const STEPS: usize = 10_000;
     let n = 15;
     let tree = Tree::kary(n, 2);
-    let config = EngineConfig {
-        record_trace: false,
-        ..EngineConfig::default()
-    };
-    let mut engine = Engine::new(DagProtocol::cluster(&tree, NodeId(0)), config);
-    for i in 0..n {
-        engine.request_at(Time(0), NodeId::from_index(i));
-    }
-
-    // Warm-up: let the queue, outbox, scratch buffers, and per-kind
-    // counters reach their steady-state capacity, then reserve room for
-    // every grant the measured phase can record.
-    drive(&mut engine, 2_000);
-    engine.reserve(4 * n, STEPS);
-
-    let before = allocations();
-    drive(&mut engine, STEPS);
-    let after = allocations();
-
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state Engine::step must not allocate (got {} allocations \
-         over {STEPS} steps)",
-        after - before
-    );
-    println!("alloc_free: ok (0 allocations across {STEPS} steady-state steps)");
+    // Phase 1: the DAG algorithm (PR 1's tentpole property).
+    assert_single_lock_alloc_free("dag", DagProtocol::cluster(&tree, NodeId(0)));
+    // Phase 2: the ported buffered-handler baselines.
+    assert_single_lock_alloc_free("suzuki-kasami", SuzukiKasamiProtocol::cluster(n, NodeId(0)));
+    assert_single_lock_alloc_free("raymond", RaymondProtocol::cluster(&tree, NodeId(0)));
+    // Phase 3: the multiplexed lock-space hot path, batching on.
+    assert_lockspace_alloc_free();
 }

@@ -1,0 +1,155 @@
+//! Property battery for per-key isolation in multiplexed lock-space
+//! runs (the `dmx-lockspace` subsystem):
+//!
+//! (a) no two nodes ever hold the *same* key concurrently — the shared
+//!     [`KeyedSafetyChecker`] oracle runs on every grant/release, so a
+//!     clean run is the property;
+//! (b) *distinct* keys are held concurrently — the concurrency a
+//!     single-lock system cannot exhibit, verified via the oracle's
+//!     peak-concurrency high-water mark;
+//! (c) with batching off, per-key message counts match an equivalent
+//!     single-lock run of the same algorithm, key for key.
+//!
+//! [`KeyedSafetyChecker`]: dagmutex::simnet::checker::KeyedSafetyChecker
+
+use dagmutex::core::{DagProtocol, LockId};
+use dagmutex::lockspace::{LockSpace, LockSpaceConfig, Placement};
+use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Time};
+use dagmutex::topology::{NodeId, Tree};
+use dagmutex::workload::{KeyDist, KeyedSchedule, KeyedThinkTime};
+use proptest::prelude::*;
+
+fn quiet() -> EngineConfig {
+    EngineConfig {
+        record_trace: false,
+        ..EngineConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) Under random key-space sizes, skews, hold times, and seeds,
+    /// a multiplexed closed loop completes with the per-key safety and
+    /// liveness oracles silent: same-key holds never overlap.
+    #[test]
+    fn no_two_nodes_hold_the_same_key_concurrently(
+        n in 3usize..10,
+        keys in 2u32..24,
+        rounds in 1u32..5,
+        hold in 0u64..4,
+        exponent in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let tree = Tree::kary(n, 2);
+        let dist = if exponent == 0 {
+            KeyDist::Uniform
+        } else {
+            KeyDist::Zipf { exponent: f64::from(exponent) * 0.6 }
+        };
+        let workload =
+            KeyedThinkTime::new(keys, dist, LatencyModel::Fixed(Time(0)), rounds, seed);
+        let config = LockSpaceConfig {
+            keys,
+            placement: Placement::Modulo,
+            hold: Time(hold),
+            batching: true,
+            ..LockSpaceConfig::default()
+        };
+        let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
+        let mut engine = Engine::new(nodes, quiet());
+        engine.run_to_quiescence().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        monitor
+            .check_quiescent()
+            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+        prop_assert_eq!(monitor.rollup().grants, rounds as u64 * n as u64);
+    }
+
+    /// (b) With one hub key per node all grabbed at t = 0 and held, every
+    /// node is inside a *different* key's critical section at once: the
+    /// oracle's peak concurrency equals the node count. (Derived from the
+    /// same random sizes as (a), so the overlap is exercised across
+    /// topologies, not just one example.)
+    #[test]
+    fn distinct_keys_are_held_concurrently(
+        n in 2usize..12,
+        hold in 5u64..20,
+    ) {
+        let tree = Tree::kary(n, 2);
+        let mut sched = KeyedSchedule::new(n);
+        for i in 0..n {
+            sched.push(NodeId::from_index(i), Time(0), LockId(i as u32));
+        }
+        let config = LockSpaceConfig {
+            keys: n as u32,
+            placement: Placement::Modulo, // key i's hub is node i: instant grant
+            hold: Time(hold),
+            batching: true,
+            ..LockSpaceConfig::default()
+        };
+        let (nodes, monitor) = LockSpace::cluster(&tree, config, &sched);
+        let mut engine = Engine::new(nodes, quiet());
+        engine.run_to_quiescence().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        monitor
+            .check_quiescent()
+            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+        prop_assert_eq!(monitor.peak_concurrent_holders(), n);
+    }
+
+    /// (c) Batching off, a globally serialized round-robin schedule: the
+    /// multiplexed run's per-key REQUEST and PRIVILEGE counts equal an
+    /// equivalent single-lock run of the same key's schedule — the
+    /// multiplexing layer adds a key tag, never a message.
+    #[test]
+    fn per_key_message_counts_match_single_lock_runs_when_batching_is_off(
+        n in 3usize..8,
+        keys in 1u32..6,
+        rounds_per_key in 1usize..4,
+    ) {
+        let tree = Tree::kary(n, 2);
+        // Request j: node j % n, key j % keys, at t = j * 200 — spaced so
+        // generously that every request completes before the next starts.
+        let spacing = Time(200);
+        let requests = keys as usize * rounds_per_key;
+        let sched = KeyedSchedule::round_robin(n, keys, requests, spacing);
+        let config = LockSpaceConfig {
+            keys,
+            placement: Placement::Modulo,
+            hold: Time(1),
+            batching: false,
+            ..LockSpaceConfig::default()
+        };
+        let (nodes, monitor) = LockSpace::cluster(&tree, config, &sched);
+        let mut engine = Engine::new(nodes, quiet());
+        engine.run_to_quiescence().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        monitor
+            .check_quiescent()
+            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+
+        for k in 0..keys {
+            // The same key's schedule, replayed on a plain single-lock
+            // engine with the token at the key's hub.
+            let hub = NodeId(k % n as u32);
+            let schedule: Vec<(Time, NodeId)> = (0..requests)
+                .filter(|j| *j as u32 % keys == k)
+                .map(|j| (Time(j as u64 * spacing.ticks()), NodeId((j % n) as u32)))
+                .collect();
+            let mut single = Engine::new(DagProtocol::cluster(&tree, hub), quiet());
+            for (at, node) in schedule {
+                single.request_at(at, node);
+                single.run_to_quiescence()
+                    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            }
+            let stats = monitor.key_stats(LockId(k));
+            let metrics = single.metrics();
+            prop_assert_eq!(
+                stats.request_messages, metrics.kind_count("REQUEST"),
+                "key {} REQUEST count diverged", k
+            );
+            prop_assert_eq!(
+                stats.privilege_messages, metrics.kind_count("PRIVILEGE"),
+                "key {} PRIVILEGE count diverged", k
+            );
+        }
+    }
+}
