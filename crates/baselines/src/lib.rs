@@ -56,12 +56,13 @@ pub use clock::{LamportClock, Timestamp};
 /// An effect requested by a baseline's pure handler: the baseline
 /// analogue of `dmx_core::Action`, generic over the wire message.
 ///
-/// The hottest baselines (Suzuki–Kasami, Raymond) follow the same
-/// buffered `*_into` handler pattern as the DAG algorithm: each input
-/// method pushes its effects into a caller-provided `Vec` (reused across
-/// calls, so steady-state handling allocates nothing) and the
-/// [`Protocol`](dmx_simnet::Protocol) impl is a thin adapter draining
-/// that buffer into the engine's [`Ctx`](dmx_simnet::Ctx).
+/// The hottest baselines (Suzuki–Kasami, Raymond, Ricart–Agrawala)
+/// follow the same buffered `*_into` handler pattern as the DAG
+/// algorithm: each input method pushes its effects into a
+/// caller-provided `Vec` (reused across calls, so steady-state handling
+/// allocates nothing) and the [`Protocol`](dmx_simnet::Protocol) impl
+/// is a thin adapter draining that buffer into the engine's
+/// [`Ctx`](dmx_simnet::Ctx).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolAction<M> {
     /// Transmit `message` to node `to`.

@@ -4,11 +4,24 @@
 //! *deferred* while the receiver has a higher-priority request of its own
 //! or is inside the critical section. Exactly `2(N−1)` messages per
 //! entry: `N−1` REQUESTs out, `N−1` REPLYs back.
+//!
+//! Like Suzuki–Kasami and Raymond — the other hot baselines in the
+//! bench suite — this implementation follows the DAG algorithm's
+//! buffered `*_into` handler pattern: the pure handlers push
+//! [`ProtocolAction`]s into a caller-provided buffer (reused across
+//! calls) and the [`Protocol`] impl is a thin adapter, so steady-state
+//! event handling performs zero heap allocations (pinned by the
+//! umbrella crate's `alloc_free` test).
 
 use dmx_simnet::{Ctx, MessageMeta, Protocol};
 use dmx_topology::NodeId;
 
 use crate::clock::{LamportClock, Timestamp};
+use crate::ProtocolAction;
+
+/// Buffered-handler effect type for Ricart–Agrawala (see
+/// [`ProtocolAction`]).
+pub type RaAction = ProtocolAction<RaMessage>;
 
 /// Ricart–Agrawala's two message types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +77,10 @@ pub struct RicartAgrawalaProtocol {
     /// Nodes whose REPLY we owe after our critical section.
     deferred: Vec<NodeId>,
     executing: bool,
+    /// Reused action buffer: the buffered `*_into` handlers push into it
+    /// and every [`Protocol`] callback drains it into the [`Ctx`], so
+    /// steady-state event handling allocates nothing.
+    scratch: Vec<RaAction>,
 }
 
 impl RicartAgrawalaProtocol {
@@ -76,6 +93,7 @@ impl RicartAgrawalaProtocol {
             outstanding: 0,
             deferred: Vec::new(),
             executing: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -91,61 +109,108 @@ impl RicartAgrawalaProtocol {
     pub fn deferred(&self) -> &[NodeId] {
         &self.deferred
     }
+
+    /// The local user wants the critical section in an `n`-node system.
+    /// Buffered handler (see [`ProtocolAction`]); the effects land in
+    /// `actions`.
+    pub fn request_into(&mut self, n: usize, actions: &mut Vec<RaAction>) {
+        let ts = self.clock.tick();
+        self.my_request = Some(ts);
+        self.outstanding = n - 1;
+        for j in 0..n {
+            let id = NodeId::from_index(j);
+            if id != self.me {
+                actions.push(RaAction::Send {
+                    to: id,
+                    message: RaMessage::Request {
+                        clock: ts.counter(),
+                    },
+                });
+            }
+        }
+        if self.outstanding == 0 {
+            self.executing = true;
+            actions.push(RaAction::Enter);
+        }
+    }
+
+    /// A timestamped `REQUEST` arrived from `from`: reply now, or defer
+    /// while we execute or hold the older timestamp.
+    pub fn receive_request_into(&mut self, from: NodeId, clock: u64, actions: &mut Vec<RaAction>) {
+        self.clock.observe(clock);
+        let theirs = Timestamp::raw(clock, from);
+        let mine_wins = self.my_request.is_some_and(|mine| mine < theirs);
+        if self.executing || mine_wins {
+            self.deferred.push(from);
+        } else {
+            actions.push(RaAction::Send {
+                to: from,
+                message: RaMessage::Reply,
+            });
+        }
+    }
+
+    /// A `REPLY` arrived; the last outstanding one grants entry.
+    pub fn receive_reply_into(&mut self, actions: &mut Vec<RaAction>) {
+        debug_assert!(self.my_request.is_some(), "REPLY without a request");
+        self.outstanding -= 1;
+        if self.outstanding == 0 {
+            self.executing = true;
+            actions.push(RaAction::Enter);
+        }
+    }
+
+    /// The local user leaves the critical section: release every
+    /// deferred REPLY. Drains (rather than replaces) the deferred list,
+    /// so its capacity is reused by the next contention episode.
+    pub fn exit_into(&mut self, actions: &mut Vec<RaAction>) {
+        self.executing = false;
+        self.my_request = None;
+        for j in self.deferred.drain(..) {
+            actions.push(RaAction::Send {
+                to: j,
+                message: RaMessage::Reply,
+            });
+        }
+    }
+
+    /// Drains the scratch buffer into the engine context, retaining the
+    /// buffer's capacity for the next callback.
+    fn apply(scratch: &mut Vec<RaAction>, ctx: &mut Ctx<'_, RaMessage>) {
+        for action in scratch.drain(..) {
+            match action {
+                RaAction::Send { to, message } => ctx.send(to, message),
+                RaAction::Enter => ctx.enter_cs(),
+            }
+        }
+    }
 }
 
 impl Protocol for RicartAgrawalaProtocol {
     type Message = RaMessage;
 
     fn on_request_cs(&mut self, ctx: &mut Ctx<'_, RaMessage>) {
-        let ts = self.clock.tick();
-        self.my_request = Some(ts);
-        self.outstanding = ctx.n() - 1;
-        for j in 0..ctx.n() {
-            let id = NodeId::from_index(j);
-            if id != self.me {
-                ctx.send(
-                    id,
-                    RaMessage::Request {
-                        clock: ts.counter(),
-                    },
-                );
-            }
-        }
-        if self.outstanding == 0 {
-            self.executing = true;
-            ctx.enter_cs();
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.request_into(ctx.n(), &mut scratch);
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn on_message(&mut self, from: NodeId, msg: RaMessage, ctx: &mut Ctx<'_, RaMessage>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         match msg {
-            RaMessage::Request { clock } => {
-                self.clock.observe(clock);
-                let theirs = Timestamp::raw(clock, from);
-                let mine_wins = self.my_request.is_some_and(|mine| mine < theirs);
-                if self.executing || mine_wins {
-                    self.deferred.push(from);
-                } else {
-                    ctx.send(from, RaMessage::Reply);
-                }
-            }
-            RaMessage::Reply => {
-                debug_assert!(self.my_request.is_some(), "REPLY without a request");
-                self.outstanding -= 1;
-                if self.outstanding == 0 {
-                    self.executing = true;
-                    ctx.enter_cs();
-                }
-            }
+            RaMessage::Request { clock } => self.receive_request_into(from, clock, &mut scratch),
+            RaMessage::Reply => self.receive_reply_into(&mut scratch),
         }
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, RaMessage>) {
-        self.executing = false;
-        self.my_request = None;
-        for j in std::mem::take(&mut self.deferred) {
-            ctx.send(j, RaMessage::Reply);
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.exit_into(&mut scratch);
+        Self::apply(&mut scratch, ctx);
+        self.scratch = scratch;
     }
 
     fn storage_words(&self) -> usize {
@@ -243,5 +308,70 @@ mod tests {
     fn single_node_enters_for_free() {
         let metrics = battery::run_schedule(RicartAgrawalaProtocol::cluster(1), &[(0, 0)]);
         assert_eq!(metrics.messages_total, 0);
+    }
+
+    #[test]
+    fn buffered_handlers_drive_a_two_node_contention() {
+        // The pure *_into handlers replay a full contention episode
+        // without any engine: both request, the lower timestamp wins,
+        // the loser's REPLY is deferred until exit.
+        let mut a = RicartAgrawalaProtocol::new(NodeId(0));
+        let mut b = RicartAgrawalaProtocol::new(NodeId(1));
+        let mut actions = Vec::new();
+
+        a.request_into(2, &mut actions);
+        let a_clock = match actions[..] {
+            [RaAction::Send {
+                to: NodeId(1),
+                message: RaMessage::Request { clock },
+            }] => clock,
+            _ => panic!("unexpected actions {actions:?}"),
+        };
+        actions.clear();
+
+        b.request_into(2, &mut actions);
+        let b_clock = match actions[..] {
+            [RaAction::Send {
+                to: NodeId(0),
+                message: RaMessage::Request { clock },
+            }] => clock,
+            _ => panic!("unexpected actions {actions:?}"),
+        };
+        actions.clear();
+
+        // Equal clocks: node 0 wins the id tie-break, so it defers b's
+        // request and b replies immediately.
+        assert_eq!(a_clock, b_clock);
+        a.receive_request_into(NodeId(1), b_clock, &mut actions);
+        assert!(actions.is_empty(), "a defers while its request is older");
+        assert_eq!(a.deferred(), &[NodeId(1)]);
+
+        b.receive_request_into(NodeId(0), a_clock, &mut actions);
+        assert_eq!(
+            actions,
+            vec![RaAction::Send {
+                to: NodeId(0),
+                message: RaMessage::Reply
+            }]
+        );
+        actions.clear();
+
+        a.receive_reply_into(&mut actions);
+        assert_eq!(actions, vec![RaAction::Enter]);
+        actions.clear();
+
+        a.exit_into(&mut actions);
+        assert_eq!(
+            actions,
+            vec![RaAction::Send {
+                to: NodeId(1),
+                message: RaMessage::Reply
+            }]
+        );
+        assert!(a.deferred().is_empty());
+        actions.clear();
+
+        b.receive_reply_into(&mut actions);
+        assert_eq!(actions, vec![RaAction::Enter]);
     }
 }

@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use dmx_lockspace::{LockSpace, LockSpaceConfig, LockSpaceMonitor, Placement};
-use dmx_simnet::{Engine, EngineConfig, LatencyModel, Time};
+use dmx_simnet::{Engine, EngineConfig, LatencyModel, Scheduler, Time};
 use dmx_topology::Tree;
 use dmx_workload::{KeyDist, KeyedThinkTime};
 
@@ -43,6 +43,19 @@ pub fn run_cell(
     rounds: u32,
     seed: u64,
 ) -> (Engine<dmx_lockspace::LockSpaceNode>, LockSpaceMonitor) {
+    run_cell_with(n, keys, dist, rounds, seed, Scheduler::Auto)
+}
+
+/// [`run_cell`] under an explicit scheduler backend (the bench suite
+/// times both; both produce the identical simulated run).
+pub fn run_cell_with(
+    n: usize,
+    keys: u32,
+    dist: KeyDist,
+    rounds: u32,
+    seed: u64,
+    scheduler: Scheduler,
+) -> (Engine<dmx_lockspace::LockSpaceNode>, LockSpaceMonitor) {
     let tree = Tree::kary(n, 2);
     let workload = KeyedThinkTime::new(keys, dist, LatencyModel::Fixed(Time(0)), rounds, seed);
     let config = LockSpaceConfig {
@@ -55,6 +68,7 @@ pub fn run_cell(
     let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
     let engine_config = EngineConfig {
         record_trace: false,
+        scheduler,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(nodes, engine_config);
@@ -121,6 +135,8 @@ pub struct LockScalingMeasurement {
     pub n: usize,
     /// Skew label (`"uniform"` / `"zipf-1.1"`).
     pub skew: &'static str,
+    /// Scheduler backend the cell ran under (`"heap"` / `"wheel"`).
+    pub scheduler: &'static str,
     /// Engine events processed (deliveries + wake-ups).
     pub events: u64,
     /// Keyed critical-section entries completed.
@@ -158,8 +174,24 @@ pub fn measure(
     dist: KeyDist,
     rounds: u32,
 ) -> LockScalingMeasurement {
+    measure_with(n, keys, skew, dist, rounds, Scheduler::Auto)
+}
+
+/// [`measure`] under an explicit scheduler backend.
+///
+/// # Panics
+///
+/// Panics if the run violates per-key safety or liveness.
+pub fn measure_with(
+    n: usize,
+    keys: u32,
+    skew: &'static str,
+    dist: KeyDist,
+    rounds: u32,
+    scheduler: Scheduler,
+) -> LockScalingMeasurement {
     let start = Instant::now();
-    let (engine, monitor) = run_cell(n, keys, dist, rounds, 42);
+    let (engine, monitor) = run_cell_with(n, keys, dist, rounds, 42, scheduler);
     let elapsed_secs = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
     let m = engine.metrics();
     let events = m.requests + m.messages_total + m.cs_entries + m.wakes;
@@ -168,6 +200,7 @@ pub fn measure(
         keys,
         n,
         skew,
+        scheduler: engine.sched_backend().name(),
         events,
         grants: rollup.grants,
         keyed_messages: rollup.messages,
@@ -176,9 +209,12 @@ pub fn measure(
     }
 }
 
-/// The `multi_key` bench cells: the ISSUE's keys ∈ {1, 64, 4096} ladder
-/// at n = 127, both skews (skew is meaningless at one key, so that cell
-/// runs uniform only).
+/// The `multi_key` bench cells: the keys ∈ {1, 64, 4096} ladder at
+/// n = 127, both skews (skew is meaningless at one key, so that cell
+/// runs uniform only), each timed under both scheduler backends — the
+/// lock space's end-of-tick flush wakes are the wheel's densest
+/// same-tick workload, so this is where the scheduling-core win has to
+/// show up at the subsystem level.
 pub fn bench_suite() -> Vec<LockScalingMeasurement> {
     let mut results = Vec::new();
     for (keys, rounds) in [(1u32, 2_000u32), (64, 1_000), (4_096, 200)] {
@@ -186,16 +222,19 @@ pub fn bench_suite() -> Vec<LockScalingMeasurement> {
             if keys == 1 && label != "uniform" {
                 continue;
             }
-            let _warmup = measure(127, keys, label, dist, (rounds / 20).max(1));
-            let m = measure(127, keys, label, dist, rounds);
-            eprintln!(
-                "lock_scaling: keys={:<5} n=127 {:>8} {:>12.0} events/s {:>10.0} grants/s",
-                m.keys,
-                m.skew,
-                m.events_per_sec(),
-                m.grants_per_sec()
-            );
-            results.push(m);
+            for scheduler in [Scheduler::Heap, Scheduler::Wheel] {
+                let _warmup = measure_with(127, keys, label, dist, (rounds / 20).max(1), scheduler);
+                let m = measure_with(127, keys, label, dist, rounds, scheduler);
+                eprintln!(
+                    "lock_scaling: keys={:<5} n=127 {:>8} {:>6} {:>12.0} events/s {:>10.0} grants/s",
+                    m.keys,
+                    m.skew,
+                    m.scheduler,
+                    m.events_per_sec(),
+                    m.grants_per_sec()
+                );
+                results.push(m);
+            }
         }
     }
     results
@@ -208,13 +247,15 @@ pub fn results_json(results: &[LockScalingMeasurement]) -> String {
     let mut out = String::from("[\n");
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"keys\": {}, \"n\": {}, \"skew\": \"{}\", \"events\": {}, \
+            "    {{\"keys\": {}, \"n\": {}, \"skew\": \"{}\", \
+             \"scheduler\": \"{}\", \"events\": {}, \
              \"grants\": {}, \"keyed_messages\": {}, \"envelopes\": {}, \
              \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}, \
              \"grants_per_sec\": {:.0}}}{}\n",
             m.keys,
             m.n,
             m.skew,
+            m.scheduler,
             m.events,
             m.grants,
             m.keyed_messages,

@@ -4,7 +4,7 @@
 
 use dmx_core::LockId;
 use dmx_lockspace::{LockSpace, LockSpaceConfig, Placement};
-use dmx_simnet::{Engine, EngineConfig, Time};
+use dmx_simnet::{Engine, EngineConfig, SchedBackend, Scheduler, Time};
 use dmx_topology::{NodeId, Tree};
 use dmx_workload::{KeyDist, KeyedSchedule, KeyedThinkTime};
 
@@ -103,4 +103,58 @@ fn zipf_traffic_over_4096_keys_stays_safe_under_contention() {
     // Batching really multiplexes: fewer envelopes than keyed messages.
     assert!(engine.metrics().messages_total < rollup.messages);
     assert!(engine.metrics().kind_count("BATCH") > 0);
+}
+
+#[test]
+fn scheduler_backends_agree_on_a_multiplexed_run() {
+    // The lock space is the scheduler's densest customer — every busy
+    // tick books same-tick flush wakes on top of the deliveries, and
+    // hold timers land at now + hold — so drive a full multiplexed run
+    // under both backends and require identical observable outcomes:
+    // engine metrics (modulo the wheel's internal counters), per-key
+    // rollups, and final time.
+    let run = |scheduler: Scheduler| {
+        let tree = Tree::kary(31, 2);
+        let workload = KeyedThinkTime::new(
+            256,
+            KeyDist::Zipf { exponent: 1.1 },
+            dmx_simnet::LatencyModel::Fixed(Time(0)),
+            30,
+            11,
+        );
+        let config = LockSpaceConfig {
+            keys: 256,
+            placement: Placement::Modulo,
+            hold: Time(2),
+            batching: true,
+            ..LockSpaceConfig::default()
+        };
+        let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
+        let mut engine = Engine::new(
+            nodes,
+            EngineConfig {
+                scheduler,
+                ..quiet()
+            },
+        );
+        engine.run_to_quiescence().expect("run must quiesce");
+        monitor.check_quiescent().expect("no keyed violation");
+        (engine, monitor)
+    };
+
+    let (engine_heap, monitor_heap) = run(Scheduler::Heap);
+    let (engine_wheel, monitor_wheel) = run(Scheduler::Wheel);
+    assert_eq!(engine_heap.sched_backend(), SchedBackend::Heap);
+    assert_eq!(engine_wheel.sched_backend(), SchedBackend::Wheel);
+
+    assert_eq!(engine_heap.now(), engine_wheel.now());
+    assert_eq!(monitor_heap.rollup(), monitor_wheel.rollup());
+    assert_eq!(
+        monitor_heap.peak_concurrent_holders(),
+        monitor_wheel.peak_concurrent_holders()
+    );
+    let mut wheel_metrics = engine_wheel.metrics().clone();
+    wheel_metrics.sched_bucket_rotations = 0;
+    wheel_metrics.sched_overflow_promotions = 0;
+    assert_eq!(engine_heap.metrics(), &wheel_metrics);
 }

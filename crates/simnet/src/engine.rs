@@ -1,5 +1,3 @@
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use dmx_topology::NodeId;
@@ -10,6 +8,7 @@ use crate::checker::{LivenessChecker, SafetyChecker, Violation};
 use crate::latency::LatencyModel;
 use crate::metrics::{GrantRecord, Metrics, SyncDelay};
 use crate::protocol::{Ctx, MessageMeta, Protocol};
+use crate::sched::{ActiveQueue, EventQueue, SchedBackend, Scheduler};
 use crate::time::Time;
 use crate::trace::{Trace, TraceEvent};
 
@@ -62,6 +61,12 @@ pub struct EngineConfig {
     /// Abort the run after this many processed events (guards against a
     /// livelocked protocol spinning forever).
     pub max_events: u64,
+    /// Event-queue backend (see [`crate::sched`]). The default
+    /// [`Scheduler::Auto`] picks the O(1) timing wheel when both
+    /// `latency` and `cs_duration` are near-now (`Fixed`/small
+    /// `Uniform`) and the binary heap otherwise; both backends produce
+    /// byte-identical traces, so this is purely a performance knob.
+    pub scheduler: Scheduler,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +80,7 @@ impl Default for EngineConfig {
             track_storage: false,
             drop_rate: 0.0,
             max_events: 50_000_000,
+            scheduler: Scheduler::Auto,
         }
     }
 }
@@ -152,45 +158,6 @@ enum EventKind<M> {
     Wake { node: NodeId },
 }
 
-struct QueuedEvent<M> {
-    /// `(time << 64) | sequence-number`, packed so heap sift compares —
-    /// the most-executed comparisons in the engine — are a single
-    /// branch. The sequence number tie-breaks same-tick events in
-    /// schedule order, which is what makes runs deterministic.
-    key: u128,
-    kind: EventKind<M>,
-}
-
-impl<M> QueuedEvent<M> {
-    #[inline]
-    fn pack(at: Time, seq: u64) -> u128 {
-        (u128::from(at.0) << 64) | u128::from(seq)
-    }
-
-    #[inline]
-    fn at(&self) -> Time {
-        Time((self.key >> 64) as u64)
-    }
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse to pop earliest (time, seq).
-        other.key.cmp(&self.key)
-    }
-}
-
 /// Deterministic discrete-event engine running one [`Protocol`] instance
 /// per node.
 ///
@@ -223,7 +190,15 @@ pub struct Engine<P: Protocol> {
     nodes: Vec<P>,
     config: EngineConfig,
     rng: StdRng,
-    queue: BinaryHeap<QueuedEvent<P::Message>>,
+    /// The pluggable scheduling core (see [`crate::sched`]): either the
+    /// binary heap or the timing wheel, fixed at construction by
+    /// resolving `config.scheduler` against the latency models.
+    queue: ActiveQueue<EventKind<P::Message>>,
+    /// The backend `queue` resolved to (for observability and tests).
+    backend: SchedBackend,
+    /// Monotone push counter; the `(time, seq)` pair is every queued
+    /// event's total order, and seq ties break in schedule order —
+    /// which is what makes runs deterministic.
     seq: u64,
     now: Time,
     /// Earliest allowed delivery per (src, dst) to honor FIFO links,
@@ -276,12 +251,18 @@ impl<P: Protocol> Engine<P> {
             config.drop_rate
         );
         config.drop_rate = config.drop_rate.min(1.0);
+        // Validate the latency models once, here, instead of panicking
+        // mid-run on the first sample of an inverted Uniform range.
+        config.latency.validate("latency");
+        config.cs_duration.validate("cs_duration");
+        let backend = config.scheduler.resolve(config.latency, config.cs_duration);
         let n = nodes.len();
         let mut engine = Engine {
             nodes,
             config,
             rng: StdRng::seed_from_u64(config.seed),
-            queue: BinaryHeap::new(),
+            queue: ActiveQueue::for_backend(backend),
+            backend,
             seq: 0,
             now: Time::ZERO,
             link_clock: if config.fifo {
@@ -359,6 +340,12 @@ impl<P: Protocol> Engine<P> {
         self.safety.occupant()
     }
 
+    /// The event-queue backend this engine resolved
+    /// [`EngineConfig::scheduler`] to at construction.
+    pub fn sched_backend(&self) -> SchedBackend {
+        self.backend
+    }
+
     /// `true` while requests are outstanding or events are queued.
     pub fn is_busy(&self) -> bool {
         !self.queue.is_empty() || self.liveness.pending_count() > 0
@@ -367,7 +354,7 @@ impl<P: Protocol> Engine<P> {
     /// The timestamp of the next queued event, if any. Lets scripted tests
     /// run "until just before time t".
     pub fn next_event_time(&self) -> Option<Time> {
-        self.queue.peek().map(QueuedEvent::at)
+        self.queue.peek_time()
     }
 
     /// Forgets all metrics and trace collected so far (bookkeeping for
@@ -447,15 +434,18 @@ impl<P: Protocol> Engine<P> {
     ///
     /// Any checker [`Violation`], wrapped in [`EngineError`].
     pub fn step(&mut self) -> Result<Option<Time>, EngineError> {
-        let Some(ev) = self.queue.pop() else {
+        let Some((at, kind)) = self.queue.pop_earliest() else {
             return Ok(None);
         };
-        debug_assert!(ev.at() >= self.now, "time went backwards");
-        self.now = ev.at();
+        let sched = self.queue.drain_stats();
+        self.metrics.sched_bucket_rotations += sched.bucket_rotations;
+        self.metrics.sched_overflow_promotions += sched.overflow_promotions;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         // The node this event dispatches to — the only node whose state
         // (and storage footprint) the event can change.
         let touched;
-        match ev.kind {
+        match kind {
             EventKind::Request { node } => {
                 touched = node;
                 self.liveness.on_request(node, self.now)?;
@@ -724,10 +714,7 @@ impl<P: Protocol> Engine<P> {
     fn push(&mut self, at: Time, kind: EventKind<P::Message>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent {
-            key: QueuedEvent::<P::Message>::pack(at, seq),
-            kind,
-        });
+        self.queue.push(at, seq, kind);
     }
 }
 
@@ -1139,6 +1126,83 @@ mod tests {
             ..EngineConfig::default()
         };
         let _ = Engine::new(hub(2), config);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs lo <= hi")]
+    fn inverted_uniform_latency_is_rejected_at_construction() {
+        let config = EngineConfig {
+            latency: LatencyModel::Uniform {
+                lo: Time(9),
+                hi: Time(1),
+            },
+            ..EngineConfig::default()
+        };
+        let _ = Engine::new(hub(2), config);
+    }
+
+    #[test]
+    #[should_panic(expected = "cs_duration")]
+    fn inverted_uniform_cs_duration_is_rejected_at_construction() {
+        let config = EngineConfig {
+            cs_duration: LatencyModel::Uniform {
+                lo: Time(5),
+                hi: Time(2),
+            },
+            ..EngineConfig::default()
+        };
+        let _ = Engine::new(hub(2), config);
+    }
+
+    #[test]
+    fn auto_scheduler_resolves_from_the_latency_models() {
+        use crate::sched::SchedBackend;
+        // The default one-tick-per-hop model gets the wheel...
+        let engine = Engine::new(hub(2), EngineConfig::default());
+        assert_eq!(engine.sched_backend(), SchedBackend::Wheel);
+        // ...heavy-tailed latencies get the heap...
+        let engine = Engine::new(
+            hub(2),
+            EngineConfig {
+                latency: LatencyModel::Exponential { mean: Time(7) },
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.sched_backend(), SchedBackend::Heap);
+        // ...and explicit selections always win.
+        let engine = Engine::new(
+            hub(2),
+            EngineConfig {
+                scheduler: crate::sched::Scheduler::Heap,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.sched_backend(), SchedBackend::Heap);
+    }
+
+    #[test]
+    fn both_backends_serve_the_hub_identically() {
+        let run = |scheduler| {
+            let config = EngineConfig {
+                scheduler,
+                cs_duration: LatencyModel::Fixed(Time(3)),
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(hub(6), config);
+            for i in [3u32, 1, 5, 2, 4, 0] {
+                engine.request_at(Time(i as u64 % 2), NodeId(i));
+            }
+            let report = engine.run_to_quiescence().unwrap();
+            (engine.trace().clone(), report)
+        };
+        let (trace_h, report_h) = run(crate::sched::Scheduler::Heap);
+        let (trace_w, report_w) = run(crate::sched::Scheduler::Wheel);
+        assert_eq!(trace_h, trace_w);
+        assert_eq!(report_h.final_time, report_w.final_time);
+        assert_eq!(
+            report_h.metrics.grant_order(),
+            report_w.metrics.grant_order()
+        );
     }
 
     #[test]

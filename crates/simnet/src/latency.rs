@@ -43,11 +43,45 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
+    /// Panics with a config error if the model is malformed (a `Uniform`
+    /// with `lo > hi`). `what` names the offending config field.
+    ///
+    /// [`Engine::new`](crate::Engine::new) calls this once for both the
+    /// latency and CS-duration models, so a bad configuration fails at
+    /// construction instead of mid-run at the first [`sample`] — the
+    /// same front-loading as the `drop_rate` validation.
+    ///
+    /// [`sample`]: LatencyModel::sample
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_simnet::{LatencyModel, Time};
+    ///
+    /// LatencyModel::Uniform { lo: Time(1), hi: Time(9) }.validate("latency");
+    /// ```
+    ///
+    /// ```should_panic
+    /// use dmx_simnet::{LatencyModel, Time};
+    ///
+    /// LatencyModel::Uniform { lo: Time(9), hi: Time(1) }.validate("latency");
+    /// ```
+    pub fn validate(self, what: &str) {
+        if let LatencyModel::Uniform { lo, hi } = self {
+            assert!(
+                lo <= hi,
+                "{what}: Uniform latency model needs lo <= hi, got lo = {lo}, hi = {hi}"
+            );
+        }
+    }
+
     /// Draws one sample.
     ///
     /// # Panics
     ///
-    /// Panics if a `Uniform` model has `lo > hi`.
+    /// Panics if a `Uniform` model has `lo > hi` (engine-driven runs
+    /// reject that earlier, at [`Engine::new`](crate::Engine::new), via
+    /// [`LatencyModel::validate`]).
     pub fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Time {
         match self {
             LatencyModel::Fixed(t) => t,

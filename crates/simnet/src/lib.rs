@@ -42,8 +42,13 @@
 //!   by node id — no hash maps or tree maps on the event path;
 //! * storage tracking samples only the node an event dispatched to
 //!   (O(1)), seeded by a full scan at start-up;
-//! * the event queue orders by a packed `(time, seq)` `u128` key, one
-//!   comparison per heap sift step.
+//! * the event queue is a pluggable scheduling core (the [`sched`]
+//!   module): a binary heap over packed `(time, seq)` `u128` keys, or
+//!   a hierarchical timing wheel that makes push/pop O(1) for the
+//!   near-now events the default one-tick-per-hop model produces.
+//!   [`EngineConfig::scheduler`] selects a backend; the default
+//!   [`Scheduler::Auto`] picks the wheel for `Fixed`/small-`Uniform`
+//!   latency models. Both backends produce byte-identical traces.
 //!
 //! Collections that must grow with run length (the event queue, grant
 //! and sync-delay records) amortize via doubling; call
@@ -84,10 +89,12 @@ mod engine;
 mod latency;
 pub mod metrics;
 mod protocol;
+pub mod sched;
 mod time;
 pub mod trace;
 
 pub use engine::{Engine, EngineConfig, EngineError, RunReport, Workload};
 pub use latency::LatencyModel;
 pub use protocol::{Ctx, MessageMeta, Protocol};
+pub use sched::{SchedBackend, Scheduler};
 pub use time::Time;

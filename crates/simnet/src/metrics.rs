@@ -168,6 +168,14 @@ pub struct Metrics {
     /// (see `Ctx::wake_at`). Zero for the single-lock protocols, which
     /// never schedule timers.
     pub wakes: u64,
+    /// Timing-wheel level-1 buckets rotated down into level-0 slots
+    /// (see [`crate::sched`]). Always zero under the heap backend —
+    /// exclude these two scheduler counters when comparing metrics
+    /// *across* backends; everything else is backend-invariant.
+    pub sched_bucket_rotations: u64,
+    /// Events promoted out of the timing wheel's far-future overflow
+    /// heap (see [`crate::sched`]). Always zero under the heap backend.
+    pub sched_overflow_promotions: u64,
     /// Every grant, in grant order.
     pub grants: Vec<GrantRecord>,
     /// Every synchronization-delay episode observed.

@@ -2,8 +2,11 @@
 //! with tracing off and capacity warmed up, steady-state closed loops
 //! perform **zero heap allocations** across 10,000 engine steps — for
 //! the DAG algorithm (PR 1's tentpole), for the ported buffered-handler
-//! baselines (Suzuki–Kasami, Raymond), and for the multiplexed
-//! `dmx-lockspace` hot path with batching on (this PR's tentpole).
+//! baselines (Suzuki–Kasami, Raymond, Ricart–Agrawala), for the
+//! multiplexed `dmx-lockspace` hot path with batching on (PR 2's
+//! tentpole), and all of it under **both** scheduler backends — the
+//! binary heap and the timing wheel (PR 3's tentpole; see
+//! `dmx_simnet::sched`).
 //!
 //! A counting global allocator wraps the system allocator; each phase
 //! warms its engine up (letting every buffer — outboxes, scratch
@@ -19,10 +22,11 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dagmutex::baselines::raymond::RaymondProtocol;
+use dagmutex::baselines::ricart_agrawala::RicartAgrawalaProtocol;
 use dagmutex::baselines::suzuki_kasami::SuzukiKasamiProtocol;
 use dagmutex::core::DagProtocol;
 use dagmutex::lockspace::{LockSpace, LockSpaceConfig, Placement};
-use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Protocol, Time};
+use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Protocol, Scheduler, Time};
 use dagmutex::topology::{NodeId, Tree};
 use dagmutex::workload::{KeyDist, KeyedThinkTime};
 
@@ -75,11 +79,12 @@ fn drive<P: Protocol>(engine: &mut Engine<P>, steps: usize) {
 const STEPS: usize = 10_000;
 
 /// Warms a saturated single-lock closed loop up, then asserts `STEPS`
-/// further steps allocate nothing.
-fn assert_single_lock_alloc_free<P: Protocol>(label: &str, nodes: Vec<P>) {
+/// further steps allocate nothing — under the given scheduler backend.
+fn assert_single_lock_alloc_free<P: Protocol>(label: &str, scheduler: Scheduler, nodes: Vec<P>) {
     let n = nodes.len();
     let config = EngineConfig {
         record_trace: false,
+        scheduler,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(nodes, config);
@@ -109,8 +114,10 @@ fn assert_single_lock_alloc_free<P: Protocol>(label: &str, nodes: Vec<P>) {
 
 /// The multiplexed tentpole property: a lock space serving 64 keys with
 /// batching on steps allocation-free once its tables, pools, and
-/// orientation caches are warm.
-fn assert_lockspace_alloc_free() {
+/// orientation caches are warm — under the given scheduler backend
+/// (same-tick flush wakes make the lock space the wheel's densest
+/// workload).
+fn assert_lockspace_alloc_free(scheduler: Scheduler) {
     let n = 15;
     let tree = Tree::kary(n, 2);
     // Saturated keyed closed loop: think time zero, enough rounds that
@@ -132,6 +139,7 @@ fn assert_lockspace_alloc_free() {
     let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
     let engine_config = EngineConfig {
         record_trace: false,
+        scheduler,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(nodes, engine_config);
@@ -169,8 +177,8 @@ fn assert_lockspace_alloc_free() {
          batching on, but every warm-up window still allocated",
     );
     println!(
-        "alloc_free: lockspace ok (0 allocations across {STEPS} steady-state \
-         steps, after {rounds} warm-up rounds)"
+        "alloc_free: lockspace ({scheduler:?}) ok (0 allocations across {STEPS} \
+         steady-state steps, after {rounds} warm-up rounds)"
     );
 }
 
@@ -196,11 +204,34 @@ fn main() {
 
     let n = 15;
     let tree = Tree::kary(n, 2);
-    // Phase 1: the DAG algorithm (PR 1's tentpole property).
-    assert_single_lock_alloc_free("dag", DagProtocol::cluster(&tree, NodeId(0)));
-    // Phase 2: the ported buffered-handler baselines.
-    assert_single_lock_alloc_free("suzuki-kasami", SuzukiKasamiProtocol::cluster(n, NodeId(0)));
-    assert_single_lock_alloc_free("raymond", RaymondProtocol::cluster(&tree, NodeId(0)));
-    // Phase 3: the multiplexed lock-space hot path, batching on.
-    assert_lockspace_alloc_free();
+    // Phases 1–2 run under both scheduler backends: the default config
+    // auto-selects the wheel, so the heap needs an explicit request to
+    // stay covered (and vice versa if Auto's heuristic ever changes).
+    for scheduler in [Scheduler::Heap, Scheduler::Wheel] {
+        let tag = |label: &str| format!("{label} ({scheduler:?})");
+        // Phase 1: the DAG algorithm (PR 1's tentpole property).
+        assert_single_lock_alloc_free(
+            &tag("dag"),
+            scheduler,
+            DagProtocol::cluster(&tree, NodeId(0)),
+        );
+        // Phase 2: the ported buffered-handler baselines.
+        assert_single_lock_alloc_free(
+            &tag("suzuki-kasami"),
+            scheduler,
+            SuzukiKasamiProtocol::cluster(n, NodeId(0)),
+        );
+        assert_single_lock_alloc_free(
+            &tag("raymond"),
+            scheduler,
+            RaymondProtocol::cluster(&tree, NodeId(0)),
+        );
+        assert_single_lock_alloc_free(
+            &tag("ricart-agrawala"),
+            scheduler,
+            RicartAgrawalaProtocol::cluster(n),
+        );
+        // Phase 3: the multiplexed lock-space hot path, batching on.
+        assert_lockspace_alloc_free(scheduler);
+    }
 }

@@ -1,20 +1,28 @@
-//! Determinism guardrails for the zero-allocation engine refactor.
+//! Determinism guardrails for the zero-allocation engine refactor and
+//! the pluggable scheduling core.
 //!
-//! Two layers: (1) the same seed must produce bit-identical metrics and
-//! traces run-to-run (the property every experiment's reproducibility
-//! rests on), and (2) a golden snapshot pins the concrete numbers one
-//! fixed scenario produces, so a refactor that silently changes event
-//! ordering, FIFO clocking, RNG consumption, or metric accounting fails
-//! loudly rather than shifting every table by a little.
+//! Three layers: (1) the same seed must produce bit-identical metrics
+//! and traces run-to-run (the property every experiment's
+//! reproducibility rests on), (2) a golden snapshot pins the concrete
+//! numbers one fixed scenario produces, so a refactor that silently
+//! changes event ordering, FIFO clocking, RNG consumption, or metric
+//! accounting fails loudly rather than shifting every table by a
+//! little, and (3) both scheduler backends — the binary heap and the
+//! timing wheel (`dmx_simnet::sched`) — must reproduce the golden
+//! scenario **byte-identically**, because the backend is a performance
+//! knob and never an observable one.
 
 use dagmutex::core::DagProtocol;
-use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, RunReport, Time};
+use dagmutex::simnet::{
+    Engine, EngineConfig, LatencyModel, RunReport, SchedBackend, Scheduler, Time,
+};
 use dagmutex::topology::{NodeId, Tree};
 use dagmutex::workload::Saturated;
 
 /// The pinned scenario: 13-node ternary tree, exponential latencies,
-/// uniform CS durations, saturated closed loop, seed 42.
-fn golden_run() -> (Engine<DagProtocol>, RunReport) {
+/// uniform CS durations, saturated closed loop, seed 42, under the
+/// given scheduler backend.
+fn golden_run_with(scheduler: Scheduler) -> (Engine<DagProtocol>, RunReport) {
     let tree = Tree::kary(13, 3);
     let config = EngineConfig {
         latency: LatencyModel::Exponential { mean: Time(4) },
@@ -23,6 +31,7 @@ fn golden_run() -> (Engine<DagProtocol>, RunReport) {
             hi: Time(5),
         },
         seed: 42,
+        scheduler,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(DagProtocol::cluster(&tree, NodeId(6)), config);
@@ -32,6 +41,10 @@ fn golden_run() -> (Engine<DagProtocol>, RunReport) {
     (engine, report)
 }
 
+fn golden_run() -> (Engine<DagProtocol>, RunReport) {
+    golden_run_with(Scheduler::Auto)
+}
+
 #[test]
 fn identical_seeds_reproduce_metrics_and_trace_exactly() {
     let (engine_a, report_a) = golden_run();
@@ -39,6 +52,47 @@ fn identical_seeds_reproduce_metrics_and_trace_exactly() {
     assert_eq!(report_a.metrics, report_b.metrics);
     assert_eq!(report_a.final_time, report_b.final_time);
     assert_eq!(engine_a.trace(), engine_b.trace());
+}
+
+#[test]
+fn heap_and_wheel_backends_reproduce_the_golden_run_byte_identically() {
+    let (engine_heap, report_heap) = golden_run_with(Scheduler::Heap);
+    let (engine_wheel, report_wheel) = golden_run_with(Scheduler::Wheel);
+    assert_eq!(engine_heap.sched_backend(), SchedBackend::Heap);
+    assert_eq!(engine_wheel.sched_backend(), SchedBackend::Wheel);
+
+    // The full recorded traces must match event for event.
+    assert_eq!(engine_heap.trace(), engine_wheel.trace());
+    assert_eq!(report_heap.final_time, report_wheel.final_time);
+
+    // The golden run's Exponential latencies cross block boundaries
+    // often enough that the wheel must actually rotate — otherwise this
+    // test would not exercise the wheel's promotion paths.
+    let mut wheel_metrics = report_wheel.metrics.clone();
+    assert!(wheel_metrics.sched_bucket_rotations > 0);
+
+    // All metrics must match except the scheduler's own internals
+    // counters (the wheel rotates buckets; the heap by definition never
+    // does). Normalize those two fields, then compare the rest wholesale.
+    assert_eq!(report_heap.metrics.sched_bucket_rotations, 0);
+    assert_eq!(report_heap.metrics.sched_overflow_promotions, 0);
+    wheel_metrics.sched_bucket_rotations = 0;
+    wheel_metrics.sched_overflow_promotions = 0;
+    assert_eq!(report_heap.metrics, wheel_metrics);
+}
+
+#[test]
+fn auto_selects_the_documented_backend_for_the_golden_scenario() {
+    // Exponential latency is heavy-tailed, so Auto resolves to the
+    // heap for the golden scenario — while the workspace default
+    // (one-tick-per-hop Fixed) resolves to the wheel.
+    let (engine, _) = golden_run_with(Scheduler::Auto);
+    assert_eq!(engine.sched_backend(), SchedBackend::Heap);
+    let default_engine = Engine::new(
+        DagProtocol::cluster(&Tree::star(3), NodeId(0)),
+        EngineConfig::default(),
+    );
+    assert_eq!(default_engine.sched_backend(), SchedBackend::Wheel);
 }
 
 #[test]
