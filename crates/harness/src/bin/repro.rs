@@ -24,6 +24,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "ext_lock",
         "extension: lock-space scaling (keys × skew × n)",
     ),
+    (
+        "ext_window",
+        "extension: coalescing-window sweep (window × keys × n)",
+    ),
 ];
 
 /// Run explicitly (`repro -- bench`); excluded from the default sweep
@@ -87,6 +91,10 @@ fn run_one(id: &str) -> bool {
         "ext_lock" => println!(
             "{}",
             experiments::lock_scaling::run(&[15, 127], &[1, 64, 4096], 12)
+        ),
+        "ext_window" => println!(
+            "{}",
+            experiments::lock_scaling::run_windows(&[15, 127], &[64, 4096], 12)
         ),
         "bench" => run_bench(),
         _ => return false,

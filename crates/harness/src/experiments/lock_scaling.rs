@@ -9,18 +9,42 @@
 //! system can never exhibit. Per-key safety and liveness are verified on
 //! every cell by the keyed oracles.
 //!
+//! The companion `ext_window` sweep ([`run_windows`]) walks the
+//! transport layer's coalescing window (`FlushPolicy::Window`) instead:
+//! window × keys × n under one fixed workload, reporting envelopes and
+//! mean wait side by side — the latency-vs-envelope-count tradeoff the
+//! transport makes measurable.
+//!
 //! The `repro -- bench` subcommand additionally times a fixed subset of
 //! cells (`bench_suite`) and serializes them as the `multi_key` section
 //! of `BENCH_CURRENT.json`.
 
 use std::time::Instant;
 
-use dmx_lockspace::{LockSpace, LockSpaceConfig, LockSpaceMonitor, Placement};
+use dmx_lockspace::{FlushPolicy, LockSpace, LockSpaceConfig, LockSpaceMonitor, Placement};
 use dmx_simnet::{Engine, EngineConfig, LatencyModel, Scheduler, Time};
 use dmx_topology::Tree;
 use dmx_workload::{KeyDist, KeyedThinkTime};
 
 use crate::Table;
+
+/// Coalescing windows the sweep walks (1 tick ≡ `EveryTick`).
+pub const WINDOWS: [u64; 3] = [1, 4, 16];
+
+/// Per-node start stagger the window cells use: spreading the initial
+/// burst over a few ticks is the demand shape coalescing windows exist
+/// for, and every cell of a comparison uses the same stagger so the
+/// windows — not the workload — are what differs.
+pub const WINDOW_STAGGER: u64 = 4;
+
+/// The flush policy for a window of `w` ticks (1 ≡ end-of-tick).
+pub fn flush_for_window(w: u64) -> FlushPolicy {
+    if w <= 1 {
+        FlushPolicy::EveryTick
+    } else {
+        FlushPolicy::Window(w)
+    }
+}
 
 /// Skews the sweep walks, with stable table labels.
 pub const SKEWS: [(&str, KeyDist); 2] = [
@@ -56,13 +80,45 @@ pub fn run_cell_with(
     seed: u64,
     scheduler: Scheduler,
 ) -> (Engine<dmx_lockspace::LockSpaceNode>, LockSpaceMonitor) {
+    run_cell_flush(
+        n,
+        keys,
+        dist,
+        rounds,
+        seed,
+        scheduler,
+        FlushPolicy::EveryTick,
+        1,
+    )
+}
+
+/// [`run_cell_with`] under an explicit transport [`FlushPolicy`] and
+/// per-node start stagger — the window-sweep kernel.
+///
+/// # Panics
+///
+/// Panics if the run violates per-key safety or liveness, or the flush
+/// policy is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_flush(
+    n: usize,
+    keys: u32,
+    dist: KeyDist,
+    rounds: u32,
+    seed: u64,
+    scheduler: Scheduler,
+    flush: FlushPolicy,
+    stagger: u64,
+) -> (Engine<dmx_lockspace::LockSpaceNode>, LockSpaceMonitor) {
     let tree = Tree::kary(n, 2);
-    let workload = KeyedThinkTime::new(keys, dist, LatencyModel::Fixed(Time(0)), rounds, seed);
+    let workload = KeyedThinkTime::new(keys, dist, LatencyModel::Fixed(Time(0)), rounds, seed)
+        .with_stagger(stagger);
     let config = LockSpaceConfig {
         keys,
         placement: Placement::Modulo,
         hold: Time(1),
         batching: true,
+        flush,
         ..LockSpaceConfig::default()
     };
     let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
@@ -137,6 +193,9 @@ pub struct LockScalingMeasurement {
     pub skew: &'static str,
     /// Scheduler backend the cell ran under (`"heap"` / `"wheel"`).
     pub scheduler: &'static str,
+    /// Coalescing window in ticks (1 = end-of-tick flushing, the PR 2
+    /// behavior; wider windows trade latency for envelope count).
+    pub window: u64,
     /// Engine events processed (deliveries + wake-ups).
     pub events: u64,
     /// Keyed critical-section entries completed.
@@ -145,6 +204,9 @@ pub struct LockScalingMeasurement {
     pub keyed_messages: u64,
     /// Envelopes (post-batching deliveries) carried.
     pub envelopes: u64,
+    /// Mean request→grant wait in ticks (the latency side of the
+    /// window tradeoff).
+    pub mean_wait_ticks: f64,
     /// Wall-clock seconds.
     pub elapsed_secs: f64,
 }
@@ -158,6 +220,16 @@ impl LockScalingMeasurement {
     /// Keyed grants per second.
     pub fn grants_per_sec(&self) -> f64 {
         self.grants as f64 / self.elapsed_secs
+    }
+
+    /// Percentage of keyed messages batched away by the transport
+    /// (`0.0` when the cell carried no keyed traffic) — the single
+    /// definition of "batch savings" for tables and JSON.
+    pub fn savings_pct(&self) -> f64 {
+        if self.keyed_messages == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.envelopes as f64 / self.keyed_messages as f64)
     }
 }
 
@@ -190,8 +262,38 @@ pub fn measure_with(
     rounds: u32,
     scheduler: Scheduler,
 ) -> LockScalingMeasurement {
+    measure_window(n, keys, skew, dist, rounds, scheduler, 1, 1)
+}
+
+/// [`measure_with`] under an explicit coalescing window (in ticks; 1 ≡
+/// `EveryTick`) and per-node start stagger — the timed window-sweep
+/// cell.
+///
+/// # Panics
+///
+/// Panics if the run violates per-key safety or liveness.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_window(
+    n: usize,
+    keys: u32,
+    skew: &'static str,
+    dist: KeyDist,
+    rounds: u32,
+    scheduler: Scheduler,
+    window: u64,
+    stagger: u64,
+) -> LockScalingMeasurement {
     let start = Instant::now();
-    let (engine, monitor) = run_cell_with(n, keys, dist, rounds, 42, scheduler);
+    let (engine, monitor) = run_cell_flush(
+        n,
+        keys,
+        dist,
+        rounds,
+        42,
+        scheduler,
+        flush_for_window(window),
+        stagger,
+    );
     let elapsed_secs = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
     let m = engine.metrics();
     let events = m.requests + m.messages_total + m.cs_entries + m.wakes;
@@ -201,12 +303,63 @@ pub fn measure_with(
         n,
         skew,
         scheduler: engine.sched_backend().name(),
+        window,
         events,
         grants: rollup.grants,
         keyed_messages: rollup.messages,
         envelopes: m.messages_total,
+        mean_wait_ticks: rollup.mean_wait_ticks,
         elapsed_secs,
     }
+}
+
+/// The window sweep: `window ∈ {1, 4, 16} × keys ∈ key_counts × n ∈
+/// sizes`, all cells under the same staggered uniform workload so the
+/// coalescing window is the only thing that varies. Reports the
+/// latency-vs-envelope-count tradeoff the transport layer makes
+/// measurable: wider windows cut envelopes (and pay for it in mean
+/// wait).
+pub fn run_windows(sizes: &[usize], key_counts: &[u32], rounds: u32) -> Table {
+    let mut table = Table::new(
+        "ext_window — coalescing-window sweep (window × keys × n, per-key safety checked)",
+        &[
+            "n",
+            "keys",
+            "window",
+            "grants",
+            "keyed msgs",
+            "envelopes",
+            "batch savings",
+            "mean wait",
+        ],
+    );
+    for &n in sizes {
+        for &keys in key_counts {
+            for window in WINDOWS {
+                let m = measure_window(
+                    n,
+                    keys,
+                    "uniform",
+                    KeyDist::Uniform,
+                    rounds,
+                    Scheduler::Auto,
+                    window,
+                    WINDOW_STAGGER,
+                );
+                table.row(&[
+                    n.to_string(),
+                    keys.to_string(),
+                    window.to_string(),
+                    m.grants.to_string(),
+                    m.keyed_messages.to_string(),
+                    m.envelopes.to_string(),
+                    format!("{:.0}%", m.savings_pct()),
+                    format!("{:.1}", m.mean_wait_ticks),
+                ]);
+            }
+        }
+    }
+    table
 }
 
 /// The `multi_key` bench cells: the keys ∈ {1, 64, 4096} ladder at
@@ -237,6 +390,45 @@ pub fn bench_suite() -> Vec<LockScalingMeasurement> {
             }
         }
     }
+    // The window sweep: coalescing window is the only thing that varies
+    // within one keys ladder rung (same staggered workload, Auto
+    // scheduler), so the envelope savings of Window(k) vs EveryTick are
+    // read straight off adjacent rows.
+    for (keys, rounds) in [(64u32, 1_000u32), (4_096, 200)] {
+        for window in WINDOWS {
+            let _warmup = measure_window(
+                127,
+                keys,
+                "uniform",
+                KeyDist::Uniform,
+                (rounds / 20).max(1),
+                Scheduler::Auto,
+                window,
+                WINDOW_STAGGER,
+            );
+            let m = measure_window(
+                127,
+                keys,
+                "uniform",
+                KeyDist::Uniform,
+                rounds,
+                Scheduler::Auto,
+                window,
+                WINDOW_STAGGER,
+            );
+            eprintln!(
+                "lock_scaling: keys={:<5} n=127 window={:<3} {:>6} {:>12.0} events/s \
+                 {:>7.0}% batched away, mean wait {:.1}",
+                m.keys,
+                m.window,
+                m.scheduler,
+                m.events_per_sec(),
+                m.savings_pct(),
+                m.mean_wait_ticks
+            );
+            results.push(m);
+        }
+    }
     results
 }
 
@@ -248,18 +440,21 @@ pub fn results_json(results: &[LockScalingMeasurement]) -> String {
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"keys\": {}, \"n\": {}, \"skew\": \"{}\", \
-             \"scheduler\": \"{}\", \"events\": {}, \
+             \"scheduler\": \"{}\", \"window\": {}, \"events\": {}, \
              \"grants\": {}, \"keyed_messages\": {}, \"envelopes\": {}, \
+             \"mean_wait_ticks\": {:.2}, \
              \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}, \
              \"grants_per_sec\": {:.0}}}{}\n",
             m.keys,
             m.n,
             m.skew,
             m.scheduler,
+            m.window,
             m.events,
             m.grants,
             m.keyed_messages,
             m.envelopes,
+            m.mean_wait_ticks,
             m.elapsed_secs,
             m.events_per_sec(),
             m.grants_per_sec(),
@@ -304,8 +499,47 @@ mod tests {
         let m = measure(15, 4, "uniform", KeyDist::Uniform, 2);
         let json = results_json(&[m.clone(), m]);
         assert_eq!(json.matches("\"keys\"").count(), 2);
+        assert_eq!(json.matches("\"window\": 1").count(), 2);
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn wider_windows_cut_envelopes_for_the_same_demand() {
+        // The acceptance property of the coalescing transport, at test
+        // scale: Window(k) serves identical demand with fewer envelopes
+        // than EveryTick, paying (at most) a bounded wait increase.
+        let cell = |window| {
+            measure_window(
+                15,
+                64,
+                "uniform",
+                KeyDist::Uniform,
+                30,
+                Scheduler::Auto,
+                window,
+                WINDOW_STAGGER,
+            )
+        };
+        let tick = cell(1);
+        let wide = cell(16);
+        assert_eq!(tick.grants, wide.grants, "same demand served");
+        assert!(
+            wide.envelopes < tick.envelopes,
+            "window 16 {} !< every-tick {}",
+            wide.envelopes,
+            tick.envelopes
+        );
+        assert!(wide.mean_wait_ticks >= tick.mean_wait_ticks);
+    }
+
+    #[test]
+    fn window_sweep_covers_the_grid() {
+        let table = run_windows(&[15], &[16], 4);
+        assert_eq!(table.len(), 3, "3 windows × 1 key count × 1 size");
+        // Envelope counts are monotonically non-increasing in the window.
+        let envelopes: Vec<u64> = (0..3).map(|r| table.cell(r, 5).parse().unwrap()).collect();
+        assert!(envelopes[2] <= envelopes[1] && envelopes[1] <= envelopes[0]);
     }
 }

@@ -9,13 +9,26 @@
 //! packet budget — is charged once per destination rather than once per
 //! key.
 //!
-//! Wire accounting: a batched envelope pays its inner messages' keyed
-//! wire sizes plus a 4-byte count header; a single keyed message pays no
-//! header at all. Batch payload `Vec`s are recycled through the lock
-//! space's shared pool, so steady-state batching allocates nothing.
+//! Wire accounting: a batched envelope pays [`BATCH_HEADER_BYTES`] for
+//! its count header plus each inner message's keyed wire size — and a
+//! keyed wire size already includes that message's own 4-byte `LockId`
+//! tag (see `KeyedDagMessage::wire_size` in `dmx-core`), so the tag is
+//! charged **exactly once per inner message**, never again at the
+//! envelope layer. A single keyed message pays no header at all.
+//! Equivalently: batching `k` messages for one destination costs
+//! exactly `BATCH_HEADER_BYTES` more than the sum of `k` bare
+//! [`Envelope::One`]s — the envelope *count* is what batching saves,
+//! not (much) payload. Batch payload `Vec`s are recycled through the
+//! lock space's shared pool, so steady-state batching allocates
+//! nothing.
 
 use dmx_core::KeyedDagMessage;
 use dmx_simnet::MessageMeta;
+
+/// Bytes an [`Envelope::Batch`] pays for its count header — the only
+/// wire overhead the envelope layer itself adds. Per-message key tags
+/// are part of each inner message's own wire size.
+pub const BATCH_HEADER_BYTES: usize = 4;
 
 /// One network delivery of a lock space.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,8 +68,12 @@ impl MessageMeta for Envelope {
     fn wire_size(&self) -> usize {
         match self {
             Envelope::One(m) => m.wire_size(),
-            // A count header plus each keyed message's tagged payload.
-            Envelope::Batch(v) => 4 + v.iter().map(MessageMeta::wire_size).sum::<usize>(),
+            // The count header plus each keyed message's tagged payload
+            // (the per-message key tag lives in the keyed wire size, so
+            // it is charged exactly once per inner message).
+            Envelope::Batch(v) => {
+                BATCH_HEADER_BYTES + v.iter().map(MessageMeta::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -101,5 +118,36 @@ mod tests {
         assert_eq!(batch.wire_size(), 4 + 12 + 4 + 12);
         assert_eq!(batch.len(), 3);
         assert!(Envelope::Batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn per_message_tag_overhead_is_counted_exactly_once() {
+        // The audit invariant, checked exhaustively over mixed batches:
+        // a batch of k messages costs exactly BATCH_HEADER_BYTES more
+        // than the k bare One envelopes it replaces. If the envelope
+        // layer ever double-charged (or dropped) a key tag, the
+        // difference would drift by 4 per message instead.
+        for k in 1..=8usize {
+            let messages: Vec<KeyedDagMessage> = (0..k)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        request(i as u32)
+                    } else {
+                        privilege(i as u32)
+                    }
+                })
+                .collect();
+            let sum_of_ones: usize = messages.iter().map(|m| Envelope::One(*m).wire_size()).sum();
+            let batch = Envelope::Batch(messages);
+            assert_eq!(
+                batch.wire_size(),
+                sum_of_ones + BATCH_HEADER_BYTES,
+                "batch of {k}: tag overhead miscounted"
+            );
+        }
+        // And each One's size is the keyed size itself: one 4-byte tag
+        // plus the inner payload, no envelope overhead.
+        assert_eq!(Envelope::One(request(9)).wire_size(), 4 + 8);
+        assert_eq!(Envelope::One(privilege(9)).wire_size(), 4);
     }
 }

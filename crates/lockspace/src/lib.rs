@@ -17,6 +17,11 @@
 //!   message, or (batching on) *many keys'* messages for the same
 //!   destination, with pooled payload buffers so the steady-state hot
 //!   path stays allocation-free;
+//! * [`Transport`]/[`FlushPolicy`] — the coalescing layer both
+//!   lock-space runtimes (this crate's simulated one and
+//!   `dmx-runtime`'s threaded cluster) share: staged sends, stable
+//!   destination grouping, and Nagle-style flush windows that trade
+//!   latency for envelope count;
 //! * [`LockSpace`]/[`LockSpaceNode`] — the per-node protocol driving
 //!   request arrivals and hold durations off the engine's timer facility
 //!   (the engine's single-lock safety machinery cannot describe K
@@ -64,9 +69,11 @@
 mod envelope;
 mod space;
 mod table;
+pub mod transport;
 
-pub use envelope::Envelope;
+pub use envelope::{Envelope, BATCH_HEADER_BYTES};
 pub use space::{
     LockSpace, LockSpaceConfig, LockSpaceMonitor, LockSpaceNode, OrientationCache, Placement,
 };
 pub use table::LockTable;
+pub use transport::{BatchPool, FlushPolicy, Transport};

@@ -21,18 +21,25 @@
 //!
 //! ## Batching
 //!
-//! Sends are staged rather than transmitted immediately. With batching
-//! on, a node keeps staging across *all* of its dispatches within one
-//! simulated tick and flushes once at the end of the tick (a same-tick
-//! wake-up, which the engine orders after every same-tick delivery):
-//! each destination then receives one pooled [`Envelope::Batch`] (or a
-//! bare [`Envelope::One`]) per tick, no matter how many keys' messages
-//! piled up — this is how a busy node's fan-out, e.g. a hub forwarding
-//! many keys' requests, collapses onto the per-destination links.
-//! Flushing at the same tick the messages were produced adds no latency;
-//! with batching off every message is transmitted in its own envelope
-//! the moment its dispatch ends, which makes per-key traffic match an
-//! equivalent single-lock run message for message.
+//! Sends are staged rather than transmitted immediately, through the
+//! node's [`Transport`] (see the [`transport`](crate::transport) module
+//! — the same coalescing code the threaded `LockSpaceCluster` runs).
+//! With batching on, a node keeps staging across *all* of its
+//! dispatches until its [`FlushPolicy`]'s window closes, then flushes
+//! once (a wake-up, which the engine orders after every same-tick
+//! delivery): each destination then receives one pooled
+//! [`Envelope::Batch`] (or a bare [`Envelope::One`]) per window, no
+//! matter how many keys' messages piled up — this is how a busy node's
+//! fan-out, e.g. a hub forwarding many keys' requests, collapses onto
+//! the per-destination links.
+//!
+//! [`FlushPolicy::EveryTick`] flushes at the same tick the messages
+//! were produced, adding no latency; [`FlushPolicy::Window`]`(k)`
+//! holds traffic Nagle-style for up to `k` ticks, trading latency for
+//! fewer, fatter envelopes. With batching off every message is
+//! transmitted in its own envelope the moment its dispatch ends, which
+//! makes per-key traffic match an equivalent single-lock run message
+//! for message.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -46,6 +53,7 @@ use dmx_workload::{KeyStream, KeyedWorkload};
 
 use crate::envelope::Envelope;
 use crate::table::LockTable;
+use crate::transport::{BatchPool, FlushPolicy, Transport};
 
 /// Where each key's token starts (its *hub*): the sink of the key's
 /// initial orientation.
@@ -136,11 +144,15 @@ pub struct LockSpaceConfig {
     pub placement: Placement,
     /// How long a node holds a granted key before releasing it.
     pub hold: Time,
-    /// Group same-destination sends of one dispatch into
-    /// [`Envelope::Batch`] deliveries. Off, every keyed message is its
-    /// own delivery — per-key message counts then match an equivalent
-    /// single-lock run exactly.
+    /// Group same-destination sends into [`Envelope::Batch`]
+    /// deliveries. Off, every keyed message is its own delivery —
+    /// per-key message counts then match an equivalent single-lock run
+    /// exactly, and `flush` is ignored.
     pub batching: bool,
+    /// How long the transport coalesces before flushing (see
+    /// [`FlushPolicy`]); only meaningful with `batching` on. Validated
+    /// once at [`LockSpace::cluster`].
+    pub flush: FlushPolicy,
     /// Shard count of each node's [`LockTable`].
     pub shards: usize,
 }
@@ -152,6 +164,7 @@ impl Default for LockSpaceConfig {
             placement: Placement::Modulo,
             hold: Time(1),
             batching: true,
+            flush: FlushPolicy::EveryTick,
             shards: 16,
         }
     }
@@ -166,7 +179,7 @@ struct Shared {
     liveness: KeyedLivenessChecker,
     keyed: KeyedMetrics,
     /// Recycled batch payloads; see [`Envelope::Batch`].
-    pool: Vec<Vec<KeyedDagMessage>>,
+    pool: BatchPool,
     /// Per-hub orientations, computed on first use.
     orientations: OrientationCache,
     /// First correctness violation observed, if any. Protocol callbacks
@@ -217,25 +230,10 @@ pub struct LockSpaceNode {
     phase: Phase,
     /// Buffer the per-key [`DagNode`] handlers push [`Action`]s into.
     scratch: Vec<Action>,
-    /// Sends staged since the last flush, pre-batching.
-    staging: Vec<(NodeId, KeyedDagMessage)>,
-    /// The tick an end-of-tick flush wake is already booked for, if any.
-    flush_at: Option<Time>,
-    /// Flush scratch: group index per destination (`u32::MAX` = none
-    /// yet), reset after every flush.
-    dst_group: Vec<u32>,
-    /// Flush scratch: one entry per destination of the current flush.
-    groups: Vec<Group>,
-    /// Flush scratch: staging re-ordered into per-destination slices.
-    sorted: Vec<KeyedDagMessage>,
-}
-
-/// One destination's slice of a flush (see [`LockSpaceNode::flush_now`]).
-#[derive(Debug, Clone, Copy)]
-struct Group {
-    dst: NodeId,
-    count: usize,
-    cursor: usize,
+    /// The coalescing transport: staged sends, destination grouping,
+    /// and the flush-window bookkeeping (shared implementation with the
+    /// threaded `LockSpaceCluster`).
+    transport: Transport,
 }
 
 impl LockSpaceNode {
@@ -388,13 +386,13 @@ impl LockSpaceNode {
         let mut scratch = std::mem::take(&mut self.scratch);
         for action in scratch.drain(..) {
             match action {
-                Action::Send { to, message } => self.staging.push((
+                Action::Send { to, message } => self.transport.stage(
                     to,
                     KeyedDagMessage {
                         lock: key,
                         msg: message,
                     },
-                )),
+                ),
                 Action::Enter => self.granted(key, ctx),
             }
         }
@@ -404,84 +402,24 @@ impl LockSpaceNode {
 
     /// Ends a dispatch: with batching off, transmit everything staged
     /// right away (one envelope per message); with batching on, make
-    /// sure an end-of-tick flush wake is booked for the staged traffic.
+    /// sure a flush wake is booked per the transport's [`FlushPolicy`].
     fn end_dispatch(&mut self, ctx: &mut Ctx<'_, Envelope>) {
-        if self.staging.is_empty() {
-            return;
-        }
         if !self.config.batching {
-            for (to, keyed) in self.staging.drain(..) {
-                ctx.send(to, Envelope::One(keyed));
-            }
+            self.transport
+                .drain_unbatched(|to, keyed| ctx.send(to, Envelope::One(keyed)));
             return;
         }
-        let now = ctx.now();
-        if self.flush_at != Some(now) {
-            self.flush_at = Some(now);
-            ctx.wake_at(now);
+        if let Some(at) = self.transport.after_dispatch(ctx.now()) {
+            ctx.wake_at(at);
         }
     }
 
-    /// Transmits everything staged, grouped by destination
-    /// (first-appearance order, per-destination message order preserved):
-    /// one [`Envelope::Batch`] per destination with several messages, a
-    /// bare [`Envelope::One`] otherwise.
-    ///
-    /// Grouping is a stable counting sort — O(messages + destinations)
-    /// per flush, over buffers that persist across dispatches so the hot
-    /// path stays allocation-free in steady state.
+    /// Transmits everything staged through the transport: one pooled
+    /// [`Envelope::Batch`] (or bare [`Envelope::One`]) per destination.
     fn flush_now(&mut self, ctx: &mut Ctx<'_, Envelope>) {
-        if self.staging.is_empty() {
-            return;
-        }
-        debug_assert!(self.groups.is_empty(), "group scratch must start clean");
-        // Pass 1: one group per destination, in first-appearance order.
-        for &(dst, _) in &self.staging {
-            let slot = &mut self.dst_group[dst.index()];
-            if *slot == u32::MAX {
-                *slot = self.groups.len() as u32;
-                self.groups.push(Group {
-                    dst,
-                    count: 0,
-                    cursor: 0,
-                });
-            }
-            self.groups[*slot as usize].count += 1;
-        }
-        // Prefix sums: each group's cursor starts at its slice's offset.
-        let mut offset = 0;
-        for g in &mut self.groups {
-            g.cursor = offset;
-            offset += g.count;
-        }
-        // Pass 2: distribute into the per-destination slices, stably.
-        const FILLER: KeyedDagMessage = KeyedDagMessage {
-            lock: LockId(0),
-            msg: DagMessage::Privilege,
-        };
-        self.sorted.clear();
-        self.sorted.resize(self.staging.len(), FILLER);
-        for &(dst, keyed) in &self.staging {
-            let g = &mut self.groups[self.dst_group[dst.index()] as usize];
-            self.sorted[g.cursor] = keyed;
-            g.cursor += 1;
-        }
-        // Pass 3: one envelope per destination.
-        for gi in 0..self.groups.len() {
-            let Group { dst, count, cursor } = self.groups[gi];
-            let slice = &self.sorted[cursor - count..cursor];
-            if count == 1 {
-                ctx.send(dst, Envelope::One(slice[0]));
-            } else {
-                let mut batch = self.shared.borrow_mut().pool.pop().unwrap_or_default();
-                debug_assert!(batch.is_empty(), "pooled batches return drained");
-                batch.extend_from_slice(slice);
-                ctx.send(dst, Envelope::Batch(batch));
-            }
-            self.dst_group[dst.index()] = u32::MAX;
-        }
-        self.groups.clear();
-        self.staging.clear();
+        let mut sh = self.shared.borrow_mut();
+        self.transport
+            .flush(&mut sh.pool, |dst, envelope| ctx.send(dst, envelope));
     }
 }
 
@@ -510,7 +448,7 @@ impl Protocol for LockSpaceNode {
                     self.deliver(from, keyed, ctx);
                 }
                 // The drained payload returns to the pool for reuse.
-                self.shared.borrow_mut().pool.push(batch);
+                self.shared.borrow_mut().pool.put(batch);
             }
         }
         self.end_dispatch(ctx);
@@ -535,10 +473,10 @@ impl Protocol for LockSpaceNode {
                 }
             }
         }
-        if self.flush_at == Some(now) {
-            // This (or an earlier same-tick) wake is the end-of-tick
-            // flush point; everything staged this tick leaves now.
-            self.flush_at = None;
+        if self.transport.flush_due(now) {
+            // This wake is the flush point of the open coalescing
+            // window; everything staged since it opened leaves now
+            // (including anything the release/issue above just staged).
             self.flush_now(ctx);
         } else {
             self.end_dispatch(ctx);
@@ -563,7 +501,8 @@ impl LockSpace {
     ///
     /// # Panics
     ///
-    /// Panics if `config.keys == 0`, `config.shards == 0`, or a
+    /// Panics if `config.keys == 0`, `config.shards == 0`,
+    /// `config.flush` is invalid (see [`FlushPolicy::validate`]), or a
     /// [`Placement::Hub`] names an out-of-range node.
     pub fn cluster(
         tree: &Tree,
@@ -571,6 +510,7 @@ impl LockSpace {
         workload: &dyn KeyedWorkload,
     ) -> (Vec<LockSpaceNode>, LockSpaceMonitor) {
         assert!(config.keys > 0, "lock space needs at least one key");
+        config.flush.validate();
         let n = tree.len();
         if let Placement::Hub(h) = config.placement {
             assert!(h.index() < n, "hub {h} out of range for {n} nodes");
@@ -580,7 +520,7 @@ impl LockSpace {
             safety: KeyedSafetyChecker::with_keys(config.keys as usize),
             liveness: KeyedLivenessChecker::with_nodes(n),
             keyed: KeyedMetrics::with_keys(config.keys as usize),
-            pool: Vec::new(),
+            pool: BatchPool::new(),
             orientations: OrientationCache::new(n),
             violation: None,
         }));
@@ -595,11 +535,7 @@ impl LockSpace {
                 next_arrival: None,
                 phase: Phase::Idle,
                 scratch: Vec::new(),
-                staging: Vec::new(),
-                flush_at: None,
-                dst_group: vec![u32::MAX; n],
-                groups: Vec::new(),
-                sorted: Vec::new(),
+                transport: Transport::new(n, config.flush),
             })
             .collect();
         (nodes, LockSpaceMonitor { shared })
@@ -840,6 +776,111 @@ mod tests {
         assert!(on.messages_total < monitor_on.rollup().messages);
         assert!(on.kind_count("BATCH") > 0, "no batch ever formed");
         assert_eq!(monitor_off.rollup().messages, off.messages_total);
+    }
+
+    #[test]
+    fn window_flush_coalesces_across_ticks() {
+        // A hub granting keys requested on *different* ticks: EveryTick
+        // flushes each tick separately, a 16-tick window merges ticks —
+        // fewer envelopes for the same keyed traffic and the same
+        // demand served.
+        let n = 7;
+        let make = |flush| {
+            let tree = Tree::star(n);
+            let workload = KeyedThinkTime::new(
+                8,
+                KeyDist::Uniform,
+                LatencyModel::Uniform {
+                    lo: Time(1),
+                    hi: Time(6),
+                },
+                40,
+                11,
+            );
+            let config = LockSpaceConfig {
+                keys: 8,
+                placement: Placement::Hub(NodeId(0)),
+                hold: Time(0),
+                flush,
+                ..LockSpaceConfig::default()
+            };
+            run(&tree, config, &workload)
+        };
+        let (engine_tick, monitor_tick) = make(FlushPolicy::EveryTick);
+        let (engine_win, monitor_win) = make(FlushPolicy::Window(16));
+        assert_eq!(monitor_tick.rollup().grants, monitor_win.rollup().grants);
+        assert!(
+            engine_win.metrics().messages_total < engine_tick.metrics().messages_total,
+            "window {} !< every-tick {}",
+            engine_win.metrics().messages_total,
+            engine_tick.metrics().messages_total
+        );
+        // The latency side of the tradeoff: holding traffic for a
+        // window can only lengthen waits.
+        assert!(monitor_win.rollup().mean_wait_ticks >= monitor_tick.rollup().mean_wait_ticks);
+    }
+
+    #[test]
+    fn adaptive_flush_stays_between_tick_and_max_window() {
+        let n = 7;
+        let make = |flush| {
+            let tree = Tree::star(n);
+            let workload = KeyedThinkTime::new(
+                8,
+                KeyDist::Uniform,
+                LatencyModel::Uniform {
+                    lo: Time(1),
+                    hi: Time(6),
+                },
+                40,
+                11,
+            );
+            let config = LockSpaceConfig {
+                keys: 8,
+                placement: Placement::Hub(NodeId(0)),
+                hold: Time(0),
+                flush,
+                ..LockSpaceConfig::default()
+            };
+            run(&tree, config, &workload)
+        };
+        let (engine_tick, monitor_tick) = make(FlushPolicy::EveryTick);
+        let (engine_adaptive, monitor_adaptive) = make(FlushPolicy::Adaptive {
+            target_per_dst: 3.0,
+            max_window: 16,
+        });
+        assert_eq!(
+            monitor_tick.rollup().grants,
+            monitor_adaptive.rollup().grants
+        );
+        assert!(engine_adaptive.metrics().messages_total <= engine_tick.metrics().messages_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "Window needs >= 1 tick")]
+    fn zero_tick_window_is_rejected_at_cluster_construction() {
+        let tree = Tree::star(3);
+        let sched = KeyedSchedule::new(3);
+        let config = LockSpaceConfig {
+            flush: FlushPolicy::Window(0),
+            ..LockSpaceConfig::default()
+        };
+        let _ = LockSpace::cluster(&tree, config, &sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_per_dst must be finite")]
+    fn nan_adaptive_target_is_rejected_at_cluster_construction() {
+        let tree = Tree::star(3);
+        let sched = KeyedSchedule::new(3);
+        let config = LockSpaceConfig {
+            flush: FlushPolicy::Adaptive {
+                target_per_dst: f64::INFINITY,
+                max_window: 4,
+            },
+            ..LockSpaceConfig::default()
+        };
+        let _ = LockSpace::cluster(&tree, config, &sched);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod tcp;
 
 pub use cluster::{Cluster, Guard, LockError, MutexHandle};
 pub use lockspace::{
-    KeyGuard, LockSpaceCluster, LockSpaceHandle, LockSpaceNodeStats, LockSpaceStats,
+    KeyGuard, LockSpaceCluster, LockSpaceClusterConfig, LockSpaceHandle, LockSpaceNodeStats,
+    LockSpaceStats,
 };
 pub use stats::{ClusterStats, NodeStats};

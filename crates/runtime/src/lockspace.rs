@@ -1,12 +1,27 @@
 //! The multi-lock service over real threads: a [`LockSpaceCluster`]
 //! serves the same keyed-lock API the simulated `dmx-lockspace`
-//! subsystem exposes, one OS thread per node.
+//! subsystem exposes — now with per-shard worker parallelism and the
+//! same coalescing transport the simulator runs.
 //!
-//! Each node thread owns a lazily-materialized [`LockTable`] of per-key
-//! [`DagNode`]s — the same sharded table, the same lazy-orientation
-//! soundness argument — and exchanges [`KeyedDagMessage`]s over
-//! crossbeam channels (per-sender FIFO, the paper's only network
-//! assumption). Locking key `k` from node `i` runs exactly the per-key
+//! Each node is a small thread group:
+//!
+//! * **per-shard workers** (one or more, [`LockSpaceClusterConfig::workers`])
+//!   each own the lazily-materialized [`LockTable`] slice for the keys
+//!   hashed to them — the same sharded table, the same lazy-orientation
+//!   soundness argument — and drive the pure per-key [`DagNode`]
+//!   handlers, pushing sends into a per-worker outbox;
+//! * a **router** thread that unwraps incoming [`Envelope`]s, fans the
+//!   keyed messages out to the owning workers, merges the workers'
+//!   outboxes into one shared [`Transport`] (`dmx-lockspace`'s
+//!   coalescing layer — the identical grouping code the simulated
+//!   `LockSpace` flushes through), and flushes one envelope per
+//!   destination when the [`FlushPolicy`]'s cap is hit or the inbox
+//!   goes idle.
+//!
+//! The wire therefore carries [`Envelope::One`]/[`Envelope::Batch`]
+//! exactly like the simulator's network: a node forwarding many keys'
+//! traffic to the same peer pays one channel send, not one per key.
+//! Locking key `k` from node `i` still runs exactly the per-key
 //! algorithm the simulator measures: `REQUEST`s hop toward `k`'s sink,
 //! the `PRIVILEGE` parks where demand is.
 //!
@@ -31,17 +46,91 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use dmx_core::{Action, DagMessage, DagNode, KeyedDagMessage, LockId};
-use dmx_lockspace::{LockTable, OrientationCache, Placement};
+use dmx_lockspace::{
+    BatchPool, Envelope, FlushPolicy, LockTable, OrientationCache, Placement, Transport,
+};
 use dmx_topology::{NodeId, Tree};
 
 use crate::cluster::LockError;
 
-/// Inputs a lock-space node thread processes.
+/// Threaded lock-space parameters.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_lockspace::FlushPolicy;
+/// use dmx_runtime::LockSpaceClusterConfig;
+///
+/// let config = LockSpaceClusterConfig {
+///     keys: 64,
+///     workers: 4,
+///     flush: FlushPolicy::Window(4),
+///     ..LockSpaceClusterConfig::default()
+/// };
+/// assert_eq!(config.workers, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockSpaceClusterConfig {
+    /// Number of independent locks (the key space is `0..keys`).
+    pub keys: u32,
+    /// Initial token placement per key.
+    pub placement: Placement,
+    /// Worker threads per node; key `k` is served by worker
+    /// `k % workers`, so each worker owns a shard of the node's lock
+    /// table.
+    pub workers: usize,
+    /// How the per-node transport coalesces outgoing traffic. The
+    /// threaded runtime has no ticks, so the policy maps to merged
+    /// worker-outbox *bursts*: [`FlushPolicy::EveryTick`] flushes after
+    /// every burst, [`FlushPolicy::Window`]`(k)` merges up to `k`
+    /// bursts, and [`FlushPolicy::Adaptive`] flushes on its
+    /// staged-per-destination target — and every policy flushes the
+    /// moment the node's inbox goes idle, so coalescing never stalls a
+    /// waiting lock.
+    pub flush: FlushPolicy,
+}
+
+impl Default for LockSpaceClusterConfig {
+    fn default() -> Self {
+        LockSpaceClusterConfig {
+            keys: 1,
+            placement: Placement::Modulo,
+            workers: 1,
+            flush: FlushPolicy::EveryTick,
+        }
+    }
+}
+
+/// Inputs a lock-space node processes.
 enum Input {
     /// Local user wants `key`'s critical section; reply when granted.
     Acquire(LockId, Sender<()>),
+    /// Local user releases `key`.
+    Release(LockId),
+    /// An envelope of keyed protocol messages from a peer.
+    Net {
+        /// Wire sender.
+        from: NodeId,
+        /// Payload: one or many keyed messages.
+        envelope: Envelope,
+    },
+    /// Stop and report stats.
+    Shutdown,
+}
+
+/// Everything a node's router thread receives: external inputs plus its
+/// own workers' outboxes coming back for the merge.
+enum NodeMsg {
+    External(Input),
+    Worker(WorkerOut),
+}
+
+/// One job dispatched from a router to the worker owning the key.
+enum WorkerJob {
+    /// Local user wants `key`.
+    Acquire(LockId),
     /// Local user releases `key`.
     Release(LockId),
     /// A keyed protocol message from a peer.
@@ -55,6 +144,22 @@ enum Input {
     Shutdown,
 }
 
+/// One worker dispatch's results: the outbox the router merges into the
+/// node transport, plus a grant signal when the dispatch entered a
+/// critical section.
+struct WorkerOut {
+    sends: Vec<(NodeId, KeyedDagMessage)>,
+    entered: Option<LockId>,
+}
+
+/// Counters one worker accumulates over its lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStats {
+    requests_sent: u64,
+    privileges_sent: u64,
+    keys_materialized: usize,
+}
+
 /// Counters one lock-space node accumulates over its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockSpaceNodeStats {
@@ -62,9 +167,13 @@ pub struct LockSpaceNodeStats {
     pub requests_sent: u64,
     /// Keyed `PRIVILEGE` messages sent by this node.
     pub privileges_sent: u64,
+    /// Envelopes transmitted by this node (post-coalescing channel
+    /// sends; at most `requests_sent + privileges_sent`).
+    pub envelopes_sent: u64,
     /// Critical-section entries performed by this node's local user.
     pub entries: u64,
-    /// Lock instances this node materialized (keys it saw traffic for).
+    /// Lock instances this node materialized (keys it saw traffic for),
+    /// summed over its workers.
     pub keys_materialized: usize,
 }
 
@@ -73,8 +182,10 @@ pub struct LockSpaceNodeStats {
 pub struct LockSpaceStats {
     /// Per-node counters, indexed by node.
     pub per_node: Vec<LockSpaceNodeStats>,
-    /// Total keyed protocol messages exchanged.
+    /// Total keyed protocol messages exchanged (pre-coalescing).
     pub messages_total: u64,
+    /// Total envelopes transmitted (post-coalescing channel sends).
+    pub envelopes_total: u64,
     /// Total critical-section entries, across all keys.
     pub entries: u64,
 }
@@ -85,10 +196,12 @@ impl LockSpaceStats {
             .iter()
             .map(|s| s.requests_sent + s.privileges_sent)
             .sum();
+        let envelopes_total = per_node.iter().map(|s| s.envelopes_sent).sum();
         let entries = per_node.iter().map(|s| s.entries).sum();
         LockSpaceStats {
             per_node,
             messages_total,
+            envelopes_total,
             entries,
         }
     }
@@ -103,13 +216,16 @@ impl LockSpaceStats {
     }
 }
 
-/// A running multi-lock cluster: one thread per tree node, each hosting
-/// per-key DAG instances. Obtain per-node [`LockSpaceHandle`]s from
-/// [`LockSpaceCluster::start`] and call
-/// [`shutdown`](LockSpaceCluster::shutdown) when done.
+/// A running multi-lock cluster: a router plus per-shard workers per
+/// tree node, each worker hosting its shard's per-key DAG instances.
+/// Obtain per-node [`LockSpaceHandle`]s from
+/// [`LockSpaceCluster::start`] (or
+/// [`start_with`](LockSpaceCluster::start_with) for worker/flush
+/// control) and call [`shutdown`](LockSpaceCluster::shutdown) when
+/// done.
 #[derive(Debug)]
 pub struct LockSpaceCluster {
-    txs: Vec<Sender<Input>>,
+    txs: Vec<Sender<NodeMsg>>,
     joins: Vec<JoinHandle<LockSpaceNodeStats>>,
 }
 
@@ -122,7 +238,7 @@ pub struct LockSpaceCluster {
 #[derive(Debug)]
 pub struct LockSpaceHandle {
     node: NodeId,
-    tx: Sender<Input>,
+    tx: Sender<NodeMsg>,
 }
 
 /// Possession of one key's critical section; releases on drop (or
@@ -134,9 +250,10 @@ pub struct KeyGuard<'a> {
 }
 
 impl LockSpaceCluster {
-    /// Spawns one thread per node of `tree` serving `keys` locks placed
-    /// per `placement`, and returns the cluster plus one
-    /// [`LockSpaceHandle`] per node (index = node id).
+    /// Spawns one node group per node of `tree` serving `keys` locks
+    /// placed per `placement` (one worker per node, every-burst
+    /// flushing), and returns the cluster plus one [`LockSpaceHandle`]
+    /// per node (index = node id).
     ///
     /// # Panics
     ///
@@ -147,32 +264,65 @@ impl LockSpaceCluster {
         keys: u32,
         placement: Placement,
     ) -> (LockSpaceCluster, Vec<LockSpaceHandle>) {
-        assert!(keys > 0, "lock space needs at least one key");
+        LockSpaceCluster::start_with(
+            tree,
+            LockSpaceClusterConfig {
+                keys,
+                placement,
+                ..LockSpaceClusterConfig::default()
+            },
+        )
+    }
+
+    /// [`LockSpaceCluster::start`] with explicit worker parallelism and
+    /// flush policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.keys == 0`, `config.workers == 0`,
+    /// `config.flush` is invalid (see [`FlushPolicy::validate`]), or a
+    /// [`Placement::Hub`] names an out-of-range node.
+    pub fn start_with(
+        tree: &Tree,
+        config: LockSpaceClusterConfig,
+    ) -> (LockSpaceCluster, Vec<LockSpaceHandle>) {
+        assert!(config.keys > 0, "lock space needs at least one key");
+        assert!(config.workers > 0, "lock space needs at least one worker");
+        config.flush.validate();
         let n = tree.len();
-        if let Placement::Hub(h) = placement {
+        if let Placement::Hub(h) = config.placement {
             assert!(h.index() < n, "hub {h} out of range for {n} nodes");
         }
-        // Each node thread lazily caches the orientations of the hubs it
+        // Each worker lazily caches the orientations of the hubs it
         // actually touches (computing one up front per node would cost
         // O(n²) before the first lock is served); only the tree itself
         // is shared.
         let tree = Arc::new(tree.clone());
 
-        let channels: Vec<(Sender<Input>, Receiver<Input>)> = (0..n).map(|_| unbounded()).collect();
-        let txs: Vec<Sender<Input>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let channels: Vec<(Sender<NodeMsg>, Receiver<NodeMsg>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let txs: Vec<Sender<NodeMsg>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
 
         let mut joins = Vec::with_capacity(n);
-        for (i, (_, rx)) in channels.into_iter().enumerate() {
+        for (i, (self_tx, rx)) in channels.into_iter().enumerate() {
             let me = NodeId::from_index(i);
             let peers = txs.clone();
-            let tree = Arc::clone(&tree);
-            let transmit = move |to: NodeId, from: NodeId, msg: KeyedDagMessage| {
-                // A send can only fail during shutdown, when the
-                // counters no longer matter.
-                let _ = peers[to.index()].send(Input::Net { from, msg });
-            };
+            // Per-shard workers: worker w owns keys with k % workers == w.
+            let mut worker_txs = Vec::with_capacity(config.workers);
+            let mut worker_joins = Vec::with_capacity(config.workers);
+            for _ in 0..config.workers {
+                let (jtx, jrx) = unbounded::<WorkerJob>();
+                let out = self_tx.clone();
+                let tree = Arc::clone(&tree);
+                let placement = config.placement;
+                worker_txs.push(jtx);
+                worker_joins.push(std::thread::spawn(move || {
+                    worker_main(me, n, placement, tree, jrx, out)
+                }));
+            }
+            drop(self_tx);
             joins.push(std::thread::spawn(move || {
-                node_main(me, n, placement, tree, rx, transmit)
+                router_main(me, n, config.flush, rx, peers, worker_txs, worker_joins)
             }));
         }
 
@@ -196,15 +346,15 @@ impl LockSpaceCluster {
         self.txs.is_empty()
     }
 
-    /// Stops every node thread and returns the aggregated counters.
+    /// Stops every node and returns the aggregated counters.
     pub fn shutdown(self) -> LockSpaceStats {
         for tx in &self.txs {
-            let _ = tx.send(Input::Shutdown);
+            let _ = tx.send(NodeMsg::External(Input::Shutdown));
         }
         let per_node: Vec<LockSpaceNodeStats> = self
             .joins
             .into_iter()
-            .map(|j| j.join().expect("lock-space node thread panicked"))
+            .map(|j| j.join().expect("lock-space router thread panicked"))
             .collect();
         LockSpaceStats::from_nodes(per_node)
     }
@@ -226,7 +376,7 @@ impl LockSpaceHandle {
     pub fn lock(&mut self, key: LockId) -> Result<KeyGuard<'_>, LockError> {
         let (ack_tx, ack_rx) = bounded(1);
         self.tx
-            .send(Input::Acquire(key, ack_tx))
+            .send(NodeMsg::External(Input::Acquire(key, ack_tx)))
             .map_err(|_| LockError::ClusterDown)?;
         ack_rx.recv().map_err(|_| LockError::ClusterDown)?;
         Ok(KeyGuard { handle: self, key })
@@ -251,31 +401,32 @@ impl KeyGuard<'_> {
 impl Drop for KeyGuard<'_> {
     fn drop(&mut self) {
         // If the cluster is already gone there is nobody to notify.
-        let _ = self.handle.tx.send(Input::Release(self.key));
+        let _ = self
+            .handle
+            .tx
+            .send(NodeMsg::External(Input::Release(self.key)));
     }
 }
 
-/// The per-node event loop: a keyed fan-out of the single-lock
-/// `node_main`, driving one pure [`DagNode`] per materialized key.
-fn node_main<F>(
+/// One per-shard worker: drives the pure [`DagNode`] handlers for every
+/// key hashed to it, returning each dispatch's outbox to the router for
+/// the transport merge.
+fn worker_main(
     me: NodeId,
     n: usize,
     placement: Placement,
     tree: Arc<Tree>,
-    rx: Receiver<Input>,
-    transmit: F,
-) -> LockSpaceNodeStats
-where
-    F: Fn(NodeId, NodeId, KeyedDagMessage),
-{
-    let mut stats = LockSpaceNodeStats::default();
+    rx: Receiver<WorkerJob>,
+    out: Sender<NodeMsg>,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
     let mut table = LockTable::new(16);
-    let mut pending: Option<(LockId, Sender<()>)> = None;
-    // Reused across the whole loop, like the single-lock runtime.
-    let mut actions: Vec<Action> = Vec::new();
-    // Orientations of the hubs this node has seen traffic for, filled on
-    // first use — untouched hubs cost nothing, like untouched keys.
+    // Orientations of the hubs this worker has seen traffic for, filled
+    // on first use — untouched hubs cost nothing, like untouched keys.
     let mut orientations = OrientationCache::new(n);
+    // Reused across dispatches; the per-dispatch outbox is harvested
+    // from it before being shipped to the router.
+    let mut actions: Vec<Action> = Vec::new();
 
     fn materialize<'t>(
         table: &'t mut LockTable,
@@ -291,15 +442,41 @@ where
         })
     }
 
-    fn send_all<F: Fn(NodeId, NodeId, KeyedDagMessage)>(
-        actions: &[Action],
-        key: LockId,
-        me: NodeId,
-        stats: &mut LockSpaceNodeStats,
-        transmit: &F,
-    ) -> bool {
-        let mut entered = false;
-        for action in actions {
+    while let Ok(job) = rx.recv() {
+        let key = match &job {
+            WorkerJob::Acquire(key) | WorkerJob::Release(key) => *key,
+            WorkerJob::Net { msg, .. } => msg.lock,
+            WorkerJob::Shutdown => break,
+        };
+        actions.clear();
+        match job {
+            WorkerJob::Acquire(key) => {
+                materialize(&mut table, key, me, placement, &tree, &mut orientations)
+                    .request_into(&mut actions);
+            }
+            WorkerJob::Release(key) => {
+                table
+                    .get_mut(key)
+                    .expect("released key is materialized")
+                    .exit_into(&mut actions);
+            }
+            WorkerJob::Net { from, msg } => match msg.msg {
+                DagMessage::Request { from: link, origin } => {
+                    debug_assert_eq!(link, from);
+                    materialize(&mut table, key, me, placement, &tree, &mut orientations)
+                        .receive_request_into(from, origin, &mut actions);
+                }
+                DagMessage::Privilege => table
+                    .get_mut(key)
+                    .expect("PRIVILEGE only travels to a requester")
+                    .receive_privilege_into(&mut actions),
+                DagMessage::Initialize => {} // pre-oriented start-up
+            },
+            WorkerJob::Shutdown => unreachable!("handled above"),
+        }
+        let mut sends = Vec::with_capacity(actions.len());
+        let mut entered = None;
+        for action in &actions {
             match *action {
                 Action::Send { to, message } => {
                     match message {
@@ -307,90 +484,157 @@ where
                         DagMessage::Privilege => stats.privileges_sent += 1,
                         DagMessage::Initialize => {}
                     }
-                    transmit(
+                    sends.push((
                         to,
-                        me,
                         KeyedDagMessage {
                             lock: key,
                             msg: message,
                         },
-                    );
+                    ));
                 }
-                Action::Enter => entered = true,
+                Action::Enter => entered = Some(key),
             }
         }
-        entered
-    }
-
-    while let Ok(input) = rx.recv() {
-        match input {
-            Input::Acquire(key, ack) => {
-                assert!(
-                    pending.is_none(),
-                    "node {me} given a second outstanding acquisition"
-                );
-                pending = Some((key, ack));
-                actions.clear();
-                materialize(&mut table, key, me, placement, &tree, &mut orientations)
-                    .request_into(&mut actions);
-                if send_all(&actions, key, me, &mut stats, &transmit) {
-                    grant(&mut pending, key, me, &mut stats);
-                }
-            }
-            Input::Release(key) => {
-                actions.clear();
-                table
-                    .get_mut(key)
-                    .expect("released key is materialized")
-                    .exit_into(&mut actions);
-                let entered = send_all(&actions, key, me, &mut stats, &transmit);
-                debug_assert!(!entered, "exit never re-enters");
-            }
-            Input::Net { from, msg } => {
-                let key = msg.lock;
-                actions.clear();
-                match msg.msg {
-                    DagMessage::Request { from: link, origin } => {
-                        debug_assert_eq!(link, from);
-                        materialize(&mut table, key, me, placement, &tree, &mut orientations)
-                            .receive_request_into(from, origin, &mut actions);
-                    }
-                    DagMessage::Privilege => table
-                        .get_mut(key)
-                        .expect("PRIVILEGE only travels to a requester")
-                        .receive_privilege_into(&mut actions),
-                    DagMessage::Initialize => {} // pre-oriented start-up
-                }
-                if send_all(&actions, key, me, &mut stats, &transmit) {
-                    grant(&mut pending, key, me, &mut stats);
-                }
-            }
-            Input::Shutdown => break,
-        }
+        // The reply can only fail during shutdown, when the router no
+        // longer merges.
+        let _ = out.send(NodeMsg::Worker(WorkerOut { sends, entered }));
     }
     stats.keys_materialized = table.len();
     stats
 }
 
-/// Resolves an `Enter` action: hand `key`'s critical section to the
-/// waiting local user.
-fn grant(
-    pending: &mut Option<(LockId, Sender<()>)>,
-    key: LockId,
+/// One node's router: fans keyed traffic out to the per-shard workers,
+/// merges their outboxes into the shared [`Transport`], and flushes
+/// pooled envelopes to the peers when the flush policy's cap is hit or
+/// the inbox goes idle.
+fn router_main(
     me: NodeId,
-    stats: &mut LockSpaceNodeStats,
-) {
-    match pending.take() {
-        Some((wanted, ack)) => {
-            assert_eq!(
-                wanted, key,
-                "node {me} granted {key} while waiting for {wanted}"
-            );
-            stats.entries += 1;
-            let _ = ack.send(());
-        }
-        None => unreachable!("node {me} entered {key}'s critical section with no local waiter"),
+    n: usize,
+    flush: FlushPolicy,
+    rx: Receiver<NodeMsg>,
+    peers: Vec<Sender<NodeMsg>>,
+    worker_txs: Vec<Sender<WorkerJob>>,
+    worker_joins: Vec<JoinHandle<WorkerStats>>,
+) -> LockSpaceNodeStats {
+    let mut stats = LockSpaceNodeStats::default();
+    let mut transport = Transport::new(n, flush);
+    let mut pool = BatchPool::new();
+    let mut pending: Option<(LockId, Sender<()>)> = None;
+    // Jobs dispatched to workers whose outboxes have not come back yet:
+    // while nonzero, more coalescing material is guaranteed to arrive,
+    // so an empty inbox is not yet "idle".
+    let mut outstanding = 0usize;
+    // Worker outboxes merged since the last flush (the tickless
+    // analogue of the simulator's coalescing window).
+    let mut bursts = 0u64;
+
+    let workers = worker_txs.len();
+    let worker_for = |key: LockId| key.index() % workers;
+
+    macro_rules! flush_transport {
+        () => {
+            transport.flush(&mut pool, |to, envelope| {
+                stats.envelopes_sent += 1;
+                // A send can only fail during shutdown, when the
+                // counters no longer matter.
+                let _ =
+                    peers[to.index()].send(NodeMsg::External(Input::Net { from: me, envelope }));
+            });
+            bursts = 0;
+        };
     }
+
+    loop {
+        // Block only when the transport is empty or workers still owe
+        // outboxes; otherwise take what is immediately available and
+        // flush the moment the inbox goes idle.
+        let msg = if transport.staged() > 0 && outstanding == 0 {
+            match rx.try_recv() {
+                Ok(msg) => msg,
+                Err(TryRecvError::Empty) => {
+                    flush_transport!();
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        };
+        match msg {
+            NodeMsg::External(Input::Acquire(key, ack)) => {
+                assert!(
+                    pending.is_none(),
+                    "node {me} given a second outstanding acquisition"
+                );
+                pending = Some((key, ack));
+                let _ = worker_txs[worker_for(key)].send(WorkerJob::Acquire(key));
+                outstanding += 1;
+            }
+            NodeMsg::External(Input::Release(key)) => {
+                let _ = worker_txs[worker_for(key)].send(WorkerJob::Release(key));
+                outstanding += 1;
+            }
+            NodeMsg::External(Input::Net { from, envelope }) => match envelope {
+                Envelope::One(msg) => {
+                    let _ = worker_txs[worker_for(msg.lock)].send(WorkerJob::Net { from, msg });
+                    outstanding += 1;
+                }
+                Envelope::Batch(mut batch) => {
+                    for msg in batch.drain(..) {
+                        let _ = worker_txs[worker_for(msg.lock)].send(WorkerJob::Net { from, msg });
+                        outstanding += 1;
+                    }
+                    // The drained payload joins this node's own pool:
+                    // cross-node buffer recycling.
+                    pool.put(batch);
+                }
+            },
+            NodeMsg::External(Input::Shutdown) => break,
+            NodeMsg::Worker(WorkerOut { sends, entered }) => {
+                outstanding -= 1;
+                for (to, keyed) in sends {
+                    transport.stage(to, keyed);
+                }
+                // Every merged outbox counts toward the cap — including
+                // send-less ones — so a busy stretch of absorbing
+                // dispatches cannot freeze the counter and hold an
+                // already-staged envelope past the policy's bound.
+                bursts += 1;
+                if let Some(key) = entered {
+                    match pending.take() {
+                        Some((wanted, ack)) => {
+                            assert_eq!(
+                                wanted, key,
+                                "node {me} granted {key} while waiting for {wanted}"
+                            );
+                            stats.entries += 1;
+                            let _ = ack.send(());
+                        }
+                        None => unreachable!(
+                            "node {me} entered {key}'s critical section with no local waiter"
+                        ),
+                    }
+                }
+                if transport.staged() > 0 && transport.burst_cap_reached(bursts) {
+                    flush_transport!();
+                }
+            }
+        }
+    }
+
+    for tx in &worker_txs {
+        let _ = tx.send(WorkerJob::Shutdown);
+    }
+    for join in worker_joins {
+        let ws = join.join().expect("lock-space worker thread panicked");
+        stats.requests_sent += ws.requests_sent;
+        stats.privileges_sent += ws.privileges_sent;
+        stats.keys_materialized += ws.keys_materialized;
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -455,6 +699,49 @@ mod tests {
     }
 
     #[test]
+    fn sharded_workers_preserve_mutual_exclusion_under_contention() {
+        // The same contention battery, but with real per-shard worker
+        // parallelism and a coalescing window on every node.
+        let n = 4;
+        let config = LockSpaceClusterConfig {
+            keys: 8,
+            placement: Placement::Modulo,
+            workers: 4,
+            flush: FlushPolicy::Window(4),
+        };
+        let (cluster, handles) = LockSpaceCluster::start_with(&Tree::star(n), config);
+        let in_cs = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for mut handle in handles {
+            let in_cs = Arc::clone(&in_cs);
+            workers.push(std::thread::spawn(move || {
+                for round in 0..25u32 {
+                    // Same hot key for everyone, plus a private key to
+                    // keep the shards busy across workers.
+                    let guard = handle.lock(LockId(5)).unwrap();
+                    assert!(
+                        !in_cs.swap(true, Ordering::SeqCst),
+                        "two nodes inside key 5's critical section"
+                    );
+                    in_cs.store(false, Ordering::SeqCst);
+                    drop(guard);
+                    let private = LockId(round % 8);
+                    drop(handle.lock(private).unwrap());
+                }
+            }));
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 2 * 25 * n as u64);
+        // The transport really coalesced: never more envelopes than
+        // keyed messages, and the counters are self-consistent.
+        assert!(stats.envelopes_total <= stats.messages_total);
+        assert!(stats.envelopes_total > 0);
+    }
+
+    #[test]
     fn token_parks_per_key_making_reentry_free() {
         let (cluster, mut handles) =
             LockSpaceCluster::start(&Tree::line(3), 16, Placement::Hub(NodeId(0)));
@@ -466,6 +753,8 @@ mod tests {
         // First acquisition walks the line (2 REQUESTs + 1 PRIVILEGE);
         // the other nine are free — key 7's token parked at node 2.
         assert_eq!(stats.messages_total, 3);
+        // Lone messages ride One envelopes: 3 envelopes too.
+        assert_eq!(stats.envelopes_total, 3);
         // Only key 7 ever materialized anywhere.
         assert!(stats.per_node.iter().all(|s| s.keys_materialized <= 1));
     }
@@ -505,5 +794,16 @@ mod tests {
         drop(handles);
         let stats = cluster.shutdown();
         assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Window needs >= 1 tick")]
+    fn zero_tick_window_is_rejected_at_cluster_start() {
+        let config = LockSpaceClusterConfig {
+            keys: 4,
+            flush: FlushPolicy::Window(0),
+            ..LockSpaceClusterConfig::default()
+        };
+        let _ = LockSpaceCluster::start_with(&Tree::line(2), config);
     }
 }

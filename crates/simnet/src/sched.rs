@@ -20,7 +20,11 @@
 //!   every event lands at `now + 0/1` (the multi-lock `dmx-lockspace`
 //!   subsystem schedules even more same-tick flush wakes), so the
 //!   `O(log q)` heap sift is wasted ordering work; the wheel makes
-//!   push and pop `O(1)` for the near-now common case.
+//!   push and pop `O(1)` for the near-now common case. The level-0
+//!   width is a compile-time parameter; [`Wheel256Queue`] is the
+//!   ROADMAP's 256-slot micro-tuning probe, selected only by the
+//!   explicit [`Scheduler::Wheel256`] and held to the same
+//!   byte-identical-trace contract.
 //!
 //! # Wheel design
 //!
@@ -129,6 +133,13 @@ pub enum Scheduler {
     Heap,
     /// Always the timing-wheel backend ([`WheelQueue`]).
     Wheel,
+    /// The micro-tuning probe: the timing wheel with a **256-slot
+    /// level 0** ([`Wheel256Queue`]) instead of 64. Never selected by
+    /// `Auto` — it exists so the `engine_hot_loop` suite can measure
+    /// whether the wider level 0 (fewer bucket rotations on
+    /// `Uniform`-latency sweeps, at the cost of a 4-word occupancy
+    /// scan) pays off before it is ever wired into the heuristic.
+    Wheel256,
 }
 
 /// The backend a [`Scheduler`] resolved to for a concrete run.
@@ -138,6 +149,8 @@ pub enum SchedBackend {
     Heap,
     /// Hierarchical timing wheel with heap overflow.
     Wheel,
+    /// The 256-slot-level-0 wheel variant (explicit probe only).
+    Wheel256,
 }
 
 impl SchedBackend {
@@ -146,6 +159,7 @@ impl SchedBackend {
         match self {
             SchedBackend::Heap => "heap",
             SchedBackend::Wheel => "wheel",
+            SchedBackend::Wheel256 => "wheel256",
         }
     }
 }
@@ -169,6 +183,7 @@ impl Scheduler {
         match self {
             Scheduler::Heap => SchedBackend::Heap,
             Scheduler::Wheel => SchedBackend::Wheel,
+            Scheduler::Wheel256 => SchedBackend::Wheel256,
             Scheduler::Auto => {
                 if near_now(latency) && near_now(cs_duration) {
                     SchedBackend::Wheel
@@ -342,9 +357,20 @@ impl<T> EventQueue<T> for HeapQueue<T> {
     }
 }
 
+/// Occupancy words a wheel's level 0 can need at most (256 slots / 64
+/// bits). The 64-slot default uses one word; the compiler
+/// constant-folds the per-word loops away for it.
+const MAX_OCC_WORDS: usize = 4;
+
 /// The hierarchical timing-wheel backend: `O(1)` push/pop for events
 /// within [`WHEEL_SPAN`] ticks of now, heap overflow beyond. See the
 /// [module docs](self) for the full design and determinism argument.
+///
+/// The level-0 slot count is a compile-time parameter (`2^SLOT_BITS0`
+/// one-tick slots; level 1 always has [`SLOTS`] buckets of `2^SLOT_BITS0`
+/// ticks each). The default is the measured 64-slot wheel; the 256-slot
+/// [`Wheel256Queue`] alias is the ROADMAP's micro-tuning probe,
+/// selected only by the explicit [`Scheduler::Wheel256`].
 ///
 /// # Examples
 ///
@@ -352,30 +378,32 @@ impl<T> EventQueue<T> for HeapQueue<T> {
 /// use dmx_simnet::sched::{EventQueue, WheelQueue};
 /// use dmx_simnet::Time;
 ///
-/// let mut q = WheelQueue::new();
+/// let mut q: WheelQueue<&str> = WheelQueue::new();
 /// q.push(Time(1), 0, "near");
 /// q.push(Time(1_000_000), 1, "far"); // parks in the overflow heap
 /// assert_eq!(q.pop_earliest(), Some((Time(1), "near")));
 /// assert_eq!(q.pop_earliest(), Some((Time(1_000_000), "far")));
 /// assert!(q.is_empty());
 /// ```
-pub struct WheelQueue<T> {
-    /// Block (`at >> SLOT_BITS`) level 0 currently covers.
+pub struct WheelQueue<T, const SLOT_BITS0: u32 = 6> {
+    /// Block (`at >> SLOT_BITS0`) level 0 currently covers.
     block0: u64,
-    /// Super-block (`at >> 2*SLOT_BITS`) level 1 currently covers.
+    /// Super-block (`at >> (SLOT_BITS0 + 6)`) level 1 currently covers.
     block1: u64,
     /// Absolute time of the last pop; level-0 scans start at its slot.
     cursor: u64,
     len: usize,
-    /// Occupancy bitmask of `level0` (bit *s* set ⇔ slot *s* non-empty).
-    occ0: u64,
+    /// Occupancy bitmask of `level0` (bit *s* set ⇔ slot *s*
+    /// non-empty), `2^SLOT_BITS0` bits spread over the first
+    /// `2^SLOT_BITS0 / 64` words.
+    occ0: [u64; MAX_OCC_WORDS],
     /// Occupancy bitmask of `level1`.
     occ1: u64,
-    /// One-tick FIFO slots; the slot index *is* the tick (mod 64), so
-    /// entries carry no key.
+    /// One-tick FIFO slots; the slot index *is* the tick (mod the slot
+    /// count), so entries carry no key.
     level0: Vec<VecDeque<T>>,
-    /// 64-tick buckets; entries keep their key for the rotation down
-    /// into level 0.
+    /// `2^SLOT_BITS0`-tick buckets; entries keep their key for the
+    /// rotation down into level 0.
     level1: Vec<Vec<Entry<T>>>,
     /// Far-future timers, beyond the current super-block.
     overflow: BinaryHeap<Entry<T>>,
@@ -384,17 +412,34 @@ pub struct WheelQueue<T> {
     last_seq: Option<u64>,
 }
 
-impl<T> WheelQueue<T> {
+/// The 256-slot-level-0 wheel — the ROADMAP's per-protocol tuning
+/// probe. Wider level 0 means a 4× rarer bucket rotation for spread-out
+/// (`Uniform`) schedules, paid for with a 4-word occupancy scan per
+/// pop; the `engine_hot_loop` suite's `wheel256` cells measure whether
+/// that trade wins before `Auto` would ever adopt it.
+pub type Wheel256Queue<T> = WheelQueue<T, 8>;
+
+impl<T, const SLOT_BITS0: u32> WheelQueue<T, SLOT_BITS0> {
+    /// Level-0 slot count.
+    const SLOTS0: usize = 1 << SLOT_BITS0;
+    const MASK0: u64 = (1 << SLOT_BITS0) - 1;
+    /// Occupancy words level 0 actually uses.
+    const WORDS: usize = Self::SLOTS0.div_ceil(64);
+
     /// An empty wheel with its cursor at [`Time::ZERO`].
     pub fn new() -> Self {
+        assert!(
+            (6..=8).contains(&SLOT_BITS0),
+            "wheel level 0 supports 64..=256 slots"
+        );
         WheelQueue {
             block0: 0,
             block1: 0,
             cursor: 0,
             len: 0,
-            occ0: 0,
+            occ0: [0; MAX_OCC_WORDS],
             occ1: 0,
-            level0: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+            level0: (0..Self::SLOTS0).map(|_| VecDeque::new()).collect(),
             level1: (0..SLOTS).map(|_| Vec::new()).collect(),
             overflow: BinaryHeap::new(),
             stats: SchedStats::default(),
@@ -408,34 +453,62 @@ impl<T> WheelQueue<T> {
         self.stats
     }
 
+    #[inline]
+    fn occ0_set(&mut self, s: usize) {
+        self.occ0[s >> 6] |= 1 << (s & 63);
+    }
+
+    #[inline]
+    fn occ0_clear(&mut self, s: usize) {
+        self.occ0[s >> 6] &= !(1 << (s & 63));
+    }
+
+    /// First occupied level-0 slot at or after `start`, if any. One
+    /// masked `trailing_zeros` for the 64-slot wheel; up to
+    /// `Self::WORDS` of them for the wider probe.
+    #[inline]
+    fn occ0_first_from(&self, start: usize) -> Option<usize> {
+        let word = start >> 6;
+        let masked = self.occ0[word] & (u64::MAX << (start & 63));
+        if masked != 0 {
+            return Some((word << 6) | masked.trailing_zeros() as usize);
+        }
+        for w in word + 1..Self::WORDS {
+            if self.occ0[w] != 0 {
+                return Some((w << 6) | self.occ0[w].trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
     /// Files `e` into level 0 or level 1 of the current blocks. Caller
     /// guarantees `e` lies within the current super-block.
     #[inline]
     fn file_into_wheel(&mut self, e: Entry<T>) {
         let t = e.at().0;
-        debug_assert_eq!(t >> (2 * SLOT_BITS), self.block1);
-        if t >> SLOT_BITS == self.block0 {
-            let s = (t & SLOT_MASK) as usize;
+        debug_assert_eq!(t >> (SLOT_BITS0 + SLOT_BITS), self.block1);
+        if t >> SLOT_BITS0 == self.block0 {
+            let s = (t & Self::MASK0) as usize;
             self.level0[s].push_back(e.item);
-            self.occ0 |= 1 << s;
+            self.occ0_set(s);
         } else {
-            debug_assert!(t >> SLOT_BITS > self.block0);
-            let b = ((t >> SLOT_BITS) & SLOT_MASK) as usize;
+            debug_assert!(t >> SLOT_BITS0 > self.block0);
+            let b = ((t >> SLOT_BITS0) & SLOT_MASK) as usize;
             self.level1[b].push(e);
             self.occ1 |= 1 << b;
         }
     }
 }
 
-impl<T> Default for WheelQueue<T> {
+impl<T, const SLOT_BITS0: u32> Default for WheelQueue<T, SLOT_BITS0> {
     fn default() -> Self {
         WheelQueue::new()
     }
 }
 
-impl<T> sealed::Sealed for WheelQueue<T> {}
+impl<T, const SLOT_BITS0: u32> sealed::Sealed for WheelQueue<T, SLOT_BITS0> {}
 
-impl<T> EventQueue<T> for WheelQueue<T> {
+impl<T, const SLOT_BITS0: u32> EventQueue<T> for WheelQueue<T, SLOT_BITS0> {
     #[inline]
     fn push(&mut self, at: Time, seq: u64, item: T) {
         debug_assert!(
@@ -453,14 +526,14 @@ impl<T> EventQueue<T> for WheelQueue<T> {
         }
         self.len += 1;
         let t = at.0;
-        if t >> SLOT_BITS == self.block0 {
+        if t >> SLOT_BITS0 == self.block0 {
             // The near-now common case: O(1) append, no key stored —
             // the slot *is* the tick and append order is seq order.
-            let s = (t & SLOT_MASK) as usize;
+            let s = (t & Self::MASK0) as usize;
             self.level0[s].push_back(item);
-            self.occ0 |= 1 << s;
-        } else if t >> (2 * SLOT_BITS) == self.block1 {
-            let b = ((t >> SLOT_BITS) & SLOT_MASK) as usize;
+            self.occ0_set(s);
+        } else if t >> (SLOT_BITS0 + SLOT_BITS) == self.block1 {
+            let b = ((t >> SLOT_BITS0) & SLOT_MASK) as usize;
             self.level1[b].push(Entry {
                 key: pack(at, seq),
                 item,
@@ -482,17 +555,15 @@ impl<T> EventQueue<T> for WheelQueue<T> {
         }
         loop {
             // Level 0: first occupied slot at or after the cursor.
-            let start = (self.cursor & SLOT_MASK) as u32;
-            let pending = self.occ0 & (u64::MAX << start);
-            if pending != 0 {
-                let s = pending.trailing_zeros() as usize;
+            let start = (self.cursor & Self::MASK0) as usize;
+            if let Some(s) = self.occ0_first_from(start) {
                 let slot = &mut self.level0[s];
                 let item = slot.pop_front().expect("occupancy bit set on empty slot");
                 if slot.is_empty() {
-                    self.occ0 &= !(1 << s);
+                    self.occ0_clear(s);
                 }
                 self.len -= 1;
-                let at = (self.block0 << SLOT_BITS) | s as u64;
+                let at = (self.block0 << SLOT_BITS0) | s as u64;
                 self.cursor = at;
                 return Some((Time(at), item));
             }
@@ -503,13 +574,13 @@ impl<T> EventQueue<T> for WheelQueue<T> {
                 let b = self.occ1.trailing_zeros() as usize;
                 self.occ1 &= !(1 << b);
                 self.block0 = (self.block1 << SLOT_BITS) | b as u64;
-                self.cursor = self.block0 << SLOT_BITS;
+                self.cursor = self.block0 << SLOT_BITS0;
                 let mut bucket = std::mem::take(&mut self.level1[b]);
                 for e in bucket.drain(..) {
-                    debug_assert_eq!(e.at().0 >> SLOT_BITS, self.block0);
-                    let s = (e.at().0 & SLOT_MASK) as usize;
+                    debug_assert_eq!(e.at().0 >> SLOT_BITS0, self.block0);
+                    let s = (e.at().0 & Self::MASK0) as usize;
                     self.level0[s].push_back(e.item);
-                    self.occ0 |= 1 << s;
+                    self.occ0_set(s);
                 }
                 self.level1[b] = bucket; // drained; capacity retained
                 self.stats.bucket_rotations += 1;
@@ -526,11 +597,11 @@ impl<T> EventQueue<T> for WheelQueue<T> {
                 .expect("len > 0 with an empty wheel")
                 .at()
                 .0;
-            self.block1 = head_at >> (2 * SLOT_BITS);
-            self.block0 = head_at >> SLOT_BITS;
-            self.cursor = self.block0 << SLOT_BITS;
+            self.block1 = head_at >> (SLOT_BITS0 + SLOT_BITS);
+            self.block0 = head_at >> SLOT_BITS0;
+            self.cursor = self.block0 << SLOT_BITS0;
             while let Some(head) = self.overflow.peek() {
-                if head.at().0 >> (2 * SLOT_BITS) != self.block1 {
+                if head.at().0 >> (SLOT_BITS0 + SLOT_BITS) != self.block1 {
                     break;
                 }
                 let e = self.overflow.pop().expect("just peeked");
@@ -544,11 +615,9 @@ impl<T> EventQueue<T> for WheelQueue<T> {
         if self.len == 0 {
             return None;
         }
-        let start = (self.cursor & SLOT_MASK) as u32;
-        let pending = self.occ0 & (u64::MAX << start);
-        if pending != 0 {
-            let s = u64::from(pending.trailing_zeros());
-            return Some(Time((self.block0 << SLOT_BITS) | s));
+        let start = (self.cursor & Self::MASK0) as usize;
+        if let Some(s) = self.occ0_first_from(start) {
+            return Some(Time((self.block0 << SLOT_BITS0) | s as u64));
         }
         if self.occ1 != 0 {
             let b = self.occ1.trailing_zeros() as usize;
@@ -566,7 +635,7 @@ impl<T> EventQueue<T> for WheelQueue<T> {
 
     fn reserve(&mut self, additional: usize) {
         // Any single tick, bucket, or the overflow heap could briefly
-        // hold every in-flight event, so size them all: O(SLOTS ×
+        // hold every in-flight event, so size them all: O(slots ×
         // additional) memory, bounded and paid only by callers that
         // want strict allocation-freedom (`Engine::reserve`).
         for slot in &mut self.level0 {
@@ -589,6 +658,7 @@ impl<T> EventQueue<T> for WheelQueue<T> {
 pub(crate) enum ActiveQueue<T> {
     Heap(HeapQueue<T>),
     Wheel(WheelQueue<T>),
+    Wheel256(Wheel256Queue<T>),
 }
 
 impl<T> ActiveQueue<T> {
@@ -596,6 +666,7 @@ impl<T> ActiveQueue<T> {
         match backend {
             SchedBackend::Heap => ActiveQueue::Heap(HeapQueue::new()),
             SchedBackend::Wheel => ActiveQueue::Wheel(WheelQueue::new()),
+            SchedBackend::Wheel256 => ActiveQueue::Wheel256(Wheel256Queue::new()),
         }
     }
 }
@@ -608,6 +679,7 @@ impl<T> EventQueue<T> for ActiveQueue<T> {
         match self {
             ActiveQueue::Heap(q) => q.push(at, seq, item),
             ActiveQueue::Wheel(q) => q.push(at, seq, item),
+            ActiveQueue::Wheel256(q) => q.push(at, seq, item),
         }
     }
 
@@ -616,6 +688,7 @@ impl<T> EventQueue<T> for ActiveQueue<T> {
         match self {
             ActiveQueue::Heap(q) => q.pop_earliest(),
             ActiveQueue::Wheel(q) => q.pop_earliest(),
+            ActiveQueue::Wheel256(q) => q.pop_earliest(),
         }
     }
 
@@ -623,6 +696,7 @@ impl<T> EventQueue<T> for ActiveQueue<T> {
         match self {
             ActiveQueue::Heap(q) => q.peek_time(),
             ActiveQueue::Wheel(q) => q.peek_time(),
+            ActiveQueue::Wheel256(q) => q.peek_time(),
         }
     }
 
@@ -630,6 +704,7 @@ impl<T> EventQueue<T> for ActiveQueue<T> {
         match self {
             ActiveQueue::Heap(q) => q.len(),
             ActiveQueue::Wheel(q) => q.len(),
+            ActiveQueue::Wheel256(q) => q.len(),
         }
     }
 
@@ -637,6 +712,7 @@ impl<T> EventQueue<T> for ActiveQueue<T> {
         match self {
             ActiveQueue::Heap(q) => q.reserve(additional),
             ActiveQueue::Wheel(q) => q.reserve(additional),
+            ActiveQueue::Wheel256(q) => q.reserve(additional),
         }
     }
 
@@ -645,6 +721,7 @@ impl<T> EventQueue<T> for ActiveQueue<T> {
         match self {
             ActiveQueue::Heap(q) => q.drain_stats(),
             ActiveQueue::Wheel(q) => q.drain_stats(),
+            ActiveQueue::Wheel256(q) => q.drain_stats(),
         }
     }
 }
@@ -653,11 +730,11 @@ impl<T> EventQueue<T> for ActiveQueue<T> {
 mod tests {
     use super::*;
 
-    /// Pushes the same schedule into both backends and asserts identical
-    /// pop sequences (the determinism contract, unit-scale).
-    fn assert_equivalent(schedule: &[(u64, &'static str)]) {
+    /// Pushes the same schedule into the heap and one wheel width and
+    /// asserts identical pop sequences.
+    fn assert_equivalent_width<const B: u32>(schedule: &[(u64, &'static str)]) {
         let mut heap = HeapQueue::new();
-        let mut wheel = WheelQueue::new();
+        let mut wheel: WheelQueue<&'static str, B> = WheelQueue::new();
         for (seq, &(at, label)) in schedule.iter().enumerate() {
             heap.push(Time(at), seq as u64, label);
             wheel.push(Time(at), seq as u64, label);
@@ -670,6 +747,13 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// [`assert_equivalent_width`] for both wheel widths — the 64-slot
+    /// default and the 256-slot probe share the determinism contract.
+    fn assert_equivalent(schedule: &[(u64, &'static str)]) {
+        assert_equivalent_width::<6>(schedule);
+        assert_equivalent_width::<8>(schedule);
     }
 
     #[test]
@@ -694,7 +778,7 @@ mod tests {
     #[test]
     fn interleaved_pushes_and_pops_stay_ordered() {
         let mut heap = HeapQueue::new();
-        let mut wheel = WheelQueue::new();
+        let mut wheel: WheelQueue<u64> = WheelQueue::new();
         let mut seq = 0u64;
         let mut push = |heap: &mut HeapQueue<u64>, wheel: &mut WheelQueue<u64>, at: u64| {
             heap.push(Time(at), seq, seq);
@@ -722,7 +806,7 @@ mod tests {
 
     #[test]
     fn wheel_counts_rotations_and_promotions() {
-        let mut wheel = WheelQueue::new();
+        let mut wheel: WheelQueue<()> = WheelQueue::new();
         wheel.push(Time(0), 0, ());
         wheel.push(Time(100), 1, ()); // level 1 (different block)
         wheel.push(Time(10_000), 2, ()); // overflow
@@ -737,16 +821,20 @@ mod tests {
 
     #[test]
     fn peek_matches_next_pop_everywhere() {
-        let mut wheel = WheelQueue::new();
-        for (seq, at) in [7u64, 3, 3, 200, 9999, 40_000].into_iter().enumerate() {
-            wheel.push(Time(at), seq as u64, at);
+        fn check<const B: u32>() {
+            let mut wheel: WheelQueue<u64, B> = WheelQueue::new();
+            for (seq, at) in [7u64, 3, 3, 200, 9999, 40_000].into_iter().enumerate() {
+                wheel.push(Time(at), seq as u64, at);
+            }
+            while let Some(peeked) = wheel.peek_time() {
+                let (t, _) = wheel.pop_earliest().unwrap();
+                assert_eq!(peeked, t);
+            }
+            assert_eq!(wheel.peek_time(), None);
+            assert_eq!(wheel.pop_earliest(), None);
         }
-        while let Some(peeked) = wheel.peek_time() {
-            let (t, _) = wheel.pop_earliest().unwrap();
-            assert_eq!(peeked, t);
-        }
-        assert_eq!(wheel.peek_time(), None);
-        assert_eq!(wheel.pop_earliest(), None);
+        check::<6>();
+        check::<8>();
     }
 
     #[test]

@@ -156,6 +156,7 @@ pub struct KeyedThinkTime {
     think: LatencyModel,
     rounds: u32,
     seed: u64,
+    stagger: u64,
 }
 
 impl KeyedThinkTime {
@@ -171,7 +172,24 @@ impl KeyedThinkTime {
             think,
             rounds,
             seed,
+            stagger: 1,
         }
+    }
+
+    /// Staggers the per-node start times: node `i`'s first request is
+    /// delayed by `i mod stagger` extra ticks, spreading the initial
+    /// burst over `stagger` consecutive ticks instead of landing it all
+    /// on one. This is the demand shape coalescing windows exist for —
+    /// traffic arriving on *different* ticks inside one window — so the
+    /// lock-space window sweeps drive their cells with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stagger == 0` (use 1 for no stagger).
+    pub fn with_stagger(mut self, stagger: u64) -> Self {
+        assert!(stagger > 0, "stagger of 0 ticks is meaningless; use 1");
+        self.stagger = stagger;
+        self
     }
 
     /// Number of keys in the space.
@@ -192,6 +210,7 @@ impl KeyedWorkload for KeyedThinkTime {
             sampler: self.sampler.clone(),
             think: self.think,
             remaining: self.rounds,
+            offset: Time(u64::from(node.0) % self.stagger),
         })
     }
 }
@@ -202,6 +221,8 @@ struct ThinkStream {
     sampler: KeySampler,
     think: LatencyModel,
     remaining: u32,
+    /// Extra delay applied to the first request only (stagger).
+    offset: Time,
 }
 
 impl KeyStream for ThinkStream {
@@ -210,7 +231,8 @@ impl KeyStream for ThinkStream {
             return None;
         }
         self.remaining -= 1;
-        let at = now + self.think.sample(&mut self.rng);
+        let at = now + self.think.sample(&mut self.rng) + self.offset;
+        self.offset = Time::ZERO;
         let key = self.sampler.sample(&mut self.rng);
         Some((at, key))
     }
@@ -400,6 +422,32 @@ mod tests {
         assert_eq!(drain(NodeId(3)), drain(NodeId(3)));
         assert_ne!(drain(NodeId(3)), drain(NodeId(4)));
         assert_eq!(drain(NodeId(0)).len(), 5);
+    }
+
+    #[test]
+    fn stagger_spreads_first_requests_across_ticks() {
+        let w = KeyedThinkTime::new(8, KeyDist::Uniform, LatencyModel::Fixed(Time(0)), 3, 5)
+            .with_stagger(4);
+        let base = KeyedThinkTime::new(8, KeyDist::Uniform, LatencyModel::Fixed(Time(0)), 3, 5);
+        for node in 0..8u32 {
+            let (at, key) = w.stream(NodeId(node)).next_request(Time::ZERO).unwrap();
+            let (base_at, base_key) = base.stream(NodeId(node)).next_request(Time::ZERO).unwrap();
+            assert_eq!(at, base_at + Time(u64::from(node) % 4));
+            assert_eq!(key, base_key, "stagger must not perturb the key draws");
+        }
+        // Only the first request shifts; later ones resume the base cadence.
+        let mut s = w.stream(NodeId(3));
+        let (first, _) = s.next_request(Time::ZERO).unwrap();
+        assert_eq!(first, Time(3));
+        let (second, _) = s.next_request(first).unwrap();
+        assert_eq!(second, first, "zero think time: no residual offset");
+    }
+
+    #[test]
+    #[should_panic(expected = "stagger of 0 ticks")]
+    fn zero_stagger_is_rejected() {
+        let _ = KeyedThinkTime::new(4, KeyDist::Uniform, LatencyModel::Fixed(Time(0)), 1, 0)
+            .with_stagger(0);
     }
 
     #[test]

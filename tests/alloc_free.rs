@@ -25,7 +25,7 @@ use dagmutex::baselines::raymond::RaymondProtocol;
 use dagmutex::baselines::ricart_agrawala::RicartAgrawalaProtocol;
 use dagmutex::baselines::suzuki_kasami::SuzukiKasamiProtocol;
 use dagmutex::core::DagProtocol;
-use dagmutex::lockspace::{LockSpace, LockSpaceConfig, Placement};
+use dagmutex::lockspace::{FlushPolicy, LockSpace, LockSpaceConfig, Placement};
 use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Protocol, Scheduler, Time};
 use dagmutex::topology::{NodeId, Tree};
 use dagmutex::workload::{KeyDist, KeyedThinkTime};
@@ -116,8 +116,10 @@ fn assert_single_lock_alloc_free<P: Protocol>(label: &str, scheduler: Scheduler,
 /// batching on steps allocation-free once its tables, pools, and
 /// orientation caches are warm — under the given scheduler backend
 /// (same-tick flush wakes make the lock space the wheel's densest
-/// workload).
-fn assert_lockspace_alloc_free(scheduler: Scheduler) {
+/// workload) and the given transport flush policy (a coalescing window
+/// holds bigger batches in the transport's persistent buffers, which
+/// must still reach a steady capacity).
+fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy) {
     let n = 15;
     let tree = Tree::kary(n, 2);
     // Saturated keyed closed loop: think time zero, enough rounds that
@@ -134,6 +136,7 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler) {
         placement: Placement::Modulo,
         hold: Time(1),
         batching: true,
+        flush,
         ..LockSpaceConfig::default()
     };
     let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
@@ -177,8 +180,8 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler) {
          batching on, but every warm-up window still allocated",
     );
     println!(
-        "alloc_free: lockspace ({scheduler:?}) ok (0 allocations across {STEPS} \
-         steady-state steps, after {rounds} warm-up rounds)"
+        "alloc_free: lockspace ({scheduler:?}, {flush:?}) ok (0 allocations across \
+         {STEPS} steady-state steps, after {rounds} warm-up rounds)"
     );
 }
 
@@ -231,7 +234,11 @@ fn main() {
             scheduler,
             RicartAgrawalaProtocol::cluster(n),
         );
-        // Phase 3: the multiplexed lock-space hot path, batching on.
-        assert_lockspace_alloc_free(scheduler);
+        // Phase 3: the multiplexed lock-space hot path, batching on —
+        // under end-of-tick flushing and under a 4-tick coalescing
+        // window (the transport layer's Nagle path must be just as
+        // allocation-free as its same-tick path).
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick);
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::Window(4));
     }
 }

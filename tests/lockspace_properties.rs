@@ -8,15 +8,20 @@
 //!     single-lock system cannot exhibit, verified via the oracle's
 //!     peak-concurrency high-water mark;
 //! (c) with batching off, per-key message counts match an equivalent
-//!     single-lock run of the same algorithm, key for key.
+//!     single-lock run of the same algorithm, key for key;
+//! (d) the transport's flush policy is *invisible* to per-key traffic
+//!     on serialized demand: `EveryTick`, `Window(k)`, and batching-off
+//!     runs produce identical per-key message counts and grants (the
+//!     coalescing window moves bytes between envelopes, never between
+//!     keys), pinned both property-style and against a golden scenario.
 //!
 //! [`KeyedSafetyChecker`]: dagmutex::simnet::checker::KeyedSafetyChecker
 
 use dagmutex::core::{DagProtocol, LockId};
-use dagmutex::lockspace::{LockSpace, LockSpaceConfig, Placement};
+use dagmutex::lockspace::{FlushPolicy, LockSpace, LockSpaceConfig, LockSpaceMonitor, Placement};
 use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Time};
 use dagmutex::topology::{NodeId, Tree};
-use dagmutex::workload::{KeyDist, KeyedSchedule, KeyedThinkTime};
+use dagmutex::workload::{KeyDist, KeyedSchedule, KeyedThinkTime, KeyedWorkload};
 use proptest::prelude::*;
 
 fn quiet() -> EngineConfig {
@@ -24,6 +29,41 @@ fn quiet() -> EngineConfig {
         record_trace: false,
         ..EngineConfig::default()
     }
+}
+
+/// Runs `workload` to quiescence under `config` and returns the
+/// verified engine + monitor.
+fn run_space(
+    tree: &Tree,
+    config: LockSpaceConfig,
+    workload: &dyn KeyedWorkload,
+) -> Result<(Engine<dagmutex::lockspace::LockSpaceNode>, LockSpaceMonitor), TestCaseError> {
+    let (nodes, monitor) = LockSpace::cluster(tree, config, workload);
+    let mut engine = Engine::new(nodes, quiet());
+    engine
+        .run_to_quiescence()
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    monitor
+        .check_quiescent()
+        .map_err(|v| TestCaseError::fail(v.to_string()))?;
+    Ok((engine, monitor))
+}
+
+/// Per-key `(requests, request_messages, privilege_messages, grants)`
+/// for every key of a run — the per-key trace the flush-policy
+/// equivalence pins.
+fn per_key_trace(monitor: &LockSpaceMonitor, keys: u32) -> Vec<(u64, u64, u64, u64)> {
+    (0..keys)
+        .map(|k| {
+            let s = monitor.key_stats(LockId(k));
+            (
+                s.requests,
+                s.request_messages,
+                s.privilege_messages,
+                s.grants,
+            )
+        })
+        .collect()
 }
 
 proptest! {
@@ -96,6 +136,48 @@ proptest! {
         prop_assert_eq!(monitor.peak_concurrent_holders(), n);
     }
 
+    /// (d) Flush-policy invisibility: on a serialized round-robin
+    /// schedule (spacing far wider than any window), `EveryTick`,
+    /// `Window(k)`, and batching-off runs produce identical per-key
+    /// message counts and grants, and all stay safety-clean. The window
+    /// changes *when* envelopes leave and how many there are — never
+    /// which keyed messages exist.
+    #[test]
+    fn per_key_traffic_is_invariant_across_flush_policies(
+        n in 3usize..8,
+        keys in 1u32..6,
+        rounds_per_key in 1usize..4,
+        window in 2u64..17,
+    ) {
+        let tree = Tree::kary(n, 2);
+        let spacing = Time(200);
+        let requests = keys as usize * rounds_per_key;
+        let sched = KeyedSchedule::round_robin(n, keys, requests, spacing);
+        let base = LockSpaceConfig {
+            keys,
+            placement: Placement::Modulo,
+            hold: Time(1),
+            ..LockSpaceConfig::default()
+        };
+        let (_, tick) = run_space(&tree, base, &sched)?;
+        let (engine_win, win) = run_space(
+            &tree,
+            LockSpaceConfig { flush: FlushPolicy::Window(window), ..base },
+            &sched,
+        )?;
+        let (engine_off, off) = run_space(
+            &tree,
+            LockSpaceConfig { batching: false, ..base },
+            &sched,
+        )?;
+        let golden = per_key_trace(&tick, keys);
+        prop_assert_eq!(&per_key_trace(&win, keys), &golden, "Window({}) diverged", window);
+        prop_assert_eq!(&per_key_trace(&off, keys), &golden, "batching-off diverged");
+        // Unbatched, envelopes == keyed messages exactly.
+        prop_assert_eq!(engine_off.metrics().messages_total, off.rollup().messages);
+        prop_assert!(engine_win.metrics().messages_total <= win.rollup().messages);
+    }
+
     /// (c) Batching off, a globally serialized round-robin schedule: the
     /// multiplexed run's per-key REQUEST and PRIVILEGE counts equal an
     /// equivalent single-lock run of the same key's schedule — the
@@ -153,3 +235,67 @@ proptest! {
         }
     }
 }
+
+/// The golden keyed scenario: 9 nodes, 6 keys, 18 serialized
+/// round-robin requests. Its per-key trace is pinned (so a transport
+/// refactor that silently changes keyed traffic fails loudly) and must
+/// be byte-identical under `EveryTick`, `Window(4)`, `Window(16)`,
+/// `Adaptive`, and batching-off.
+#[test]
+fn golden_scenario_per_key_trace_is_flush_policy_invariant() {
+    let tree = Tree::kary(9, 2);
+    let keys = 6u32;
+    let sched = KeyedSchedule::round_robin(9, keys, 18, Time(200));
+    let base = LockSpaceConfig {
+        keys,
+        placement: Placement::Modulo,
+        hold: Time(1),
+        ..LockSpaceConfig::default()
+    };
+    let policies = [
+        LockSpaceConfig { ..base },
+        LockSpaceConfig {
+            flush: FlushPolicy::Window(4),
+            ..base
+        },
+        LockSpaceConfig {
+            flush: FlushPolicy::Window(16),
+            ..base
+        },
+        LockSpaceConfig {
+            flush: FlushPolicy::Adaptive {
+                target_per_dst: 2.0,
+                max_window: 8,
+            },
+            ..base
+        },
+        LockSpaceConfig {
+            batching: false,
+            ..base
+        },
+    ];
+    for config in policies {
+        let (nodes, monitor) = LockSpace::cluster(&tree, config, &sched);
+        let mut engine = Engine::new(nodes, quiet());
+        engine.run_to_quiescence().expect("golden run completes");
+        monitor.check_quiescent().expect("golden run is clean");
+        let trace = per_key_trace(&monitor, keys);
+        assert_eq!(
+            trace, GOLDEN_PER_KEY_TRACE,
+            "per-key trace drifted under {:?} (batching: {})",
+            config.flush, config.batching
+        );
+    }
+}
+
+/// Per-key `(requests, REQUESTs, PRIVILEGEs, grants)` of the golden
+/// keyed scenario. These are a function of the DAG algorithm and the
+/// schedule alone; no flush policy may move them.
+const GOLDEN_PER_KEY_TRACE: [(u64, u64, u64, u64); 6] = [
+    (3, 6, 2, 3),
+    (3, 5, 2, 3),
+    (3, 9, 2, 3),
+    (3, 4, 2, 3),
+    (3, 3, 2, 3),
+    (3, 5, 2, 3),
+];
