@@ -1,47 +1,63 @@
 //! Benchmarks the threaded distributed-lock runtime: parked-token
-//! re-acquisition (the hot path the paper's token residence enables) and
-//! the remote hand-off between two leaves of a star.
+//! re-acquisition (the hot path the paper's token residence enables),
+//! the free refusal of `try_now` on a remote token, and the remote
+//! hand-off between two leaves of a star.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dmx_runtime::Cluster;
+use dmx_core::LockId;
+use dmx_runtime::{Cluster, LockError};
 use dmx_topology::{NodeId, Tree};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("runtime/parked_token_reacquire", |b| {
-        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(1));
+        let (cluster, mut clients) = Cluster::start(&Tree::star(4), NodeId(1));
         // Park the token at node 1 by locking once.
-        handles[1].lock().unwrap();
+        drop(clients[1].lock(LockId(0)).wait().unwrap());
         b.iter(|| {
-            let guard = handles[1].lock().unwrap();
+            let guard = clients[1].lock(LockId(0)).wait().unwrap();
             drop(guard);
         });
-        drop(handles);
+        drop(clients);
+        cluster.shutdown();
+    });
+
+    c.bench_function("runtime/try_now_remote_refusal", |b| {
+        // The cheapest possible client round trip: the token is parked
+        // at node 1, node 2 asks "now or never" and is refused without
+        // a single protocol message.
+        let (cluster, mut clients) = Cluster::start(&Tree::star(4), NodeId(1));
+        drop(clients[1].lock(LockId(0)).wait().unwrap());
+        b.iter(|| {
+            let refused = clients[2].lock(LockId(0)).try_now();
+            assert!(matches!(refused, Err(LockError::WouldBlock)));
+        });
+        drop(clients);
         cluster.shutdown();
     });
 
     c.bench_function("runtime/remote_handoff_star", |b| {
-        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(1));
-        let (left, right) = handles.split_at_mut(2);
-        let h1 = &mut left[1];
-        let h2 = &mut right[0];
+        let (cluster, mut clients) = Cluster::start(&Tree::star(4), NodeId(1));
+        let (left, right) = clients.split_at_mut(2);
+        let c1 = &mut left[1];
+        let c2 = &mut right[0];
         b.iter(|| {
-            drop(h1.lock().unwrap()); // token to node 1
-            drop(h2.lock().unwrap()); // 3 messages to node 2
+            drop(c1.lock(LockId(0)).wait().unwrap()); // token to node 1
+            drop(c2.lock(LockId(0)).wait().unwrap()); // 3 messages to node 2
         });
-        drop(handles);
+        drop(clients);
         cluster.shutdown();
     });
 
     c.bench_function("runtime/line8_end_to_end", |b| {
-        let (cluster, mut handles) = Cluster::start(&Tree::line(8), NodeId(0));
-        let (left, right) = handles.split_at_mut(7);
-        let h0 = &mut left[0];
-        let h7 = &mut right[0];
+        let (cluster, mut clients) = Cluster::start(&Tree::line(8), NodeId(0));
+        let (left, right) = clients.split_at_mut(7);
+        let c0 = &mut left[0];
+        let c7 = &mut right[0];
         b.iter(|| {
-            drop(h0.lock().unwrap());
-            drop(h7.lock().unwrap()); // token crosses the whole line
+            drop(c0.lock(LockId(0)).wait().unwrap());
+            drop(c7.lock(LockId(0)).wait().unwrap()); // token crosses the whole line
         });
-        drop(handles);
+        drop(clients);
         cluster.shutdown();
     });
 }

@@ -27,7 +27,12 @@
 //!   (the engine's single-lock safety machinery cannot describe K
 //!   concurrently-held keys);
 //! * [`LockSpaceMonitor`] — per-key safety/liveness verdicts and per-key
-//!   metric rollups, backed by the keyed oracles in `dmx-simnet`.
+//!   metric rollups, backed by the keyed oracles in `dmx-simnet`;
+//! * [`ScriptedClient`]/[`SessionMonitor`] (the [`session`] module) —
+//!   sim-parity client sessions: the same lock/try/timeout/deadline/
+//!   multi-key [`Script`](dmx_workload::Script) that runs against the
+//!   threaded clusters runs here under the deterministic engine, with
+//!   identical per-step outcomes.
 //!
 //! [`Protocol`]: dmx_simnet::Protocol
 //!
@@ -67,11 +72,13 @@
 #![warn(missing_docs)]
 
 mod envelope;
+pub mod session;
 mod space;
 mod table;
 pub mod transport;
 
 pub use envelope::{Envelope, BATCH_HEADER_BYTES};
+pub use session::{ScriptedClient, SessionConfig, SessionMonitor};
 pub use space::{
     LockSpace, LockSpaceConfig, LockSpaceMonitor, LockSpaceNode, OrientationCache, Placement,
 };

@@ -1,42 +1,32 @@
-use std::fmt;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use dmx_core::{Action, DagMessage, DagNode};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dmx_core::{Action, DagMessage, DagNode, LockId};
 use dmx_topology::{NodeId, Tree};
 
+use crate::client::{Endpoint, LockClient};
+use crate::service::{
+    AbandonAction, AcquireAction, GrantAction, LockError, LockService, PendingSet, Reply,
+};
 use crate::stats::{ClusterStats, NodeStats};
-
-/// Failure acquiring or releasing the distributed lock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LockError {
-    /// The cluster was shut down (or a node thread died) while the
-    /// request was outstanding.
-    ClusterDown,
-}
-
-impl fmt::Display for LockError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LockError::ClusterDown => write!(f, "cluster is no longer running"),
-        }
-    }
-}
-
-impl std::error::Error for LockError {}
 
 /// Inputs a node thread processes.
 pub(crate) enum Input {
     /// Local user wants the critical section; reply on the channel when
     /// the privilege is local.
-    Acquire(Sender<()>),
+    Acquire(Sender<Reply>),
+    /// Local user wants the critical section only if the token is here
+    /// right now; reply [`Reply::Granted`] or [`Reply::Unavailable`]
+    /// without ever sending a protocol message.
+    TryAcquire(Sender<Reply>),
     /// Local user left the critical section.
     Release,
-    /// The user gave up waiting ([`MutexHandle::lock_timeout`]). The
+    /// The user gave up waiting ([`LockRequest::timeout`]). The
     /// in-flight REQUEST cannot be recalled (the paper has no cancel
     /// message), so the node releases the privilege the moment it
-    /// arrives — unless a new `Acquire` adopts the request first.
+    /// arrives — unless a new acquisition adopts the request first.
+    ///
+    /// [`LockRequest::timeout`]: crate::LockRequest::timeout
     AbandonAcquire,
     /// A protocol message from a peer.
     Net {
@@ -49,18 +39,40 @@ pub(crate) enum Input {
     Shutdown,
 }
 
-/// The node thread's view of the local user's acquisition.
-enum Pending {
-    /// No acquisition in progress.
-    Idle,
-    /// Waiting for the privilege; reply here on entry.
-    Waiting(Sender<()>),
-    /// The user timed out; release the privilege on arrival.
-    Abandoned,
+/// The single-lock backends' [`Endpoint`]: every client operation maps
+/// onto one [`Input`] for the node thread (shared by the channel and
+/// TCP clusters, whose node loops are the same [`node_main`]).
+pub(crate) struct ClusterEndpoint {
+    pub(crate) tx: Sender<Input>,
+}
+
+impl Endpoint for ClusterEndpoint {
+    fn acquire(&self, _key: LockId, ack: Sender<Reply>) -> Result<(), LockError> {
+        self.tx
+            .send(Input::Acquire(ack))
+            .map_err(|_| LockError::ClusterDown)
+    }
+
+    fn try_acquire(&self, _key: LockId, ack: Sender<Reply>) -> Result<(), LockError> {
+        self.tx
+            .send(Input::TryAcquire(ack))
+            .map_err(|_| LockError::ClusterDown)
+    }
+
+    fn abandon(&self, _key: LockId) -> Result<(), LockError> {
+        self.tx
+            .send(Input::AbandonAcquire)
+            .map_err(|_| LockError::ClusterDown)
+    }
+
+    fn release(&self, _key: LockId) {
+        // If the cluster is already gone there is nobody to notify.
+        let _ = self.tx.send(Input::Release);
+    }
 }
 
 /// A running cluster: one thread per tree node executing the DAG
-/// algorithm. Obtain per-node [`MutexHandle`]s from [`Cluster::start`]
+/// algorithm. Obtain per-node [`LockClient`]s from [`Cluster::start`]
 /// and call [`Cluster::shutdown`] when done.
 ///
 /// See the [crate-level example](crate) for typical usage.
@@ -70,34 +82,15 @@ pub struct Cluster {
     joins: Vec<JoinHandle<NodeStats>>,
 }
 
-/// The distributed lock endpoint for one node.
-///
-/// `lock` takes `&mut self`, so the borrow checker enforces the paper's
-/// system model ("each node can have at most one outstanding request")
-/// at compile time: a second `lock` on the same node is impossible while
-/// a [`Guard`] lives.
-#[derive(Debug)]
-pub struct MutexHandle {
-    node: NodeId,
-    tx: Sender<Input>,
-}
-
-/// Possession of the critical section; releasing happens on drop (or
-/// explicitly via [`Guard::unlock`]).
-#[derive(Debug)]
-pub struct Guard<'a> {
-    handle: &'a mut MutexHandle,
-}
-
 impl Cluster {
     /// Spawns one thread per node of `tree`, with the token initially at
-    /// `holder`, and returns the cluster plus one [`MutexHandle`] per
-    /// node (index = node id).
+    /// `holder`, and returns the cluster plus one [`LockClient`] per
+    /// node (index = node id). The single lock is `LockId(0)`.
     ///
     /// # Panics
     ///
     /// Panics if `holder` is out of range.
-    pub fn start(tree: &Tree, holder: NodeId) -> (Cluster, Vec<MutexHandle>) {
+    pub fn start(tree: &Tree, holder: NodeId) -> (Cluster, Vec<LockClient>) {
         let n = tree.len();
         assert!(holder.index() < n, "holder out of range");
         let orientation = tree.orient_toward(holder);
@@ -118,13 +111,12 @@ impl Cluster {
             joins.push(std::thread::spawn(move || node_main(node, rx, transmit)));
         }
 
-        let handles = (0..n)
-            .map(|i| MutexHandle {
-                node: NodeId::from_index(i),
-                tx: txs[i].clone(),
-            })
+        let clients = txs
+            .iter()
+            .enumerate()
+            .map(|(i, tx)| make_client(NodeId::from_index(i), tx.clone()))
             .collect();
-        (Cluster { txs, joins }, handles)
+        (Cluster { txs, joins }, clients)
     }
 
     /// Number of nodes.
@@ -133,16 +125,16 @@ impl Cluster {
     }
 
     /// `true` for a cluster with no nodes — consistent with
-    /// [`Cluster::len`] (it used to report `true` for a single-node
-    /// cluster, the same inconsistency `Engine::is_empty` had).
+    /// [`Cluster::len`].
     pub fn is_empty(&self) -> bool {
         self.txs.is_empty()
     }
 
     /// Stops every node thread and returns the aggregated counters.
     ///
-    /// Outstanding [`Guard`]s should be dropped first; a lock request
-    /// issued after shutdown fails with [`LockError::ClusterDown`].
+    /// Outstanding [`LockGuard`](crate::LockGuard)s should be dropped
+    /// first; a lock request issued after shutdown fails with
+    /// [`LockError::ClusterDown`].
     pub fn shutdown(self) -> ClusterStats {
         for tx in &self.txs {
             let _ = tx.send(Input::Shutdown);
@@ -156,107 +148,42 @@ impl Cluster {
     }
 }
 
-impl MutexHandle {
-    pub(crate) fn new(node: NodeId, tx: Sender<Input>) -> Self {
-        MutexHandle { node, tx }
+impl LockService for Cluster {
+    type Stats = ClusterStats;
+
+    fn len(&self) -> usize {
+        Cluster::len(self)
     }
 
-    /// This handle's node.
-    pub fn node(&self) -> NodeId {
-        self.node
+    fn keys(&self) -> u32 {
+        1
     }
 
-    /// Acquires the distributed mutex: sends the paper's `REQUEST` along
-    /// the logical tree (if the token is remote) and blocks until the
-    /// `PRIVILEGE` arrives.
-    ///
-    /// # Errors
-    ///
-    /// [`LockError::ClusterDown`] if the cluster has shut down.
-    ///
-    /// # Examples
-    ///
-    /// See the [crate-level example](crate).
-    pub fn lock(&mut self) -> Result<Guard<'_>, LockError> {
-        let (ack_tx, ack_rx) = bounded(1);
-        self.tx
-            .send(Input::Acquire(ack_tx))
-            .map_err(|_| LockError::ClusterDown)?;
-        ack_rx.recv().map_err(|_| LockError::ClusterDown)?;
-        Ok(Guard { handle: self })
-    }
-
-    /// Like [`MutexHandle::lock`], but gives up after `timeout`,
-    /// returning `Ok(None)`.
-    ///
-    /// The REQUEST already travelling the tree cannot be recalled; the
-    /// node thread will release the privilege the moment it arrives —
-    /// or, if this handle calls `lock`/`lock_timeout` again first, the
-    /// new acquisition *adopts* the in-flight request (no extra
-    /// messages).
-    ///
-    /// # Errors
-    ///
-    /// [`LockError::ClusterDown`] if the cluster has shut down.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use dmx_runtime::Cluster;
-    /// use dmx_topology::{NodeId, Tree};
-    /// use std::time::Duration;
-    ///
-    /// let (cluster, mut handles) = Cluster::start(&Tree::line(2), NodeId(0));
-    /// let got = handles[1].lock_timeout(Duration::from_secs(1))?.is_some();
-    /// assert!(got); // nobody contends, well within a second
-    /// # drop(handles);
-    /// # cluster.shutdown();
-    /// # Ok::<(), dmx_runtime::LockError>(())
-    /// ```
-    pub fn lock_timeout(&mut self, timeout: Duration) -> Result<Option<Guard<'_>>, LockError> {
-        let (ack_tx, ack_rx) = bounded(1);
-        self.tx
-            .send(Input::Acquire(ack_tx))
-            .map_err(|_| LockError::ClusterDown)?;
-        match ack_rx.recv_timeout(timeout) {
-            Ok(()) => Ok(Some(Guard { handle: self })),
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                self.tx
-                    .send(Input::AbandonAcquire)
-                    .map_err(|_| LockError::ClusterDown)?;
-                Ok(None)
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(LockError::ClusterDown),
-        }
+    fn shutdown(self) -> ClusterStats {
+        Cluster::shutdown(self)
     }
 }
 
-impl Guard<'_> {
-    /// The node holding the critical section.
-    pub fn node(&self) -> NodeId {
-        self.handle.node
-    }
-
-    /// Releases explicitly (equivalent to dropping the guard).
-    pub fn unlock(self) {}
-}
-
-impl Drop for Guard<'_> {
-    fn drop(&mut self) {
-        // If the cluster is already gone there is nobody to notify.
-        let _ = self.handle.tx.send(Input::Release);
-    }
+/// One single-lock client over a node thread's input channel (shared by
+/// the channel and TCP clusters).
+pub(crate) fn make_client(node: NodeId, tx: Sender<Input>) -> LockClient {
+    LockClient::new(node, 1, Box::new(ClusterEndpoint { tx }))
 }
 
 /// The per-node event loop: drives the pure state machine, handing its
-/// sends to `transmit` (channels here, sockets in [`crate::tcp`]).
+/// sends to `transmit` (channels here, sockets in [`crate::tcp`]), and
+/// the local user's acquisitions through the shared
+/// [`PendingSet`] pending/abandon machine.
 pub(crate) fn node_main<F>(mut node: DagNode, rx: Receiver<Input>, transmit: F) -> NodeStats
 where
     F: Fn(NodeId, NodeId, DagMessage),
 {
+    /// The single lock every slot of the pending machine refers to.
+    const KEY: LockId = LockId(0);
+
     let me = node.id();
     let mut stats = NodeStats::default();
-    let mut pending = Pending::Idle;
+    let mut pending = PendingSet::new();
     // Reused across the whole loop: the buffered DagNode handlers push
     // into it, so steady-state message handling allocates nothing.
     let mut actions: Vec<Action> = Vec::new();
@@ -289,42 +216,35 @@ where
     // is the loop's scratch buffer (its previous contents are spent).
     fn on_enter<F: Fn(NodeId, NodeId, DagMessage)>(
         node: &mut DagNode,
-        pending: &mut Pending,
+        pending: &mut PendingSet,
         me: NodeId,
         stats: &mut NodeStats,
         transmit: &F,
         actions: &mut Vec<Action>,
     ) {
-        match std::mem::replace(pending, Pending::Idle) {
-            Pending::Waiting(ack) => {
+        match pending.grant(KEY) {
+            GrantAction::Deliver(ack) => {
                 stats.entries += 1;
-                let _ = ack.send(());
+                let _ = ack.send(Reply::Granted);
             }
-            Pending::Abandoned => {
+            GrantAction::AutoRelease => {
                 stats.abandoned += 1;
                 actions.clear();
                 node.exit_into(actions);
                 let entered = send_all(actions, me, stats, transmit);
                 debug_assert!(!entered, "exit never re-enters");
             }
-            Pending::Idle => {
-                unreachable!("node {me} entered the critical section with no local waiter")
-            }
         }
     }
 
     while let Ok(input) = rx.recv() {
         match input {
-            Input::Acquire(ack) => match pending {
+            Input::Acquire(ack) => match pending.acquire(KEY, ack) {
                 // Adopt the still-in-flight request of a timed-out
                 // acquisition: no new messages needed.
-                Pending::Abandoned => pending = Pending::Waiting(ack),
-                Pending::Waiting(_) => {
-                    unreachable!("node {me} given a second outstanding request")
-                }
-                Pending::Idle => {
+                AcquireAction::Adopted => {}
+                AcquireAction::Issue => {
                     assert!(!node.is_executing(), "Acquire while executing");
-                    pending = Pending::Waiting(ack);
                     actions.clear();
                     node.request_into(&mut actions);
                     if send_all(&actions, me, &mut stats, &transmit) {
@@ -339,26 +259,43 @@ where
                     }
                 }
             },
+            Input::TryAcquire(ack) => {
+                // Grant iff the token is parked here, idle, with no
+                // other acquisition engaged. (An abandoned request in
+                // flight implies the token is elsewhere, but check the
+                // slot anyway — it is the machine's source of truth.)
+                if node.has_token() && !node.is_executing() && !pending.is_engaged(KEY) {
+                    actions.clear();
+                    node.request_into(&mut actions);
+                    let entered = send_all(&actions, me, &mut stats, &transmit);
+                    debug_assert!(entered, "a holding idle node enters locally");
+                    stats.entries += 1;
+                    let _ = ack.send(Reply::Granted);
+                } else {
+                    let _ = ack.send(Reply::Unavailable);
+                }
+            }
             Input::Release => {
                 actions.clear();
                 node.exit_into(&mut actions);
                 let entered = send_all(&actions, me, &mut stats, &transmit);
                 debug_assert!(!entered);
             }
-            Input::AbandonAcquire => match std::mem::replace(&mut pending, Pending::Idle) {
-                // Normal case: still waiting; mark for auto-release.
-                Pending::Waiting(_) => pending = Pending::Abandoned,
-                // Race: the grant was already sent but the user timed
-                // out anyway — the node is inside the CS with nobody
-                // using it, so leave immediately.
-                Pending::Idle if node.is_executing() => {
-                    stats.abandoned += 1;
-                    actions.clear();
-                    node.exit_into(&mut actions);
-                    send_all(&actions, me, &mut stats, &transmit);
+            Input::AbandonAcquire => {
+                match pending.abandon(KEY, node.is_executing()) {
+                    // Normal case: still waiting; the grant will
+                    // auto-release on arrival.
+                    AbandonAction::Marked | AbandonAction::Stale => {}
+                    // Race: the grant was already delivered but the
+                    // user timed out anyway — leave immediately.
+                    AbandonAction::ReleaseNow => {
+                        stats.abandoned += 1;
+                        actions.clear();
+                        node.exit_into(&mut actions);
+                        send_all(&actions, me, &mut stats, &transmit);
+                    }
                 }
-                other => pending = other, // already resolved; nothing to do
-            },
+            }
             Input::Net { from, msg } => {
                 actions.clear();
                 match msg {
@@ -391,13 +328,15 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn lock_round_trip_on_star() {
-        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(0));
+        let (cluster, mut clients) = Cluster::start(&Tree::star(4), NodeId(0));
         {
-            let guard = handles[2].lock().unwrap();
+            let guard = clients[2].lock(LockId(0)).wait().unwrap();
             assert_eq!(guard.node(), NodeId(2));
+            assert_eq!(guard.key(), LockId(0));
         }
         let stats = cluster.shutdown();
         assert_eq!(stats.entries, 1);
@@ -408,12 +347,12 @@ mod tests {
 
     #[test]
     fn token_parks_making_reentry_free() {
-        let (cluster, mut handles) = Cluster::start(&Tree::line(3), NodeId(0));
-        handles[2].lock().unwrap();
+        let (cluster, mut clients) = Cluster::start(&Tree::line(3), NodeId(0));
+        drop(clients[2].lock(LockId(0)).wait().unwrap());
         {
             // Token is now parked at node 2; further locks cost nothing.
             for _ in 0..10 {
-                handles[2].lock().unwrap();
+                drop(clients[2].lock(LockId(0)).wait().unwrap());
             }
         };
         let stats = cluster.shutdown();
@@ -426,16 +365,16 @@ mod tests {
     #[test]
     fn mutual_exclusion_under_contention() {
         let n = 5;
-        let (cluster, handles) = Cluster::start(&Tree::star(n), NodeId(0));
+        let (cluster, clients) = Cluster::start(&Tree::star(n), NodeId(0));
         let in_cs = Arc::new(AtomicBool::new(false));
         let counter = Arc::new(AtomicU64::new(0));
         let mut workers = Vec::new();
-        for mut handle in handles {
+        for mut client in clients {
             let in_cs = Arc::clone(&in_cs);
             let counter = Arc::clone(&counter);
             workers.push(std::thread::spawn(move || {
                 for _ in 0..20 {
-                    let guard = handle.lock().unwrap();
+                    let guard = client.lock(LockId(0)).wait().unwrap();
                     assert!(
                         !in_cs.swap(true, Ordering::SeqCst),
                         "two nodes inside the critical section"
@@ -456,17 +395,20 @@ mod tests {
 
     #[test]
     fn lock_after_shutdown_errors() {
-        let (cluster, mut handles) = Cluster::start(&Tree::line(2), NodeId(0));
+        let (cluster, mut clients) = Cluster::start(&Tree::line(2), NodeId(0));
         cluster.shutdown();
-        assert_eq!(handles[1].lock().unwrap_err(), LockError::ClusterDown);
+        assert_eq!(
+            clients[1].lock(LockId(0)).wait().unwrap_err(),
+            LockError::ClusterDown
+        );
     }
 
     #[test]
     fn explicit_unlock_equals_drop() {
-        let (cluster, mut handles) = Cluster::start(&Tree::line(2), NodeId(1));
-        let guard = handles[0].lock().unwrap();
+        let (cluster, mut clients) = Cluster::start(&Tree::line(2), NodeId(1));
+        let guard = clients[0].lock(LockId(0)).wait().unwrap();
         guard.unlock();
-        let _again = handles[0].lock().unwrap();
+        let _again = clients[0].lock(LockId(0)).wait().unwrap();
         drop(_again);
         let stats = cluster.shutdown();
         assert_eq!(stats.entries, 2);
@@ -474,9 +416,9 @@ mod tests {
 
     #[test]
     fn single_node_cluster_is_a_plain_mutex() {
-        let (cluster, mut handles) = Cluster::start(&Tree::line(1), NodeId(0));
+        let (cluster, mut clients) = Cluster::start(&Tree::line(1), NodeId(0));
         for _ in 0..100 {
-            handles[0].lock().unwrap();
+            drop(clients[0].lock(LockId(0)).wait().unwrap());
         }
         let stats = cluster.shutdown();
         assert_eq!(stats.entries, 100);
@@ -485,26 +427,27 @@ mod tests {
 
     #[test]
     fn lock_timeout_times_out_while_contended_then_autoreleases() {
-        let (cluster, mut handles) = Cluster::start(&Tree::star(3), NodeId(1));
-        let (left, right) = handles.split_at_mut(2);
-        let h1 = &mut left[1];
-        let h2 = &mut right[0];
+        let (cluster, mut clients) = Cluster::start(&Tree::star(3), NodeId(1));
+        let (left, right) = clients.split_at_mut(2);
+        let c1 = &mut left[1];
+        let c2 = &mut right[0];
 
-        let guard = h1.lock().unwrap();
+        let guard = c1.lock(LockId(0)).wait().unwrap();
         // Token is busy at node 1: node 2 gives up after 30ms.
-        assert!(
-            h2.lock_timeout(Duration::from_millis(30))
-                .unwrap()
-                .is_none(),
+        assert_eq!(
+            c2.lock(LockId(0))
+                .timeout(Duration::from_millis(30))
+                .unwrap_err(),
+            LockError::Timeout,
             "must time out while the lock is held"
         );
         drop(guard); // token now travels to node 2, which auto-releases
 
         // Node 1 can reacquire: the abandoned grant did not wedge the token.
-        let again = h1.lock_timeout(Duration::from_secs(5)).unwrap();
-        assert!(again.is_some());
+        let again = c1.lock(LockId(0)).timeout(Duration::from_secs(5));
+        assert!(again.is_ok());
         drop(again);
-        drop(handles);
+        drop(clients);
         let stats = cluster.shutdown();
         assert_eq!(stats.node(NodeId(2)).abandoned, 1);
         assert_eq!(stats.entries, 2);
@@ -512,32 +455,34 @@ mod tests {
 
     #[test]
     fn new_lock_adopts_abandoned_request() {
-        let (cluster, handles) = Cluster::start(&Tree::line(2), NodeId(0));
-        let mut it = handles.into_iter();
-        let mut h0 = it.next().unwrap();
-        let mut h1 = it.next().unwrap();
+        let (cluster, clients) = Cluster::start(&Tree::line(2), NodeId(0));
+        let mut it = clients.into_iter();
+        let mut c0 = it.next().unwrap();
+        let mut c1 = it.next().unwrap();
 
-        let guard = h0.lock().unwrap();
+        let guard = c0.lock(LockId(0)).wait().unwrap();
         // Node 1's REQUEST goes out, then the user gives up.
-        assert!(h1
-            .lock_timeout(Duration::from_millis(20))
-            .unwrap()
-            .is_none());
+        assert_eq!(
+            c1.lock(LockId(0))
+                .timeout(Duration::from_millis(20))
+                .unwrap_err(),
+            LockError::Timeout
+        );
 
         // Re-acquire from another thread while node 0 still holds: the
         // new acquisition adopts the in-flight request.
         let waiter = std::thread::spawn(move || {
-            let g = h1.lock().unwrap();
+            let g = c1.lock(LockId(0)).wait().unwrap();
             drop(g);
-            h1
+            c1
         });
         // Give the Acquire time to land before the privilege is released.
         std::thread::sleep(Duration::from_millis(60));
         drop(guard);
-        let h1 = waiter.join().unwrap();
+        let c1 = waiter.join().unwrap();
 
-        drop(h0);
-        drop(h1);
+        drop(c0);
+        drop(c1);
         let stats = cluster.shutdown();
         // One REQUEST covered both of node 1's acquisition attempts, and
         // the grant went to the adopting attempt (no abandoned bounce).
@@ -548,23 +493,91 @@ mod tests {
 
     #[test]
     fn uncontended_lock_timeout_succeeds() {
-        let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(0));
-        let guard = handles[3].lock_timeout(Duration::from_secs(5)).unwrap();
-        assert!(guard.is_some());
+        let (cluster, mut clients) = Cluster::start(&Tree::star(4), NodeId(0));
+        let guard = clients[3].lock(LockId(0)).timeout(Duration::from_secs(5));
+        assert!(guard.is_ok());
         drop(guard);
-        drop(handles);
+        drop(clients);
         assert_eq!(cluster.shutdown().entries, 1);
+    }
+
+    #[test]
+    fn try_now_succeeds_only_where_the_token_is() {
+        let (cluster, mut clients) = Cluster::start(&Tree::line(3), NodeId(2));
+        // The token is at node 2; node 0 cannot take it without waiting,
+        // and the refusal costs zero protocol messages.
+        assert_eq!(
+            clients[0].lock(LockId(0)).try_now().unwrap_err(),
+            LockError::WouldBlock
+        );
+        {
+            let guard = clients[2].lock(LockId(0)).try_now().unwrap();
+            assert_eq!(guard.node(), NodeId(2));
+        }
+        drop(clients);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.messages_total, 0, "try never sends messages");
+    }
+
+    #[test]
+    fn try_now_fails_while_another_node_holds() {
+        let (cluster, mut clients) = Cluster::start(&Tree::star(3), NodeId(1));
+        let (left, right) = clients.split_at_mut(2);
+        let guard = left[1].lock(LockId(0)).wait().unwrap();
+        assert_eq!(
+            right[0].lock(LockId(0)).try_now().unwrap_err(),
+            LockError::WouldBlock
+        );
+        drop(guard);
+        drop(clients);
+        assert_eq!(cluster.shutdown().entries, 1);
+    }
+
+    #[test]
+    fn elapsed_deadline_fails_without_acquiring() {
+        let (cluster, mut clients) = Cluster::start(&Tree::line(2), NodeId(0));
+        assert_eq!(
+            clients[1]
+                .lock(LockId(0))
+                .deadline(std::time::Instant::now())
+                .unwrap_err(),
+            LockError::Deadline
+        );
+        // A generous deadline behaves like wait.
+        let guard = clients[1]
+            .lock(LockId(0))
+            .deadline(std::time::Instant::now() + Duration::from_secs(10));
+        assert!(guard.is_ok());
+        drop(guard);
+        drop(clients);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 1);
+        // The elapsed-deadline attempt sent nothing: only the second
+        // acquisition's REQUEST + PRIVILEGE crossed the wire.
+        assert_eq!(stats.messages_total, 2);
+    }
+
+    #[test]
+    fn out_of_range_key_is_rejected_by_the_client() {
+        let (cluster, mut clients) = Cluster::start(&Tree::line(2), NodeId(0));
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = clients[0].lock(LockId(1));
+        }));
+        assert!(poisoned.is_err(), "single-lock clusters only serve key 0");
+        drop(clients);
+        cluster.shutdown();
     }
 
     #[test]
     fn deep_line_still_serves_everyone() {
         let n = 8;
-        let (cluster, handles) = Cluster::start(&Tree::line(n), NodeId(0));
+        let (cluster, clients) = Cluster::start(&Tree::line(n), NodeId(0));
         let mut workers = Vec::new();
-        for mut handle in handles {
+        for mut client in clients {
             workers.push(std::thread::spawn(move || {
                 for _ in 0..5 {
-                    handle.lock().unwrap();
+                    drop(client.lock(LockId(0)).wait().unwrap());
                 }
             }));
         }

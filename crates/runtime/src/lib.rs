@@ -1,42 +1,63 @@
-//! Threaded channel-based runtime for the DAG mutual exclusion
-//! algorithm: a *distributed lock* you can actually take.
+//! Threaded runtimes for the DAG mutual exclusion algorithm: a
+//! *distributed lock* you can actually take, behind one unified client
+//! API.
 //!
-//! Every node of the logical tree runs on its own OS thread, exchanging
-//! the paper's `REQUEST`/`PRIVILEGE` messages over crossbeam channels
-//! (which preserve per-sender FIFO order, the paper's only network
-//! assumption). The public API is deliberately lock-like:
+//! Three backends implement the same [`LockService`] and hand out the
+//! same [`LockClient`]/[`LockGuard`] pair:
+//!
+//! * [`Cluster`] — one OS thread per tree node, crossbeam channels
+//!   (per-sender FIFO, the paper's only network assumption);
+//! * [`tcp::TcpCluster`] — the same node loop over loopback sockets;
+//! * [`LockSpaceCluster`] — the sharded multi-key lock service, with
+//!   per-shard worker threads and the simulator's coalescing transport.
+//!
+//! Acquisition is a builder — [`LockClient::lock`] then one of
+//! [`wait`](LockRequest::wait), [`try_now`](LockRequest::try_now),
+//! [`timeout`](LockRequest::timeout), [`deadline`](LockRequest::deadline)
+//! — and multi-key acquisition ([`LockClient::lock_many`]) takes keys
+//! in sorted order, so overlapping key sets never deadlock:
 //!
 //! ```
+//! use dmx_core::LockId;
 //! use dmx_runtime::Cluster;
 //! use dmx_topology::{NodeId, Tree};
+//! use std::time::Duration;
 //!
 //! // Token starts at leaf 1 — the star's worst case for node 2.
-//! let (cluster, mut handles) = Cluster::start(&Tree::star(4), NodeId(1));
+//! let (cluster, mut clients) = Cluster::start(&Tree::star(4), NodeId(1));
 //! {
-//!     let _guard = handles[2].lock()?; // token travels to node 2
+//!     let _guard = clients[2].lock(LockId(0)).wait()?; // token travels to node 2
 //!     // ... critical section ...
 //! } // guard drop releases; the token stays parked at node 2
+//! assert!(clients[2].lock(LockId(0)).try_now().is_ok()); // parked: free reentry
+//! assert!(clients[1]
+//!     .lock(LockId(0))
+//!     .timeout(Duration::from_secs(5))?
+//!     .key() == LockId(0));
 //! let stats = cluster.shutdown();
-//! assert_eq!(stats.entries, 1);
-//! assert_eq!(stats.messages_total, 3); // the paper's star-topology bound
+//! assert_eq!(stats.entries, 3);
+//! assert_eq!(stats.messages_total, 3 + 3); // the paper's star bound, twice
 //! # Ok::<(), dmx_runtime::LockError>(())
 //! ```
 //!
 //! The same pure [`dmx_core::DagNode`] state machine that the
 //! deterministic simulator drives also runs here, so every property the
-//! simulator's checkers establish carries over to the threaded build.
+//! simulator's checkers establish carries over to the threaded build —
+//! and a scripted client session ([`run_script`]) reproduces the
+//! simulator's outcomes step for step (see [`service`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod client;
 mod cluster;
 mod lockspace;
+pub mod service;
 mod stats;
 pub mod tcp;
 
-pub use cluster::{Cluster, Guard, LockError, MutexHandle};
-pub use lockspace::{
-    KeyGuard, LockSpaceCluster, LockSpaceClusterConfig, LockSpaceHandle, LockSpaceNodeStats,
-    LockSpaceStats,
-};
+pub use client::{run_script, LockClient, LockGuard, LockRequest, MultiGuard, MultiRequest};
+pub use cluster::Cluster;
+pub use lockspace::{LockSpaceCluster, LockSpaceClusterConfig, LockSpaceNodeStats, LockSpaceStats};
+pub use service::{LockError, LockService};
 pub use stats::{ClusterStats, NodeStats};

@@ -1,7 +1,9 @@
 //! The multi-lock service over real threads: a [`LockSpaceCluster`]
 //! serves the same keyed-lock API the simulated `dmx-lockspace`
-//! subsystem exposes — now with per-shard worker parallelism and the
-//! same coalescing transport the simulator runs.
+//! subsystem exposes — with per-shard worker parallelism, the same
+//! coalescing transport the simulator runs, and the same unified
+//! [`LockClient`] every other backend hands out (try/timeout/deadline
+//! and deadlock-free [`lock_many`](LockClient::lock_many) included).
 //!
 //! Each node is a small thread group:
 //!
@@ -16,7 +18,12 @@
 //!   coalescing layer — the identical grouping code the simulated
 //!   `LockSpace` flushes through), and flushes one envelope per
 //!   destination when the [`FlushPolicy`]'s cap is hit or the inbox
-//!   goes idle.
+//!   goes idle. The router also runs the shared
+//!   [`PendingSet`](crate::service) pending/abandon machine — across
+//!   its whole key space, where the single-lock node loop runs it for
+//!   one key — so timeouts, abandonment (release-on-grant; the paper
+//!   has no cancel message), and request adoption behave identically
+//!   on every backend.
 //!
 //! The wire therefore carries [`Envelope::One`]/[`Envelope::Batch`]
 //! exactly like the simulator's network: a node forwarding many keys'
@@ -33,27 +40,35 @@
 //! use dmx_runtime::LockSpaceCluster;
 //! use dmx_topology::{NodeId, Tree};
 //!
-//! let (cluster, mut handles) =
+//! let (cluster, mut clients) =
 //!     LockSpaceCluster::start(&Tree::star(4), 64, Placement::Modulo);
 //! {
-//!     let _guard = handles[2].lock(LockId(17))?; // key 17's critical section
+//!     let _guard = clients[2].lock(LockId(17)).wait()?; // key 17's critical section
 //! } // drop releases; key 17's token stays parked at node 2
+//! {
+//!     // Deadlock-free multi-key acquisition: sorted LockId order.
+//!     let guard = clients[2].lock_many(&[LockId(9), LockId(3)]).wait()?;
+//!     assert_eq!(guard.keys(), &[LockId(3), LockId(9)]);
+//! }
 //! let stats = cluster.shutdown();
-//! assert_eq!(stats.entries, 1);
+//! assert_eq!(stats.entries, 3);
 //! # Ok::<(), dmx_runtime::LockError>(())
 //! ```
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use dmx_core::{Action, DagMessage, DagNode, KeyedDagMessage, LockId};
 use dmx_lockspace::{
     BatchPool, Envelope, FlushPolicy, LockTable, OrientationCache, Placement, Transport,
 };
 use dmx_topology::{NodeId, Tree};
 
-use crate::cluster::LockError;
+use crate::client::{Endpoint, LockClient};
+use crate::service::{
+    AbandonAction, AcquireAction, GrantAction, LockError, LockService, PendingSet, Reply,
+};
 
 /// Threaded lock-space parameters.
 ///
@@ -106,9 +121,16 @@ impl Default for LockSpaceClusterConfig {
 /// Inputs a lock-space node processes.
 enum Input {
     /// Local user wants `key`'s critical section; reply when granted.
-    Acquire(LockId, Sender<()>),
+    Acquire(LockId, Sender<Reply>),
+    /// Local user wants `key` only if its token is here right now;
+    /// reply [`Reply::Granted`] or [`Reply::Unavailable`] without ever
+    /// sending a protocol message.
+    TryAcquire(LockId, Sender<Reply>),
     /// Local user releases `key`.
     Release(LockId),
+    /// The user gave up waiting on `key`; release its privilege the
+    /// moment it arrives (unless a new acquisition adopts the request).
+    Abandon(LockId),
     /// An envelope of keyed protocol messages from a peer.
     Net {
         /// Wire sender.
@@ -131,6 +153,8 @@ enum NodeMsg {
 enum WorkerJob {
     /// Local user wants `key`.
     Acquire(LockId),
+    /// Local user wants `key` iff its token is locally available.
+    TryAcquire(LockId),
     /// Local user releases `key`.
     Release(LockId),
     /// A keyed protocol message from a peer.
@@ -146,10 +170,11 @@ enum WorkerJob {
 
 /// One worker dispatch's results: the outbox the router merges into the
 /// node transport, plus a grant signal when the dispatch entered a
-/// critical section.
+/// critical section (or a refusal when a try found the token remote).
 struct WorkerOut {
     sends: Vec<(NodeId, KeyedDagMessage)>,
     entered: Option<LockId>,
+    refused: Option<LockId>,
 }
 
 /// Counters one worker accumulates over its lifetime.
@@ -172,6 +197,10 @@ pub struct LockSpaceNodeStats {
     pub envelopes_sent: u64,
     /// Critical-section entries performed by this node's local user.
     pub entries: u64,
+    /// Acquisitions whose user gave up waiting: the privilege arrived
+    /// (or was already held) with nobody waiting and was released
+    /// immediately.
+    pub abandoned: u64,
     /// Lock instances this node materialized (keys it saw traffic for),
     /// summed over its workers.
     pub keys_materialized: usize,
@@ -218,41 +247,52 @@ impl LockSpaceStats {
 
 /// A running multi-lock cluster: a router plus per-shard workers per
 /// tree node, each worker hosting its shard's per-key DAG instances.
-/// Obtain per-node [`LockSpaceHandle`]s from
-/// [`LockSpaceCluster::start`] (or
-/// [`start_with`](LockSpaceCluster::start_with) for worker/flush
+/// Obtain per-node [`LockClient`]s from [`LockSpaceCluster::start`]
+/// (or [`start_with`](LockSpaceCluster::start_with) for worker/flush
 /// control) and call [`shutdown`](LockSpaceCluster::shutdown) when
 /// done.
 #[derive(Debug)]
 pub struct LockSpaceCluster {
+    keys: u32,
     txs: Vec<Sender<NodeMsg>>,
     joins: Vec<JoinHandle<LockSpaceNodeStats>>,
 }
 
-/// The keyed distributed-lock endpoint for one node.
-///
-/// `lock` takes `&mut self`, so each node has at most one outstanding
-/// acquisition at a time (the lock-space system model), enforced at
-/// compile time while a [`KeyGuard`] lives. Different *nodes* lock
-/// different — or the same — keys fully concurrently.
-#[derive(Debug)]
-pub struct LockSpaceHandle {
-    node: NodeId,
+/// The lock space's [`Endpoint`]: client operations map onto keyed
+/// [`Input`]s for the node's router.
+struct LockSpaceEndpoint {
     tx: Sender<NodeMsg>,
 }
 
-/// Possession of one key's critical section; releases on drop (or
-/// explicitly via [`KeyGuard::unlock`]).
-#[derive(Debug)]
-pub struct KeyGuard<'a> {
-    handle: &'a mut LockSpaceHandle,
-    key: LockId,
+impl Endpoint for LockSpaceEndpoint {
+    fn acquire(&self, key: LockId, ack: Sender<Reply>) -> Result<(), LockError> {
+        self.tx
+            .send(NodeMsg::External(Input::Acquire(key, ack)))
+            .map_err(|_| LockError::ClusterDown)
+    }
+
+    fn try_acquire(&self, key: LockId, ack: Sender<Reply>) -> Result<(), LockError> {
+        self.tx
+            .send(NodeMsg::External(Input::TryAcquire(key, ack)))
+            .map_err(|_| LockError::ClusterDown)
+    }
+
+    fn abandon(&self, key: LockId) -> Result<(), LockError> {
+        self.tx
+            .send(NodeMsg::External(Input::Abandon(key)))
+            .map_err(|_| LockError::ClusterDown)
+    }
+
+    fn release(&self, key: LockId) {
+        // If the cluster is already gone there is nobody to notify.
+        let _ = self.tx.send(NodeMsg::External(Input::Release(key)));
+    }
 }
 
 impl LockSpaceCluster {
     /// Spawns one node group per node of `tree` serving `keys` locks
     /// placed per `placement` (one worker per node, every-burst
-    /// flushing), and returns the cluster plus one [`LockSpaceHandle`]
+    /// flushing), and returns the cluster plus one [`LockClient`]
     /// per node (index = node id).
     ///
     /// # Panics
@@ -263,7 +303,7 @@ impl LockSpaceCluster {
         tree: &Tree,
         keys: u32,
         placement: Placement,
-    ) -> (LockSpaceCluster, Vec<LockSpaceHandle>) {
+    ) -> (LockSpaceCluster, Vec<LockClient>) {
         LockSpaceCluster::start_with(
             tree,
             LockSpaceClusterConfig {
@@ -285,7 +325,7 @@ impl LockSpaceCluster {
     pub fn start_with(
         tree: &Tree,
         config: LockSpaceClusterConfig,
-    ) -> (LockSpaceCluster, Vec<LockSpaceHandle>) {
+    ) -> (LockSpaceCluster, Vec<LockClient>) {
         assert!(config.keys > 0, "lock space needs at least one key");
         assert!(config.workers > 0, "lock space needs at least one worker");
         config.flush.validate();
@@ -326,13 +366,25 @@ impl LockSpaceCluster {
             }));
         }
 
-        let handles = (0..n)
-            .map(|i| LockSpaceHandle {
-                node: NodeId::from_index(i),
-                tx: txs[i].clone(),
+        let clients = txs
+            .iter()
+            .enumerate()
+            .map(|(i, tx)| {
+                LockClient::new(
+                    NodeId::from_index(i),
+                    config.keys,
+                    Box::new(LockSpaceEndpoint { tx: tx.clone() }),
+                )
             })
             .collect();
-        (LockSpaceCluster { txs, joins }, handles)
+        (
+            LockSpaceCluster {
+                keys: config.keys,
+                txs,
+                joins,
+            },
+            clients,
+        )
     }
 
     /// Number of nodes.
@@ -344,6 +396,11 @@ impl LockSpaceCluster {
     /// [`LockSpaceCluster::len`].
     pub fn is_empty(&self) -> bool {
         self.txs.is_empty()
+    }
+
+    /// Number of keys served.
+    pub fn keys(&self) -> u32 {
+        self.keys
     }
 
     /// Stops every node and returns the aggregated counters.
@@ -360,51 +417,19 @@ impl LockSpaceCluster {
     }
 }
 
-impl LockSpaceHandle {
-    /// This handle's node.
-    pub fn node(&self) -> NodeId {
-        self.node
+impl LockService for LockSpaceCluster {
+    type Stats = LockSpaceStats;
+
+    fn len(&self) -> usize {
+        LockSpaceCluster::len(self)
     }
 
-    /// Acquires `key`'s distributed lock: sends the keyed `REQUEST`
-    /// along key's logical tree (if its token is remote) and blocks
-    /// until the keyed `PRIVILEGE` arrives.
-    ///
-    /// # Errors
-    ///
-    /// [`LockError::ClusterDown`] if the cluster has shut down.
-    pub fn lock(&mut self, key: LockId) -> Result<KeyGuard<'_>, LockError> {
-        let (ack_tx, ack_rx) = bounded(1);
-        self.tx
-            .send(NodeMsg::External(Input::Acquire(key, ack_tx)))
-            .map_err(|_| LockError::ClusterDown)?;
-        ack_rx.recv().map_err(|_| LockError::ClusterDown)?;
-        Ok(KeyGuard { handle: self, key })
-    }
-}
-
-impl KeyGuard<'_> {
-    /// The locked key.
-    pub fn key(&self) -> LockId {
-        self.key
+    fn keys(&self) -> u32 {
+        LockSpaceCluster::keys(self)
     }
 
-    /// The node holding this key's critical section.
-    pub fn node(&self) -> NodeId {
-        self.handle.node
-    }
-
-    /// Releases explicitly (equivalent to dropping the guard).
-    pub fn unlock(self) {}
-}
-
-impl Drop for KeyGuard<'_> {
-    fn drop(&mut self) {
-        // If the cluster is already gone there is nobody to notify.
-        let _ = self
-            .handle
-            .tx
-            .send(NodeMsg::External(Input::Release(self.key)));
+    fn shutdown(self) -> LockSpaceStats {
+        LockSpaceCluster::shutdown(self)
     }
 }
 
@@ -444,15 +469,27 @@ fn worker_main(
 
     while let Ok(job) = rx.recv() {
         let key = match &job {
-            WorkerJob::Acquire(key) | WorkerJob::Release(key) => *key,
+            WorkerJob::Acquire(key) | WorkerJob::TryAcquire(key) | WorkerJob::Release(key) => *key,
             WorkerJob::Net { msg, .. } => msg.lock,
             WorkerJob::Shutdown => break,
         };
         actions.clear();
+        let mut refused = None;
         match job {
             WorkerJob::Acquire(key) => {
                 materialize(&mut table, key, me, placement, &tree, &mut orientations)
                     .request_into(&mut actions);
+            }
+            WorkerJob::TryAcquire(key) => {
+                let instance =
+                    materialize(&mut table, key, me, placement, &tree, &mut orientations);
+                if instance.has_token() && !instance.is_executing() {
+                    // The token is parked here, idle: entering is local
+                    // and free (request_into yields a bare Enter).
+                    instance.request_into(&mut actions);
+                } else {
+                    refused = Some(key);
+                }
             }
             WorkerJob::Release(key) => {
                 table
@@ -497,16 +534,21 @@ fn worker_main(
         }
         // The reply can only fail during shutdown, when the router no
         // longer merges.
-        let _ = out.send(NodeMsg::Worker(WorkerOut { sends, entered }));
+        let _ = out.send(NodeMsg::Worker(WorkerOut {
+            sends,
+            entered,
+            refused,
+        }));
     }
     stats.keys_materialized = table.len();
     stats
 }
 
 /// One node's router: fans keyed traffic out to the per-shard workers,
-/// merges their outboxes into the shared [`Transport`], and flushes
-/// pooled envelopes to the peers when the flush policy's cap is hit or
-/// the inbox goes idle.
+/// merges their outboxes into the shared [`Transport`], flushes pooled
+/// envelopes to the peers when the flush policy's cap is hit or the
+/// inbox goes idle, and resolves local grants through the shared
+/// [`PendingSet`] pending/abandon machine.
 fn router_main(
     me: NodeId,
     n: usize,
@@ -519,7 +561,16 @@ fn router_main(
     let mut stats = LockSpaceNodeStats::default();
     let mut transport = Transport::new(n, flush);
     let mut pool = BatchPool::new();
-    let mut pending: Option<(LockId, Sender<()>)> = None;
+    // The local user's outstanding acquisitions (waiting or abandoned),
+    // across the whole key space — the same machine the single-lock
+    // node loop runs for its one key.
+    let mut pending = PendingSet::new();
+    // The one outstanding try-acquisition, if any (the client is
+    // `&mut`-serialized, so there is never more than one).
+    let mut trying: Option<(LockId, Sender<Reply>)> = None;
+    // Keys the local user currently holds (granted, not yet released);
+    // lock_many holds several at once.
+    let mut held: Vec<LockId> = Vec::new();
     // Jobs dispatched to workers whose outboxes have not come back yet:
     // while nonzero, more coalescing material is guaranteed to arrive,
     // so an empty inbox is not yet "idle".
@@ -544,6 +595,13 @@ fn router_main(
         };
     }
 
+    macro_rules! dispatch {
+        ($key:expr, $job:expr) => {
+            let _ = worker_txs[worker_for($key)].send($job);
+            outstanding += 1;
+        };
+    }
+
     loop {
         // Block only when the transport is empty or workers still owe
         // outboxes; otherwise take what is immediately available and
@@ -564,28 +622,48 @@ fn router_main(
             }
         };
         match msg {
-            NodeMsg::External(Input::Acquire(key, ack)) => {
-                assert!(
-                    pending.is_none(),
-                    "node {me} given a second outstanding acquisition"
-                );
-                pending = Some((key, ack));
-                let _ = worker_txs[worker_for(key)].send(WorkerJob::Acquire(key));
-                outstanding += 1;
+            NodeMsg::External(Input::Acquire(key, ack)) => match pending.acquire(key, ack) {
+                // An abandoned request for this key is still in
+                // flight; the new acquisition adopts it silently.
+                AcquireAction::Adopted => {}
+                AcquireAction::Issue => {
+                    dispatch!(key, WorkerJob::Acquire(key));
+                }
+            },
+            NodeMsg::External(Input::TryAcquire(key, ack)) => {
+                debug_assert!(trying.is_none(), "second outstanding try");
+                if pending.is_engaged(key) {
+                    // An abandoned request is in flight: the token is
+                    // not here (a requesting node never holds it).
+                    let _ = ack.send(Reply::Unavailable);
+                } else {
+                    trying = Some((key, ack));
+                    dispatch!(key, WorkerJob::TryAcquire(key));
+                }
             }
             NodeMsg::External(Input::Release(key)) => {
-                let _ = worker_txs[worker_for(key)].send(WorkerJob::Release(key));
-                outstanding += 1;
+                held.retain(|&k| k != key);
+                dispatch!(key, WorkerJob::Release(key));
+            }
+            NodeMsg::External(Input::Abandon(key)) => {
+                match pending.abandon(key, held.contains(&key)) {
+                    AbandonAction::Marked | AbandonAction::Stale => {}
+                    // Race: the grant was already delivered but the
+                    // user timed out anyway — release immediately.
+                    AbandonAction::ReleaseNow => {
+                        stats.abandoned += 1;
+                        held.retain(|&k| k != key);
+                        dispatch!(key, WorkerJob::Release(key));
+                    }
+                }
             }
             NodeMsg::External(Input::Net { from, envelope }) => match envelope {
                 Envelope::One(msg) => {
-                    let _ = worker_txs[worker_for(msg.lock)].send(WorkerJob::Net { from, msg });
-                    outstanding += 1;
+                    dispatch!(msg.lock, WorkerJob::Net { from, msg });
                 }
                 Envelope::Batch(mut batch) => {
                     for msg in batch.drain(..) {
-                        let _ = worker_txs[worker_for(msg.lock)].send(WorkerJob::Net { from, msg });
-                        outstanding += 1;
+                        dispatch!(msg.lock, WorkerJob::Net { from, msg });
                     }
                     // The drained payload joins this node's own pool:
                     // cross-node buffer recycling.
@@ -593,7 +671,11 @@ fn router_main(
                 }
             },
             NodeMsg::External(Input::Shutdown) => break,
-            NodeMsg::Worker(WorkerOut { sends, entered }) => {
+            NodeMsg::Worker(WorkerOut {
+                sends,
+                entered,
+                refused,
+            }) => {
                 outstanding -= 1;
                 for (to, keyed) in sends {
                     transport.stage(to, keyed);
@@ -603,19 +685,35 @@ fn router_main(
                 // dispatches cannot freeze the counter and hold an
                 // already-staged envelope past the policy's bound.
                 bursts += 1;
-                if let Some(key) = entered {
-                    match pending.take() {
+                if let Some(key) = refused {
+                    match trying.take() {
                         Some((wanted, ack)) => {
-                            assert_eq!(
-                                wanted, key,
-                                "node {me} granted {key} while waiting for {wanted}"
-                            );
-                            stats.entries += 1;
-                            let _ = ack.send(());
+                            assert_eq!(wanted, key, "try refusal for the wrong key");
+                            let _ = ack.send(Reply::Unavailable);
                         }
-                        None => unreachable!(
-                            "node {me} entered {key}'s critical section with no local waiter"
-                        ),
+                        None => unreachable!("node {me}: try refusal with no try outstanding"),
+                    }
+                }
+                if let Some(key) = entered {
+                    if trying.as_ref().is_some_and(|(k, _)| *k == key) {
+                        let (_, ack) = trying.take().expect("checked above");
+                        stats.entries += 1;
+                        held.push(key);
+                        let _ = ack.send(Reply::Granted);
+                    } else {
+                        match pending.grant(key) {
+                            GrantAction::Deliver(ack) => {
+                                stats.entries += 1;
+                                held.push(key);
+                                let _ = ack.send(Reply::Granted);
+                            }
+                            GrantAction::AutoRelease => {
+                                // The waiter abandoned: bounce the
+                                // privilege straight back out.
+                                stats.abandoned += 1;
+                                dispatch!(key, WorkerJob::Release(key));
+                            }
+                        }
                     }
                 }
                 if transport.staged() > 0 && transport.burst_cap_reached(bursts) {
@@ -642,17 +740,18 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Barrier;
+    use std::time::Duration;
 
     #[test]
     fn distinct_keys_are_held_concurrently_across_nodes() {
-        let (cluster, handles) =
+        let (cluster, clients) =
             LockSpaceCluster::start(&Tree::star(3), 8, Placement::Hub(NodeId(0)));
         let barrier = Arc::new(Barrier::new(2));
         let mut workers = Vec::new();
-        for (i, mut handle) in handles.into_iter().enumerate().skip(1) {
+        for (i, mut client) in clients.into_iter().enumerate().skip(1) {
             let barrier = Arc::clone(&barrier);
             workers.push(std::thread::spawn(move || {
-                let guard = handle.lock(LockId(i as u32)).unwrap();
+                let guard = client.lock(LockId(i as u32)).wait().unwrap();
                 assert_eq!(guard.key(), LockId(i as u32));
                 // Both nodes are inside *different* keys' critical
                 // sections right now — rendezvous proves the overlap.
@@ -670,16 +769,16 @@ mod tests {
     #[test]
     fn same_key_is_mutually_exclusive_under_contention() {
         let n = 4;
-        let (cluster, handles) = LockSpaceCluster::start(&Tree::star(n), 4, Placement::Modulo);
+        let (cluster, clients) = LockSpaceCluster::start(&Tree::star(n), 4, Placement::Modulo);
         let in_cs = Arc::new(AtomicBool::new(false));
         let counter = Arc::new(AtomicU64::new(0));
         let mut workers = Vec::new();
-        for mut handle in handles {
+        for mut client in clients {
             let in_cs = Arc::clone(&in_cs);
             let counter = Arc::clone(&counter);
             workers.push(std::thread::spawn(move || {
                 for _ in 0..25 {
-                    let guard = handle.lock(LockId(2)).unwrap();
+                    let guard = client.lock(LockId(2)).wait().unwrap();
                     assert!(
                         !in_cs.swap(true, Ordering::SeqCst),
                         "two nodes inside key 2's critical section"
@@ -709,16 +808,16 @@ mod tests {
             workers: 4,
             flush: FlushPolicy::Window(4),
         };
-        let (cluster, handles) = LockSpaceCluster::start_with(&Tree::star(n), config);
+        let (cluster, clients) = LockSpaceCluster::start_with(&Tree::star(n), config);
         let in_cs = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::new();
-        for mut handle in handles {
+        for mut client in clients {
             let in_cs = Arc::clone(&in_cs);
             workers.push(std::thread::spawn(move || {
                 for round in 0..25u32 {
                     // Same hot key for everyone, plus a private key to
                     // keep the shards busy across workers.
-                    let guard = handle.lock(LockId(5)).unwrap();
+                    let guard = client.lock(LockId(5)).wait().unwrap();
                     assert!(
                         !in_cs.swap(true, Ordering::SeqCst),
                         "two nodes inside key 5's critical section"
@@ -726,7 +825,7 @@ mod tests {
                     in_cs.store(false, Ordering::SeqCst);
                     drop(guard);
                     let private = LockId(round % 8);
-                    drop(handle.lock(private).unwrap());
+                    drop(client.lock(private).wait().unwrap());
                 }
             }));
         }
@@ -743,10 +842,10 @@ mod tests {
 
     #[test]
     fn token_parks_per_key_making_reentry_free() {
-        let (cluster, mut handles) =
+        let (cluster, mut clients) =
             LockSpaceCluster::start(&Tree::line(3), 16, Placement::Hub(NodeId(0)));
         for _ in 0..10 {
-            handles[2].lock(LockId(7)).unwrap();
+            drop(clients[2].lock(LockId(7)).wait().unwrap());
         }
         let stats = cluster.shutdown();
         assert_eq!(stats.entries, 10);
@@ -761,9 +860,9 @@ mod tests {
 
     #[test]
     fn one_node_serves_many_keys_sequentially() {
-        let (cluster, mut handles) = LockSpaceCluster::start(&Tree::star(4), 32, Placement::Modulo);
+        let (cluster, mut clients) = LockSpaceCluster::start(&Tree::star(4), 32, Placement::Modulo);
         for k in 0..32u32 {
-            let guard = handles[1].lock(LockId(k)).unwrap();
+            let guard = clients[1].lock(LockId(k)).wait().unwrap();
             assert_eq!(guard.node(), NodeId(1));
         }
         let stats = cluster.shutdown();
@@ -775,25 +874,201 @@ mod tests {
 
     #[test]
     fn lock_after_shutdown_errors() {
-        let (cluster, mut handles) = LockSpaceCluster::start(&Tree::line(2), 2, Placement::Modulo);
+        let (cluster, mut clients) = LockSpaceCluster::start(&Tree::line(2), 2, Placement::Modulo);
         cluster.shutdown();
         assert_eq!(
-            handles[1].lock(LockId(0)).unwrap_err(),
+            clients[1].lock(LockId(0)).wait().unwrap_err(),
             LockError::ClusterDown
         );
     }
 
     #[test]
     fn explicit_unlock_equals_drop() {
-        let (cluster, mut handles) =
+        let (cluster, mut clients) =
             LockSpaceCluster::start(&Tree::line(2), 4, Placement::Hub(NodeId(1)));
-        let guard = handles[0].lock(LockId(3)).unwrap();
+        let guard = clients[0].lock(LockId(3)).wait().unwrap();
         guard.unlock();
-        let again = handles[0].lock(LockId(3)).unwrap();
+        let again = clients[0].lock(LockId(3)).wait().unwrap();
         drop(again);
-        drop(handles);
+        drop(clients);
         let stats = cluster.shutdown();
         assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn keyed_timeout_times_out_while_contended_then_autoreleases() {
+        // The API-gap fix the redesign started from: lock-space clients
+        // now have the same timeout/abandon machinery the single-lock
+        // cluster always had.
+        let (cluster, clients) =
+            LockSpaceCluster::start(&Tree::star(3), 4, Placement::Hub(NodeId(1)));
+        let mut it = clients.into_iter();
+        let _c0 = it.next().unwrap();
+        let mut c1 = it.next().unwrap();
+        let mut c2 = it.next().unwrap();
+
+        let guard = c1.lock(LockId(2)).wait().unwrap();
+        assert_eq!(
+            c2.lock(LockId(2))
+                .timeout(Duration::from_millis(30))
+                .unwrap_err(),
+            LockError::Timeout,
+            "must time out while key 2 is held"
+        );
+        // A *different* key is still instantly available to the same
+        // client — the abandoned request only poisons its own key.
+        drop(c2.lock(LockId(3)).timeout(Duration::from_secs(5)).unwrap());
+        drop(guard); // key 2's token travels to node 2, which auto-releases
+
+        // Node 1 can reacquire key 2: the abandoned grant did not wedge
+        // its token.
+        let again = c1.lock(LockId(2)).timeout(Duration::from_secs(5));
+        assert!(again.is_ok());
+        drop(again);
+        drop(c1);
+        drop(c2);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.node(NodeId(2)).abandoned, 1);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn keyed_acquire_adopts_abandoned_request() {
+        let (cluster, clients) =
+            LockSpaceCluster::start(&Tree::line(2), 8, Placement::Hub(NodeId(0)));
+        let mut it = clients.into_iter();
+        let mut c0 = it.next().unwrap();
+        let mut c1 = it.next().unwrap();
+
+        let guard = c0.lock(LockId(5)).wait().unwrap();
+        assert_eq!(
+            c1.lock(LockId(5))
+                .timeout(Duration::from_millis(20))
+                .unwrap_err(),
+            LockError::Timeout
+        );
+
+        let waiter = std::thread::spawn(move || {
+            let g = c1.lock(LockId(5)).wait().unwrap();
+            drop(g);
+            c1
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        drop(guard);
+        let c1 = waiter.join().unwrap();
+
+        drop(c0);
+        drop(c1);
+        let stats = cluster.shutdown();
+        // One keyed REQUEST covered both acquisition attempts.
+        assert_eq!(stats.node(NodeId(1)).requests_sent, 1);
+        assert_eq!(stats.node(NodeId(1)).abandoned, 0);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn try_now_is_free_and_key_local() {
+        let (cluster, mut clients) =
+            LockSpaceCluster::start(&Tree::line(3), 8, Placement::Hub(NodeId(2)));
+        // All hubs at node 2: node 0's try fails without any traffic.
+        assert_eq!(
+            clients[0].lock(LockId(1)).try_now().unwrap_err(),
+            LockError::WouldBlock
+        );
+        {
+            let guard = clients[2].lock(LockId(1)).try_now().unwrap();
+            assert_eq!(guard.key(), LockId(1));
+        }
+        drop(clients);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.messages_total, 0, "try never sends messages");
+    }
+
+    #[test]
+    fn lock_many_acquires_in_sorted_order_and_releases_all() {
+        let (cluster, mut clients) = LockSpaceCluster::start(&Tree::star(4), 16, Placement::Modulo);
+        {
+            let guard = clients[1]
+                .lock_many(&[LockId(9), LockId(2), LockId(9), LockId(4)])
+                .wait()
+                .unwrap();
+            assert_eq!(guard.keys(), &[LockId(2), LockId(4), LockId(9)]);
+        }
+        // Everything released: each key is instantly reacquirable.
+        for k in [2u32, 4, 9] {
+            drop(
+                clients[1]
+                    .lock(LockId(k))
+                    .timeout(Duration::from_secs(5))
+                    .unwrap(),
+            );
+        }
+        drop(clients);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 6);
+    }
+
+    #[test]
+    fn lock_many_timeout_rolls_back_already_acquired_keys() {
+        let (cluster, clients) =
+            LockSpaceCluster::start(&Tree::star(3), 8, Placement::Hub(NodeId(1)));
+        let mut it = clients.into_iter();
+        let mut c0 = it.next().unwrap();
+        let mut c1 = it.next().unwrap();
+        let mut c2 = it.next().unwrap();
+
+        // Node 1 holds key 6; node 2's multi-acquisition of {3, 6} gets
+        // key 3, stalls on key 6, times out, and must give key 3 back.
+        let guard = c1.lock(LockId(6)).wait().unwrap();
+        assert_eq!(
+            c2.lock_many(&[LockId(3), LockId(6)])
+                .timeout(Duration::from_millis(40))
+                .unwrap_err(),
+            LockError::Timeout
+        );
+        // Key 3 is free again: node 0 can take it immediately.
+        drop(
+            c0.lock_many(&[LockId(3)])
+                .timeout(Duration::from_secs(5))
+                .unwrap(),
+        );
+        drop(guard);
+        // Reacquiring key 6 from node 1 serializes behind node 2's
+        // auto-release bounce: by the time this grant arrives, the
+        // abandoned privilege has demonstrably come and gone.
+        drop(c1.lock(LockId(6)).timeout(Duration::from_secs(5)).unwrap());
+        drop(c0);
+        drop(c1);
+        drop(c2);
+        let stats = cluster.shutdown();
+        // Key 6's abandoned privilege eventually reached node 2 and
+        // bounced (abandoned), leaving the space clean.
+        let abandoned: u64 = stats.per_node.iter().map(|s| s.abandoned).sum();
+        assert_eq!(abandoned, 1);
+    }
+
+    #[test]
+    fn lock_many_try_now_rolls_back_on_first_remote_key() {
+        let (cluster, mut clients) = LockSpaceCluster::start(&Tree::line(2), 8, Placement::Modulo);
+        // Keys 0, 2, 4 are hubbed at node 0; key 1 at node 1. A try for
+        // {0, 1, 2} takes 0, refuses at 1, and must give 0 back.
+        assert_eq!(
+            clients[0]
+                .lock_many(&[LockId(0), LockId(1), LockId(2)])
+                .try_now()
+                .unwrap_err(),
+            LockError::WouldBlock
+        );
+        // Key 0 was rolled back: node 1 can lock it (proves no orphan).
+        drop(
+            clients[1]
+                .lock(LockId(0))
+                .timeout(Duration::from_secs(5))
+                .unwrap(),
+        );
+        drop(clients);
+        cluster.shutdown();
     }
 
     #[test]
@@ -802,6 +1077,27 @@ mod tests {
         let config = LockSpaceClusterConfig {
             keys: 4,
             flush: FlushPolicy::Window(0),
+            ..LockSpaceClusterConfig::default()
+        };
+        let _ = LockSpaceCluster::start_with(&Tree::line(2), config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected_at_cluster_start() {
+        let config = LockSpaceClusterConfig {
+            keys: 4,
+            workers: 0,
+            ..LockSpaceClusterConfig::default()
+        };
+        let _ = LockSpaceCluster::start_with(&Tree::line(2), config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_is_rejected_at_cluster_start() {
+        let config = LockSpaceClusterConfig {
+            keys: 0,
             ..LockSpaceClusterConfig::default()
         };
         let _ = LockSpaceCluster::start_with(&Tree::line(2), config);

@@ -9,10 +9,11 @@ pub struct NodeStats {
     pub privileges_sent: u64,
     /// Critical-section entries performed by this node's local user.
     pub entries: u64,
-    /// Acquisitions abandoned via
-    /// [`lock_timeout`](crate::MutexHandle::lock_timeout): the privilege
-    /// arrived (or was already held) with nobody waiting and was
-    /// released immediately.
+    /// Acquisitions whose user gave up waiting (a
+    /// [`timeout`](crate::LockRequest::timeout) or
+    /// [`deadline`](crate::LockRequest::deadline) expired): the
+    /// privilege arrived (or was already held) with nobody waiting and
+    /// was released immediately.
     pub abandoned: u64,
 }
 

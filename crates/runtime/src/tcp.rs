@@ -33,7 +33,9 @@ use dmx_core::DagMessage;
 use dmx_topology::{NodeId, Tree};
 use parking_lot::Mutex;
 
-use crate::cluster::{node_main, Input, MutexHandle};
+use crate::client::LockClient;
+use crate::cluster::{make_client, node_main, Input};
+use crate::service::LockService;
 use crate::stats::{ClusterStats, NodeStats};
 
 const TAG_REQUEST: u8 = 0;
@@ -72,17 +74,21 @@ fn decode(frame: &[u8; FRAME_LEN]) -> io::Result<(NodeId, DagMessage)> {
 }
 
 /// A running cluster whose nodes exchange the paper's messages over
-/// loopback TCP. API mirrors [`Cluster`](crate::Cluster).
+/// loopback TCP. API mirrors [`Cluster`](crate::Cluster): the same
+/// [`LockClient`] with the same try/timeout/deadline machinery, since
+/// both runtimes share one node loop (and therefore one pending/abandon
+/// state machine).
 ///
 /// # Examples
 ///
 /// ```
+/// use dmx_core::LockId;
 /// use dmx_runtime::tcp::TcpCluster;
 /// use dmx_topology::{NodeId, Tree};
 ///
-/// let (cluster, mut handles) = TcpCluster::start(&Tree::star(3), NodeId(0))?;
+/// let (cluster, mut clients) = TcpCluster::start(&Tree::star(3), NodeId(0))?;
 /// {
-///     let _guard = handles[2].lock().expect("cluster running");
+///     let _guard = clients[2].lock(LockId(0)).wait().expect("cluster running");
 /// }
 /// let stats = cluster.shutdown();
 /// assert_eq!(stats.entries, 1);
@@ -99,7 +105,8 @@ pub struct TcpCluster {
 
 impl TcpCluster {
     /// Binds one loopback listener per node, spawns the node threads,
-    /// and returns the cluster plus one [`MutexHandle`] per node.
+    /// and returns the cluster plus one [`LockClient`] per node. The
+    /// single lock is `LockId(0)`.
     ///
     /// # Errors
     ///
@@ -108,7 +115,7 @@ impl TcpCluster {
     /// # Panics
     ///
     /// Panics if `holder` is out of range.
-    pub fn start(tree: &Tree, holder: NodeId) -> io::Result<(TcpCluster, Vec<MutexHandle>)> {
+    pub fn start(tree: &Tree, holder: NodeId) -> io::Result<(TcpCluster, Vec<LockClient>)> {
         let n = tree.len();
         assert!(holder.index() < n, "holder out of range");
         let orientation = tree.orient_toward(holder);
@@ -172,8 +179,8 @@ impl TcpCluster {
             node_joins.push(std::thread::spawn(move || node_main(node, rx, transmit)));
         }
 
-        let handles = (0..n)
-            .map(|i| MutexHandle::new(NodeId::from_index(i), txs[i].clone()))
+        let clients = (0..n)
+            .map(|i| make_client(NodeId::from_index(i), txs[i].clone()))
             .collect();
         Ok((
             TcpCluster {
@@ -183,7 +190,7 @@ impl TcpCluster {
                 addrs,
                 stop,
             },
-            handles,
+            clients,
         ))
     }
 
@@ -201,9 +208,10 @@ impl TcpCluster {
         self.txs.len()
     }
 
-    /// `true` for a single-node cluster.
+    /// `true` for a cluster with no nodes — consistent with
+    /// [`TcpCluster::len`].
     pub fn is_empty(&self) -> bool {
-        self.txs.len() <= 1
+        self.txs.is_empty()
     }
 
     /// Stops node threads and listeners, returning aggregated counters.
@@ -225,6 +233,22 @@ impl TcpCluster {
             let _ = j.join();
         }
         ClusterStats::from_nodes(per_node)
+    }
+}
+
+impl LockService for TcpCluster {
+    type Stats = ClusterStats;
+
+    fn len(&self) -> usize {
+        TcpCluster::len(self)
+    }
+
+    fn keys(&self) -> u32 {
+        1
+    }
+
+    fn shutdown(self) -> ClusterStats {
+        TcpCluster::shutdown(self)
     }
 }
 
@@ -257,6 +281,7 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<Input>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmx_core::LockId;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
     #[test]
@@ -276,9 +301,9 @@ mod tests {
 
     #[test]
     fn lock_round_trip_over_tcp() {
-        let (cluster, mut handles) = TcpCluster::start(&Tree::star(4), NodeId(1)).unwrap();
+        let (cluster, mut clients) = TcpCluster::start(&Tree::star(4), NodeId(1)).unwrap();
         {
-            let guard = handles[2].lock().unwrap();
+            let guard = clients[2].lock(LockId(0)).wait().unwrap();
             assert_eq!(guard.node(), NodeId(2));
         }
         let stats = cluster.shutdown();
@@ -290,9 +315,9 @@ mod tests {
 
     #[test]
     fn token_parks_over_tcp() {
-        let (cluster, mut handles) = TcpCluster::start(&Tree::line(3), NodeId(0)).unwrap();
+        let (cluster, mut clients) = TcpCluster::start(&Tree::line(3), NodeId(0)).unwrap();
         for _ in 0..5 {
-            handles[2].lock().unwrap();
+            drop(clients[2].lock(LockId(0)).wait().unwrap());
         }
         let stats = cluster.shutdown();
         assert_eq!(stats.entries, 5);
@@ -302,17 +327,17 @@ mod tests {
     #[test]
     fn mutual_exclusion_under_tcp_contention() {
         let n = 4;
-        let (cluster, handles) = TcpCluster::start(&Tree::star(n), NodeId(0)).unwrap();
+        let (cluster, clients) = TcpCluster::start(&Tree::star(n), NodeId(0)).unwrap();
         let inside = std::sync::Arc::new(AtomicBool::new(false));
         let tally = std::sync::Arc::new(AtomicU64::new(0));
-        let workers: Vec<_> = handles
+        let workers: Vec<_> = clients
             .into_iter()
-            .map(|mut h| {
+            .map(|mut c| {
                 let inside = std::sync::Arc::clone(&inside);
                 let tally = std::sync::Arc::clone(&tally);
                 std::thread::spawn(move || {
                     for _ in 0..10 {
-                        let guard = h.lock().unwrap();
+                        let guard = c.lock(LockId(0)).wait().unwrap();
                         assert!(!inside.swap(true, Ordering::SeqCst));
                         tally.fetch_add(1, Ordering::Relaxed);
                         inside.store(false, Ordering::SeqCst);
@@ -336,13 +361,13 @@ mod tests {
 
         let (tcp, mut th) = TcpCluster::start(&tree, NodeId(2)).unwrap();
         for &node in &sequence {
-            th[node.index()].lock().unwrap();
+            drop(th[node.index()].lock(LockId(0)).wait().unwrap());
         }
         let tcp_stats = tcp.shutdown();
 
         let (chan, mut ch) = crate::Cluster::start(&tree, NodeId(2));
         for &node in &sequence {
-            ch[node.index()].lock().unwrap();
+            drop(ch[node.index()].lock(LockId(0)).wait().unwrap());
         }
         let chan_stats = chan.shutdown();
 
@@ -352,12 +377,12 @@ mod tests {
 
     #[test]
     fn addresses_are_distinct_loopback_ports() {
-        let (cluster, handles) = TcpCluster::start(&Tree::line(3), NodeId(0)).unwrap();
+        let (cluster, clients) = TcpCluster::start(&Tree::line(3), NodeId(0)).unwrap();
         let mut ports: Vec<u16> = (0..3).map(|i| cluster.addr(NodeId(i)).port()).collect();
         ports.sort_unstable();
         ports.dedup();
         assert_eq!(ports.len(), 3);
-        drop(handles);
+        drop(clients);
         cluster.shutdown();
     }
 }

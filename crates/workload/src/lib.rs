@@ -21,7 +21,10 @@
 //! The [`keyed`] module adds the multi-lock axis: per-node request
 //! streams over a key space with uniform or Zipf-skewed key popularity
 //! ([`KeyedThinkTime`]) and pinned schedules ([`KeyedSchedule`]), driving
-//! the `dmx-lockspace` subsystem.
+//! the `dmx-lockspace` subsystem. The [`script`] module adds the
+//! *session* axis: explicit lock-client programs ([`Script`]) — lock,
+//! try, timeout, deadline, multi-key — that run identically under the
+//! simulator and against the threaded clusters.
 //!
 //! # Examples
 //!
@@ -38,8 +41,10 @@
 #![warn(missing_docs)]
 
 pub mod keyed;
+pub mod script;
 
 pub use keyed::{KeyDist, KeySampler, KeyStream, KeyedSchedule, KeyedThinkTime, KeyedWorkload};
+pub use script::{AcquireMode, Outcome, Script, SessionOp, SessionStep};
 
 use dmx_simnet::{LatencyModel, Time, Workload};
 use dmx_topology::NodeId;

@@ -1,0 +1,372 @@
+//! Client session scripts: one lock-client program, many substrates.
+//!
+//! A [`Script`] is a *global sequence* of lock-client steps — acquire
+//! (wait / try / timeout / deadline, one key or a sorted multi-key
+//! set) and release — each attributed to a node. The same script runs
+//!
+//! * under the deterministic simulator (`dmx-lockspace`'s
+//!   `ScriptedClient`, step `i` issued at tick `i × spacing`,
+//!   timeouts driven through the engine's `wake_at` timers), and
+//! * against the threaded/TCP clusters (`dmx-runtime`'s `run_script`,
+//!   step `i` gated on step `i − 1` completing, timeouts on the wall
+//!   clock),
+//!
+//! producing one [`Outcome`] per acquire step. On well-formed scripts
+//! the outcome vectors must be identical — that is the sim-parity
+//! contract `tests/runtime_vs_sim.rs` pins.
+//!
+//! # Well-formedness
+//!
+//! [`Script::validate`] enforces the structural rules (nodes and keys
+//! in range, non-empty key sets, and per-node alternation: every
+//! acquire is followed by that node's release before its next
+//! acquire — a client holds at most one guard at a time, which is
+//! exactly what the runtime's `&mut`-borrowing guards enforce at
+//! compile time). One rule is semantic and stays with the author:
+//! because steps are globally sequenced, a *waiting* acquire must
+//! never target a key whose current holder releases only in a later
+//! step — both executors would stall (the simulator past its step
+//! spacing, the threaded driver forever).
+//!
+//! # Examples
+//!
+//! ```
+//! use dmx_core::LockId;
+//! use dmx_simnet::Time;
+//! use dmx_topology::NodeId;
+//! use dmx_workload::Script;
+//!
+//! let script = Script::new()
+//!     .lock(NodeId(1), LockId(0))            // granted
+//!     .try_lock(NodeId(2), LockId(0))        // would block: node 1 holds
+//!     .release(NodeId(2))                    // no-op: nothing was granted
+//!     .release(NodeId(1))
+//!     .lock_many(NodeId(2), &[LockId(0), LockId(1)])
+//!     .release(NodeId(2));
+//! script.validate(3, 2);
+//! assert_eq!(script.len(), 6);
+//! ```
+
+use dmx_core::LockId;
+use dmx_simnet::Time;
+use dmx_topology::NodeId;
+
+/// How an acquire step waits for its grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireMode {
+    /// Block until granted.
+    Wait,
+    /// Grant only if every requested key's token is locally available
+    /// right now; otherwise fail with [`Outcome::WouldBlock`] without
+    /// sending any protocol message.
+    Try,
+    /// Block up to a window of this many ticks (the threaded executor
+    /// scales ticks to wall-clock durations), then give up with
+    /// [`Outcome::TimedOut`].
+    Timeout(Time),
+    /// Block until this absolute tick of the session's *logical clock*
+    /// — step `i` issues at tick `i ×` [`Script::STEP_TICKS`] on every
+    /// substrate — then give up with [`Outcome::DeadlineExceeded`]. A
+    /// deadline at or before the issuing step's logical tick has
+    /// already elapsed and fails immediately, without acquiring.
+    Deadline(Time),
+}
+
+/// One step's operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOp {
+    /// Acquire `keys` (all-or-nothing, in sorted [`LockId`] order).
+    Acquire {
+        /// The requested keys; deduplicated and sorted by the executor.
+        keys: Vec<LockId>,
+        /// How to wait.
+        mode: AcquireMode,
+    },
+    /// Release whatever this node's preceding acquire still holds
+    /// (a no-op when that acquire failed).
+    Release,
+}
+
+/// One globally-ordered step of a session script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStep {
+    /// The node whose client performs the step.
+    pub node: NodeId,
+    /// What it does.
+    pub op: SessionOp,
+}
+
+/// What an acquire step came back with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every requested key was acquired.
+    Granted,
+    /// The timeout window elapsed; any partially acquired keys were
+    /// rolled back.
+    TimedOut,
+    /// A [`AcquireMode::Try`] found some key's token remote.
+    WouldBlock,
+    /// The deadline passed; any partially acquired keys were rolled
+    /// back.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Granted => f.write_str("granted"),
+            Outcome::TimedOut => f.write_str("timed out"),
+            Outcome::WouldBlock => f.write_str("would block"),
+            Outcome::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+/// A globally-sequenced lock-client program; see the
+/// [module docs](self) for the execution model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Script {
+    steps: Vec<SessionStep>,
+}
+
+impl Script {
+    /// The logical session clock: step `i` issues at tick
+    /// `i × STEP_TICKS` on every substrate. The simulator schedules
+    /// steps at exactly these ticks; the threaded executor, whose
+    /// steps complete in wall-clock microseconds, evaluates
+    /// [`AcquireMode::Deadline`]s against this same logical clock so
+    /// outcomes stay substrate-independent. Timeout windows must stay
+    /// below it (validated by the executors) to keep steps globally
+    /// sequenced.
+    pub const STEP_TICKS: u64 = 1_000;
+
+    /// An empty script.
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// Appends a general acquire step.
+    pub fn acquire(mut self, node: NodeId, keys: &[LockId], mode: AcquireMode) -> Self {
+        self.steps.push(SessionStep {
+            node,
+            op: SessionOp::Acquire {
+                keys: keys.to_vec(),
+                mode,
+            },
+        });
+        self
+    }
+
+    /// Appends a blocking single-key acquire.
+    pub fn lock(self, node: NodeId, key: LockId) -> Self {
+        self.acquire(node, &[key], AcquireMode::Wait)
+    }
+
+    /// Appends a non-blocking single-key acquire.
+    pub fn try_lock(self, node: NodeId, key: LockId) -> Self {
+        self.acquire(node, &[key], AcquireMode::Try)
+    }
+
+    /// Appends a single-key acquire bounded by a `window`-tick timeout.
+    pub fn lock_timeout(self, node: NodeId, key: LockId, window: Time) -> Self {
+        self.acquire(node, &[key], AcquireMode::Timeout(window))
+    }
+
+    /// Appends a single-key acquire bounded by an absolute session
+    /// `deadline`.
+    pub fn lock_deadline(self, node: NodeId, key: LockId, deadline: Time) -> Self {
+        self.acquire(node, &[key], AcquireMode::Deadline(deadline))
+    }
+
+    /// Appends a blocking multi-key acquire (all-or-nothing, sorted
+    /// order).
+    pub fn lock_many(self, node: NodeId, keys: &[LockId]) -> Self {
+        self.acquire(node, keys, AcquireMode::Wait)
+    }
+
+    /// Appends a multi-key acquire bounded by a `window`-tick timeout,
+    /// rolling every key back on expiry.
+    pub fn lock_many_timeout(self, node: NodeId, keys: &[LockId], window: Time) -> Self {
+        self.acquire(node, keys, AcquireMode::Timeout(window))
+    }
+
+    /// Appends `node`'s release of whatever its last acquire holds.
+    pub fn release(mut self, node: NodeId) -> Self {
+        self.steps.push(SessionStep {
+            node,
+            op: SessionOp::Release,
+        });
+        self
+    }
+
+    /// The steps, in global order.
+    pub fn steps(&self) -> &[SessionStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` for a script with no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Checks the structural rules against an `n`-node, `keys`-key
+    /// service; see the [module docs](self).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range node or key, an empty key set, a
+    /// zero-tick timeout window, a release with no preceding acquire,
+    /// or two acquires by one node without a release between them (or
+    /// after the last one — every grant must be released so the
+    /// session can quiesce).
+    pub fn validate(&self, n: usize, keys: u32) {
+        // Per-node: None = free, Some(step) = an acquire at `step` not
+        // yet followed by a release.
+        let mut open: Vec<Option<usize>> = vec![None; n];
+        for (i, step) in self.steps.iter().enumerate() {
+            assert!(
+                step.node.index() < n,
+                "script step {i}: node {} out of range for {n} nodes",
+                step.node
+            );
+            match &step.op {
+                SessionOp::Acquire { keys: set, mode } => {
+                    assert!(!set.is_empty(), "script step {i}: empty key set");
+                    for key in set {
+                        assert!(
+                            key.0 < keys,
+                            "script step {i}: {key} out of range for {keys} keys"
+                        );
+                    }
+                    if let AcquireMode::Timeout(w) = mode {
+                        assert!(w.ticks() > 0, "script step {i}: zero-tick timeout window");
+                    }
+                    assert!(
+                        open[step.node.index()].is_none(),
+                        "script step {i}: node {} acquires again without releasing \
+                         its step-{} acquire",
+                        step.node,
+                        open[step.node.index()].unwrap_or_default()
+                    );
+                    open[step.node.index()] = Some(i);
+                }
+                SessionOp::Release => {
+                    assert!(
+                        open[step.node.index()].is_some(),
+                        "script step {i}: node {} releases with no open acquire",
+                        step.node
+                    );
+                    open[step.node.index()] = None;
+                }
+            }
+        }
+        for (node, o) in open.iter().enumerate() {
+            assert!(
+                o.is_none(),
+                "script ends with node {node}'s step-{} acquire never released",
+                o.unwrap_or_default()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_assemble_in_order() {
+        let s = Script::new()
+            .lock(NodeId(0), LockId(3))
+            .release(NodeId(0))
+            .try_lock(NodeId(1), LockId(3))
+            .release(NodeId(1))
+            .lock_timeout(NodeId(2), LockId(0), Time(40))
+            .release(NodeId(2))
+            .lock_deadline(NodeId(0), LockId(1), Time(9_000))
+            .release(NodeId(0))
+            .lock_many_timeout(NodeId(1), &[LockId(2), LockId(0)], Time(7))
+            .release(NodeId(1));
+        s.validate(3, 4);
+        assert_eq!(s.len(), 10);
+        assert_eq!(
+            s.steps()[4].op,
+            SessionOp::Acquire {
+                keys: vec![LockId(0)],
+                mode: AcquireMode::Timeout(Time(40)),
+            }
+        );
+    }
+
+    #[test]
+    fn try_release_may_noop_after_a_failed_acquire() {
+        // Structurally an acquire + release pair is always valid; the
+        // release just no-ops at run time when the acquire failed.
+        Script::new()
+            .try_lock(NodeId(0), LockId(0))
+            .release(NodeId(0))
+            .validate(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "acquires again without releasing")]
+    fn double_acquire_is_rejected() {
+        Script::new()
+            .lock(NodeId(0), LockId(0))
+            .lock(NodeId(0), LockId(1))
+            .validate(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never released")]
+    fn unreleased_tail_acquire_is_rejected() {
+        Script::new().lock(NodeId(0), LockId(0)).validate(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "releases with no open acquire")]
+    fn orphan_release_is_rejected() {
+        Script::new().release(NodeId(0)).validate(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for 2 keys")]
+    fn out_of_range_key_is_rejected() {
+        Script::new()
+            .lock(NodeId(0), LockId(2))
+            .release(NodeId(0))
+            .validate(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node n5 out of range")]
+    fn out_of_range_node_is_rejected() {
+        Script::new()
+            .lock(NodeId(5), LockId(0))
+            .release(NodeId(5))
+            .validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-tick timeout window")]
+    fn zero_timeout_window_is_rejected() {
+        Script::new()
+            .lock_timeout(NodeId(0), LockId(0), Time(0))
+            .release(NodeId(0))
+            .validate(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty key set")]
+    fn empty_key_set_is_rejected() {
+        Script::new()
+            .acquire(NodeId(0), &[], AcquireMode::Wait)
+            .release(NodeId(0))
+            .validate(1, 1);
+    }
+}

@@ -2,13 +2,15 @@
 //!
 //! Five worker threads (one per node of a star topology) each increment
 //! a shared tally 50 times under the distributed mutex. The token parks
-//! wherever it was last used, so a worker on a hot streak pays nothing.
+//! wherever it was last used, so a worker on a hot streak pays nothing —
+//! visible at the end through a free `try_now` where the token parked.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dagmutex::core::LockId;
 use dagmutex::runtime::Cluster;
 use dagmutex::topology::{NodeId, Tree};
 
@@ -20,19 +22,19 @@ fn main() {
         tree.diameter()
     );
 
-    let (cluster, handles) = Cluster::start(&tree, NodeId(0));
+    let (cluster, clients) = Cluster::start(&tree, NodeId(0));
 
     let tally = Arc::new(AtomicU64::new(0));
     let inside = Arc::new(AtomicBool::new(false));
 
-    let workers: Vec<_> = handles
+    let workers: Vec<_> = clients
         .into_iter()
-        .map(|mut handle| {
+        .map(|mut client| {
             let tally = Arc::clone(&tally);
             let inside = Arc::clone(&inside);
             std::thread::spawn(move || {
                 for _ in 0..50 {
-                    let guard = handle.lock().expect("cluster is running");
+                    let guard = client.lock(LockId(0)).wait().expect("cluster is running");
                     // Verify the mutual exclusion guarantee for real:
                     assert!(
                         !inside.swap(true, Ordering::SeqCst),
@@ -42,12 +44,24 @@ fn main() {
                     inside.store(false, Ordering::SeqCst);
                     drop(guard); // PRIVILEGE moves on (or parks here)
                 }
+                client
             })
         })
         .collect();
-    for w in workers {
-        w.join().expect("worker finished");
-    }
+    let mut clients: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker finished"))
+        .collect();
+
+    // The token parked wherever the last grant landed; exactly one
+    // node's try_now succeeds, everyone else is refused for free.
+    let parked: Vec<_> = clients
+        .iter_mut()
+        .filter_map(|c| c.lock(LockId(0)).try_now().ok().map(|g| g.node()))
+        .collect();
+    assert_eq!(parked.len(), 1, "exactly one node holds the parked token");
+    println!("token parked at          : {}", parked[0]);
+    drop(clients);
 
     let stats = cluster.shutdown();
     println!("critical-section entries : {}", stats.entries);

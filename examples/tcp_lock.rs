@@ -12,12 +12,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use dagmutex::core::LockId;
 use dagmutex::runtime::tcp::TcpCluster;
 use dagmutex::topology::{NodeId, Tree};
 
 fn main() -> std::io::Result<()> {
     let tree = Tree::star(4);
-    let (cluster, handles) = TcpCluster::start(&tree, NodeId(0))?;
+    let (cluster, clients) = TcpCluster::start(&tree, NodeId(0))?;
     for node in tree.nodes() {
         println!("node {node} listening on {}", cluster.addr(node));
     }
@@ -26,14 +27,14 @@ fn main() -> std::io::Result<()> {
     let tally = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
 
-    let workers: Vec<_> = handles
+    let workers: Vec<_> = clients
         .into_iter()
-        .map(|mut handle| {
+        .map(|mut client| {
             let inside = Arc::clone(&inside);
             let tally = Arc::clone(&tally);
             std::thread::spawn(move || {
                 for _ in 0..25 {
-                    let guard = handle.lock().expect("cluster running");
+                    let guard = client.lock(LockId(0)).wait().expect("cluster running");
                     assert!(
                         !inside.swap(true, Ordering::SeqCst),
                         "mutual exclusion violated"

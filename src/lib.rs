@@ -21,8 +21,11 @@
 //!   independent DAG-protocol locks multiplexed over one network, with
 //!   per-destination batching ([`lockspace::LockSpace`]).
 //! * [`runtime`] — the distributed lock over threads + channels
-//!   ([`runtime::Cluster`]) or loopback TCP ([`runtime::tcp::TcpCluster`]),
-//!   with RAII guards and `lock_timeout`.
+//!   ([`runtime::Cluster`]), loopback TCP ([`runtime::tcp::TcpCluster`]),
+//!   or sharded multi-key threads ([`runtime::LockSpaceCluster`]) — all
+//!   behind one [`runtime::LockService`] API: RAII guards,
+//!   `try_now`/`timeout`/`deadline` request shaping, and deadlock-free
+//!   multi-key `lock_many`.
 //! * [`harness`] — the per-table experiment drivers.
 //!
 //! Extras beyond the paper: Graphviz rendering of live protocol state
@@ -35,16 +38,20 @@
 //! Take the distributed lock on a 5-node star:
 //!
 //! ```
+//! use dagmutex::core::LockId;
 //! use dagmutex::runtime::Cluster;
 //! use dagmutex::topology::{NodeId, Tree};
 //!
-//! let (cluster, mut handles) = Cluster::start(&Tree::star(5), NodeId(0));
+//! let (cluster, mut clients) = Cluster::start(&Tree::star(5), NodeId(0));
 //! {
-//!     let _guard = handles[3].lock()?;
+//!     let _guard = clients[3].lock(LockId(0)).wait()?;
 //!     // critical section: the token (PRIVILEGE) is at node 3
 //! }
+//! // The token parked at node 3, so reentry is free — and `try_now`
+//! // proves it without sending a single message.
+//! assert!(clients[3].lock(LockId(0)).try_now().is_ok());
 //! let stats = cluster.shutdown();
-//! assert_eq!(stats.entries, 1);
+//! assert_eq!(stats.entries, 2);
 //! # Ok::<(), dagmutex::runtime::LockError>(())
 //! ```
 //!
