@@ -1,0 +1,33 @@
+//! Bench for the conservative parallel runtime: one paced demand run
+//! under 1, 2, 4, and 8 shard engines, sequential and threaded.
+//!
+//! Wraps the same kernel as the `parallel` section of `repro -- bench`
+//! (`BENCH_CURRENT.json`); the headline scaling numbers come from
+//! there. Budgets are smaller here so `cargo bench` stays fast; set
+//! `BENCH_SMOKE=1` to run each body exactly once (the CI smoke mode,
+//! which keeps the tick-barrier machinery — barrier rendezvous, leader
+//! merge, digest fold — exercised on every push, threads included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmx_harness::experiments::parallel_scaling;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/paced");
+    group.sample_size(10);
+    for shards in parallel_scaling::SHARD_COUNTS {
+        for (mode, threads) in [("seq", false), ("threaded", true)] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("shards{shards}/{mode}")),
+                &(shards, threads),
+                |b, &(shards, threads)| {
+                    b.iter(|| parallel_scaling::measure(black_box(127), 1_024, 4, shards, threads));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,22 +28,35 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "ext_window",
         "extension: coalescing-window sweep (window × keys × n)",
     ),
+    (
+        "ext_par",
+        "extension: parallel tick-barrier scaling (shards × paced demand)",
+    ),
 ];
 
 /// Run explicitly (`repro -- bench`); excluded from the default sweep
 /// because it is timing-sensitive and writes a file.
 const BENCH_ID: (&str, &str) = (
     "bench",
-    "engine hot-loop + multi-key throughput suites; writes BENCH_CURRENT.json",
+    "engine hot-loop + multi-key + parallel-scaling suites; writes BENCH_CURRENT.json",
+);
+
+/// Also explicit-only: the 1M-key × 10k-node acceptance run allocates
+/// gigabytes and processes tens of millions of events.
+const MEGA_ID: (&str, &str) = (
+    "ext_mega",
+    "1M keys × 10k nodes under the parallel runtime, digest-checked at two shard counts",
 );
 
 fn run_bench() {
     let results = experiments::hot_loop::run_suite();
     let multi_key = experiments::lock_scaling::bench_suite();
+    let parallel = experiments::parallel_scaling::bench_suite();
     let json = format!(
-        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"results\": {},\n  \"multi_key\": {}\n}}\n",
+        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"results\": {},\n  \"multi_key\": {},\n  \"parallel\": {}\n}}\n",
         experiments::hot_loop::results_json(&results),
-        experiments::lock_scaling::results_json(&multi_key)
+        experiments::lock_scaling::results_json(&multi_key),
+        experiments::parallel_scaling::results_json(&parallel)
     );
     // Always a distinct file: BENCH_PR<n>.json artifacts are curated
     // (they carry unreproducible pre-refactor baselines) and must
@@ -96,6 +109,8 @@ fn run_one(id: &str) -> bool {
             "{}",
             experiments::lock_scaling::run_windows(&[15, 127], &[64, 4096], 12)
         ),
+        "ext_par" => println!("{}", experiments::parallel_scaling::run(127, 1024, 6)),
+        "ext_mega" => println!("{}", experiments::parallel_scaling::run_mega()),
         "bench" => run_bench(),
         _ => return false,
     }
@@ -108,8 +123,9 @@ fn main() {
         for (id, desc) in EXPERIMENTS {
             println!("{id:10} {desc}");
         }
-        let (id, desc) = BENCH_ID;
-        println!("{id:10} {desc}");
+        for (id, desc) in [BENCH_ID, MEGA_ID] {
+            println!("{id:10} {desc}");
+        }
         return;
     }
     let ids: Vec<&str> = if args.is_empty() {

@@ -7,6 +7,7 @@ pub mod hot_loop;
 pub mod hub_placement;
 pub mod load_sweep;
 pub mod lock_scaling;
+pub mod parallel_scaling;
 pub mod scaling;
 pub mod storage;
 pub mod sync_delay;

@@ -1,0 +1,328 @@
+//! `ext_par` — parallel-simulation scaling: events/s vs shard engines
+//! under the tick-barrier runtime.
+//!
+//! The conservative parallel runtime (`dmx_lockspace::parallel`) shards
+//! the key space across per-core engines synchronized at tick barriers.
+//! This experiment sweeps the shard count over one fixed paced demand
+//! and reports, per `K`:
+//!
+//! - **wall events/s** — aggregate simulated events over wall-clock
+//!   time, for the machine the sweep actually ran on;
+//! - **critical-path events/s** — events over the *critical-path busy
+//!   time* (per barrier window, the longest any shard spent processing,
+//!   summed). This is the standard conservative-PDES potential-speedup
+//!   figure: what the same run sustains once every shard has its own
+//!   core. On a single-core host the wall column is flat and this
+//!   column is the result; the sequential round-robin driver measures
+//!   it uncontended.
+//!
+//! Every cell's grant digest is asserted identical to the `K = 1`
+//! digest — the scaling sweep doubles as a determinism check on every
+//! invocation.
+//!
+//! The `repro -- bench` subcommand serializes this sweep as the
+//! `parallel` section of `BENCH_CURRENT.json` (cores ∈ {1, 2, 4, 8},
+//! sequential and threaded modes side by side), and `repro -- ext_mega`
+//! runs the acceptance-scale cell: 1M keys × 10k nodes, completed
+//! deterministically at two shard counts.
+
+use std::time::Instant;
+
+use dmx_lockspace::{ParallelConfig, ParallelEngine, ParallelReport};
+use dmx_simnet::Time;
+use dmx_topology::Tree;
+use dmx_workload::PacedKeyDemand;
+
+use crate::Table;
+
+/// Shard counts the sweep walks — the "cores" axis of the scaling
+/// table.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One timed parallel cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelScalingMeasurement {
+    /// Shard engines (the simulated core count).
+    pub shards: usize,
+    /// `"threaded"` (one OS thread per shard) or `"seq"` (round-robin
+    /// driver, uncontended busy timing).
+    pub mode: &'static str,
+    /// Key-space size.
+    pub keys: u32,
+    /// Node count.
+    pub n: usize,
+    /// Events processed across all shards.
+    pub events: u64,
+    /// Grants served.
+    pub grants: u64,
+    /// Barrier rounds.
+    pub windows: u64,
+    /// Per-window max shard events, summed — the critical path.
+    pub critical_path_events: u64,
+    /// The shard-invariance witness.
+    pub grant_digest: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Critical-path busy seconds (per window, the slowest shard).
+    pub busy_critical_secs: f64,
+}
+
+impl ParallelScalingMeasurement {
+    /// Aggregate events per wall-clock second.
+    pub fn wall_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Events per critical-path busy second — throughput with every
+    /// shard on its own core.
+    pub fn critical_events_per_sec(&self) -> f64 {
+        self.events as f64 / self.busy_critical_secs.max(f64::MIN_POSITIVE)
+    }
+
+    /// Event-count parallelism: total events over critical-path events
+    /// (≥ 1; the load-balance ceiling on speedup at this shard count).
+    pub fn potential_speedup(&self) -> f64 {
+        self.events as f64 / (self.critical_path_events as f64).max(1.0)
+    }
+}
+
+fn from_report(
+    r: &ParallelReport,
+    mode: &'static str,
+    keys: u32,
+    n: usize,
+) -> ParallelScalingMeasurement {
+    ParallelScalingMeasurement {
+        shards: r.shards,
+        mode,
+        keys,
+        n,
+        events: r.events,
+        grants: r.grants,
+        windows: r.windows,
+        critical_path_events: r.critical_path_events,
+        grant_digest: r.grant_digest,
+        elapsed_secs: (r.wall_nanos as f64 / 1e9).max(f64::MIN_POSITIVE),
+        busy_critical_secs: (r.busy_critical_nanos as f64 / 1e9).max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Times one parallel cell on a complete binary tree of `n` nodes.
+///
+/// # Panics
+///
+/// Panics if the run starves a request or violates per-key safety —
+/// the sweep never reports throughput for a broken run.
+pub fn measure(
+    n: usize,
+    keys: u32,
+    rounds: u64,
+    shards: usize,
+    threads: bool,
+) -> ParallelScalingMeasurement {
+    let tree = Tree::kary(n, 2);
+    let demand = PacedKeyDemand::new(keys, n, 60, 2, rounds, 42);
+    let report = ParallelEngine::new(
+        &tree,
+        demand,
+        ParallelConfig {
+            shards,
+            threads,
+            window: 64,
+            hold: Time(2),
+            ..ParallelConfig::default()
+        },
+    )
+    .run();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert_eq!(report.starved, 0, "paced run must serve every request");
+    from_report(&report, if threads { "threaded" } else { "seq" }, keys, n)
+}
+
+/// The sweep as a repro table: shard count vs events/s (wall and
+/// critical-path), digest-checked against `K = 1` on every row.
+pub fn run(n: usize, keys: u32, rounds: u64) -> Table {
+    let mut table = Table::new(
+        "ext_par — parallel tick-barrier scaling (shards × one paced demand, digest-checked)",
+        &[
+            "shards",
+            "mode",
+            "events",
+            "grants",
+            "windows",
+            "potential speedup",
+            "digest",
+        ],
+    );
+    let mut base_digest = None;
+    for shards in SHARD_COUNTS {
+        let m = measure(n, keys, rounds, shards, false);
+        let base = *base_digest.get_or_insert(m.grant_digest);
+        assert_eq!(m.grant_digest, base, "digest moved at K={shards}");
+        table.row(&[
+            shards.to_string(),
+            m.mode.to_string(),
+            m.events.to_string(),
+            m.grants.to_string(),
+            m.windows.to_string(),
+            format!("{:.2}x", m.potential_speedup()),
+            format!("{:016x}", m.grant_digest),
+        ]);
+    }
+    table
+}
+
+/// The `parallel` bench cells: shards ∈ {1, 2, 4, 8} over a 4096-key ×
+/// 127-node paced demand, each shard count timed under both drivers —
+/// sequential (clean critical-path busy numbers) and threaded (real
+/// barrier rendezvous cost on this host). Digests are asserted
+/// identical across every cell.
+pub fn bench_suite() -> Vec<ParallelScalingMeasurement> {
+    let (n, keys, rounds) = (127usize, 4_096u32, 10u64);
+    let mut results = Vec::new();
+    let mut base_digest = None;
+    for shards in SHARD_COUNTS {
+        for threads in [false, true] {
+            let _warmup = measure(n, keys, 1, shards, threads);
+            let m = measure(n, keys, rounds, shards, threads);
+            let base = *base_digest.get_or_insert(m.grant_digest);
+            assert_eq!(m.grant_digest, base, "digest moved at K={shards}");
+            eprintln!(
+                "parallel_scaling: shards={:<2} {:>8} {:>12.0} wall events/s \
+                 {:>12.0} critical-path events/s ({:.2}x potential)",
+                m.shards,
+                m.mode,
+                m.wall_events_per_sec(),
+                m.critical_events_per_sec(),
+                m.potential_speedup(),
+            );
+            results.push(m);
+        }
+    }
+    results
+}
+
+/// Serializes measurements as a JSON array (hand-rolled, like the other
+/// suites — no JSON dependency in this offline workspace).
+pub fn results_json(results: &[ParallelScalingMeasurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"mode\": \"{}\", \"keys\": {}, \"n\": {}, \
+             \"events\": {}, \"grants\": {}, \"windows\": {}, \
+             \"critical_path_events\": {}, \"grant_digest\": \"{:016x}\", \
+             \"elapsed_secs\": {:.6}, \"busy_critical_secs\": {:.6}, \
+             \"wall_events_per_sec\": {:.0}, \"critical_events_per_sec\": {:.0}, \
+             \"potential_speedup\": {:.3}}}{}\n",
+            m.shards,
+            m.mode,
+            m.keys,
+            m.n,
+            m.events,
+            m.grants,
+            m.windows,
+            m.critical_path_events,
+            m.grant_digest,
+            m.elapsed_secs,
+            m.busy_critical_secs,
+            m.wall_events_per_sec(),
+            m.critical_events_per_sec(),
+            m.potential_speedup(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// The acceptance-scale run: **1M keys × 10k nodes**, completed at two
+/// shard counts whose digests must agree — the "deterministic
+/// million-key sweep" the parallel runtime exists for. Explicit-only
+/// (`repro -- ext_mega`): it processes tens of millions of events and
+/// allocates gigabytes of per-shard orientation cache.
+pub fn run_mega() -> Table {
+    let tree = Tree::kary(10_000, 2);
+    let demand = PacedKeyDemand::new(1_000_000, 10_000, 40, 2, 1, 7);
+    let mut table = Table::new(
+        "ext_mega — 1M keys × 10k nodes, deterministic across shard counts",
+        &["shards", "mode", "events", "grants", "wall secs", "digest"],
+    );
+    let mut digests = Vec::new();
+    for (shards, threads) in [(4usize, false), (8, true)] {
+        let start = Instant::now();
+        let report = ParallelEngine::new(
+            &tree,
+            demand,
+            ParallelConfig {
+                shards,
+                threads,
+                window: 256,
+                hold: Time(2),
+                ..ParallelConfig::default()
+            },
+        )
+        .run();
+        let secs = start.elapsed().as_secs_f64();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert_eq!(report.starved, 0);
+        digests.push(report.grant_digest);
+        table.row(&[
+            shards.to_string(),
+            if threads { "threaded" } else { "seq" }.to_string(),
+            report.events.to_string(),
+            report.grants.to_string(),
+            format!("{secs:.1}"),
+            format!("{:016x}", report.grant_digest),
+        ]);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "mega run digests diverged: {digests:x?}"
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_rows_cover_every_shard_count_and_agree() {
+        let table = run(31, 64, 2);
+        assert_eq!(table.len(), 4, "one row per shard count");
+        // All four rows carry the same digest (run() asserts it too —
+        // this pins the digest actually landing in the table).
+        let digests: Vec<String> = (0..4).map(|r| table.cell(r, 6).to_string()).collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
+        // Grants identical across rows, and windows recorded.
+        let grants: Vec<u64> = (0..4).map(|r| table.cell(r, 3).parse().unwrap()).collect();
+        assert!(grants.windows(2).all(|w| w[0] == w[1]));
+        assert!(table.cell(0, 4).parse::<u64>().unwrap() > 0);
+    }
+
+    #[test]
+    fn measure_reports_timing_and_parallelism() {
+        let seq = measure(31, 128, 2, 4, false);
+        assert!(seq.events > 0 && seq.grants > 0);
+        assert!(seq.wall_events_per_sec() > 0.0);
+        assert!(seq.critical_events_per_sec() > 0.0);
+        assert!(seq.potential_speedup() >= 1.0);
+        assert!(seq.critical_path_events <= seq.events);
+        let thr = measure(31, 128, 2, 4, true);
+        assert_eq!(
+            thr.grant_digest, seq.grant_digest,
+            "threads changed the run"
+        );
+        assert_eq!(thr.events, seq.events);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let m = measure(15, 16, 1, 2, false);
+        let json = results_json(&[m.clone(), m]);
+        assert_eq!(json.matches("\"shards\"").count(), 2);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

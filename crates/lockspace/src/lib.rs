@@ -72,12 +72,14 @@
 #![warn(missing_docs)]
 
 mod envelope;
+pub mod parallel;
 pub mod session;
 mod space;
 mod table;
 pub mod transport;
 
 pub use envelope::{Envelope, BATCH_HEADER_BYTES};
+pub use parallel::{ParallelConfig, ParallelEngine, ParallelReport};
 pub use session::{ScriptedClient, SessionConfig, SessionMonitor};
 pub use space::{
     LockSpace, LockSpaceConfig, LockSpaceMonitor, LockSpaceNode, OrientationCache, Placement,

@@ -1,0 +1,1005 @@
+//! Conservative parallel simulation: the lock space sharded across
+//! per-core engines with deterministic tick-barrier synchronization.
+//!
+//! The sequential [`LockSpace`](crate::LockSpace) multiplexes every key
+//! over one event loop, topping out at one core. This module shards the
+//! **key space** instead: shard `s` of `K` simulates the full node set
+//! but only the keys with `key % K == s`, on its own event queue. The
+//! paper's protocol never couples two keys — each key's DAG instances,
+//! REQUEST/PRIVILEGE traffic, and grants are a closed system — so a
+//! key-partitioned run is the ideal conservative decomposition: the
+//! cross-shard lookahead is unbounded, and shard engines only
+//! rendezvous at **tick-barrier windows** to keep each other within one
+//! window of simulated time and to exchange their staged envelope
+//! accounting (below).
+//!
+//! # Determinism and shard-count invariance
+//!
+//! A `ParallelEngine` run is deterministic (same seed, same report) and
+//! *shard-count invariant*: per-key grant sequences, per-key metrics,
+//! safety verdicts, and the global envelope accounting are identical at
+//! `K = 1, 2, 4, 8, …` shards, threaded or not. Three properties carry
+//! the proof, each pinned by `tests/parallel_equivalence.rs`:
+//!
+//! 1. **Per-key pinned demand.** [`PacedKeyDemand`] computes every
+//!    arrival as a pure function of `(seed, key, round, j)` — no shared
+//!    RNG stream exists to draw from in shard-dependent order (this is
+//!    the "per-shard RNG streams" requirement, by construction).
+//! 2. **Key-tagged events.** Every event a shard processes — arrival,
+//!    delivery, release — belongs to exactly one key, and processing an
+//!    event for key `k` only reads and writes `k`'s state and schedules
+//!    more `k`-events. By induction the relative order of `k`'s events
+//!    is decided by `k`'s history alone, so interleaving with other
+//!    keys (which *does* vary with `K`) is unobservable.
+//! 3. **Deterministic barrier merge.** Envelope records exchanged at a
+//!    barrier are merged in stable `(tick, src, dst)` order with a
+//!    fixed shard→slot map, so the shared-network accounting any two
+//!    shards contribute to folds identically for every `K`.
+//!
+//! The one-tick-per-hop latency model is load-bearing for (2): a shared
+//! latency RNG would order draws by global event order, which is
+//! shard-dependent. `Fixed(1)` draws nothing.
+//!
+//! # Envelope exchange
+//!
+//! Within a tick each shard stages its sends through the shared
+//! [`Transport`] (grouping per source node, [`FlushPolicy::EveryTick`]
+//! semantics) into `(tick, src, dst, messages, payload)` records. At
+//! the next barrier the leader merges all shards' records: one logical
+//! envelope per `(tick, src, dst)` — a batch that crosses shards pays
+//! its [`BATCH_HEADER_BYTES`] once, exactly as the single shared
+//! network would have charged it.
+
+use std::collections::VecDeque;
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+use dmx_core::{Action, DagMessage, DagNode, KeyedDagMessage, LockId};
+use dmx_simnet::checker::{KeyedSafetyChecker, KeyedViolation};
+use dmx_simnet::metrics::{KeyedMetrics, KeyedRollup};
+use dmx_simnet::sched::{EventQueue, HeapQueue, SchedBackend, Wheel256Queue, WheelQueue};
+use dmx_simnet::{LatencyModel, MessageMeta, Scheduler, Time};
+use dmx_topology::{NodeId, Tree};
+use dmx_workload::PacedKeyDemand;
+
+use crate::envelope::{Envelope, BATCH_HEADER_BYTES};
+use crate::space::{OrientationCache, Placement};
+use crate::table::LockTable;
+use crate::transport::{BatchPool, FlushPolicy, Transport};
+
+/// Configuration of a [`ParallelEngine`] run.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_lockspace::ParallelConfig;
+///
+/// let config = ParallelConfig { shards: 4, ..ParallelConfig::default() };
+/// assert!(!config.threads); // sequential shard stepping by default
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelConfig {
+    /// Shard engines to partition the key space over (`key % shards`).
+    pub shards: usize,
+    /// Tick-barrier window width: shard engines synchronize at every
+    /// multiple of this many ticks. Results are invariant in the window
+    /// (key partitioning gives unbounded cross-shard lookahead); the
+    /// window bounds how far shards drift apart within a round.
+    pub window: u64,
+    /// Run each shard engine on its own OS thread. Off, the shards are
+    /// stepped round-robin on the calling thread — same barriers, same
+    /// merge order, bit-identical report; the sequential mode is also
+    /// what per-shard busy time is measured under (uncontended).
+    pub threads: bool,
+    /// How long a grant holds its key before releasing.
+    pub hold: Time,
+    /// Initial token placement per key.
+    pub placement: Placement,
+    /// Record full per-key grant logs in the report (tests and small
+    /// runs; the folded digest is always computed).
+    pub record_grants: bool,
+    /// Event-queue backend for every shard engine. [`Scheduler::Auto`]
+    /// resolves against the runtime's `Fixed(1)` hop latency.
+    pub scheduler: Scheduler,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            shards: 1,
+            window: 64,
+            threads: false,
+            hold: Time(1),
+            placement: Placement::Modulo,
+            record_grants: false,
+            scheduler: Scheduler::Auto,
+        }
+    }
+}
+
+/// What a [`ParallelEngine`] run produced. Every field except the two
+/// wall-clock timings is deterministic and shard-count invariant, save
+/// [`ParallelReport::peak_concurrent`] (noted there).
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Shards the run used.
+    pub shards: usize,
+    /// Barrier rounds executed.
+    pub windows: u64,
+    /// Largest simulated time any shard reached.
+    pub end: Time,
+    /// Events processed across all shards (arrivals + deliveries +
+    /// releases).
+    pub events: u64,
+    /// Critical-path event count: per window, the *maximum* events any
+    /// one shard processed, summed over windows. `events /
+    /// critical_path_events` is the run's potential speedup on enough
+    /// cores — the standard conservative-PDES figure, deterministic
+    /// unlike wall time.
+    pub critical_path_events: u64,
+    /// Total grants across all keys.
+    pub grants: u64,
+    /// Order-sensitive digest folded over every key's `(time, node)`
+    /// grant sequence, combined across keys commutatively — *the*
+    /// shard-invariance witness.
+    pub grant_digest: u64,
+    /// Per-key grant logs (index = key), when
+    /// [`ParallelConfig::record_grants`] was set.
+    pub per_key_grants: Option<Vec<Vec<(Time, NodeId)>>>,
+    /// Merged per-key metrics rollup.
+    pub rollup: KeyedRollup,
+    /// Logical envelopes the shared network carried (one per busy
+    /// `(tick, src, dst)` under `EveryTick` coalescing).
+    pub envelopes: u64,
+    /// Bytes those envelopes carried (payload plus batch headers).
+    pub envelope_bytes: u64,
+    /// Keyed protocol messages inside those envelopes.
+    pub messages: u64,
+    /// First safety violation observed, if any (lowest shard wins the
+    /// tie, deterministically).
+    pub violation: Option<KeyedViolation>,
+    /// Requests that never got granted — 0 on a completed run.
+    pub starved: u64,
+    /// Peak concurrent holders as merged across shard checkers. Within
+    /// a shard this observes true interleaving; across shards the
+    /// checkers are combined at quiescence (max), so unlike every other
+    /// field it is a per-shard-resolution figure, not shard-invariant.
+    pub peak_concurrent: usize,
+    /// Wall-clock nanoseconds for the whole run (threads or not).
+    pub wall_nanos: u128,
+    /// Critical-path busy time: per window, the longest any shard spent
+    /// processing, summed. Under `threads: false` this is measured
+    /// uncontended and estimates the run's wall time on `shards` cores.
+    pub busy_critical_nanos: u128,
+}
+
+impl ParallelReport {
+    /// Aggregate simulated events per wall-clock second.
+    pub fn wall_events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
+    }
+
+    /// Events per second along the critical path — the throughput the
+    /// run would sustain with every shard on its own core.
+    pub fn critical_path_events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.busy_critical_nanos.max(1) as f64 / 1e9)
+    }
+}
+
+/// One shard-local event; every variant names exactly one key.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The `i`-th paced arrival for `key` (issuer recomputed from the
+    /// demand at dispatch).
+    Arrival { key: LockId, i: u64 },
+    /// A keyed protocol message crossing one edge, sent the previous
+    /// tick.
+    Deliver { dst: NodeId, msg: KeyedDagMessage },
+    /// End of a hold: `node` leaves `key`'s critical section.
+    Release { key: LockId, node: NodeId },
+}
+
+/// Per-`(node, key)` protocol instance plus the local request queue:
+/// overlapping arrivals at the same node for the same key wait here and
+/// re-issue FIFO on release, so the DAG instance always has at most one
+/// outstanding request.
+#[derive(Debug, Clone)]
+struct Instance {
+    node: DagNode,
+    /// Arrival time of the request currently outstanding (wait base).
+    wait_since: Time,
+    /// Arrival times queued behind the outstanding request.
+    queued: VecDeque<Time>,
+}
+
+/// Per-owned-key bookkeeping (indexed by `key / shards`).
+#[derive(Debug, Clone, Default)]
+struct KeyState {
+    /// FNV-1a over the key's `(time, node)` grant sequence.
+    digest: u64,
+    log: Vec<(Time, NodeId)>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(FNV_PRIME)
+}
+
+/// One `(tick, src, dst)` slice of a shard's staged traffic, exchanged
+/// at the barrier.
+#[derive(Debug, Clone, Copy)]
+struct EnvRecord {
+    tick: Time,
+    src: NodeId,
+    dst: NodeId,
+    msgs: u64,
+    /// Sum of the inner messages' wire sizes (headerless, so the
+    /// barrier merge can re-batch across shards without double-charging
+    /// the batch header).
+    payload: u64,
+}
+
+/// The shard engines' event queue: static dispatch over the simnet
+/// backends, selected once per run.
+enum Queue {
+    Heap(HeapQueue<Ev>),
+    Wheel(WheelQueue<Ev>),
+    Wheel256(Wheel256Queue<Ev>),
+}
+
+impl Queue {
+    fn for_backend(backend: SchedBackend) -> Self {
+        match backend {
+            SchedBackend::Heap => Queue::Heap(HeapQueue::new()),
+            SchedBackend::Wheel => Queue::Wheel(WheelQueue::new()),
+            SchedBackend::Wheel256 => Queue::Wheel256(Wheel256Queue::new()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: Time, seq: u64, ev: Ev) {
+        match self {
+            Queue::Heap(q) => q.push(at, seq, ev),
+            Queue::Wheel(q) => q.push(at, seq, ev),
+            Queue::Wheel256(q) => q.push(at, seq, ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Time, Ev)> {
+        match self {
+            Queue::Heap(q) => q.pop_earliest(),
+            Queue::Wheel(q) => q.pop_earliest(),
+            Queue::Wheel256(q) => q.pop_earliest(),
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<Time> {
+        match self {
+            Queue::Heap(q) => q.peek_time(),
+            Queue::Wheel(q) => q.peek_time(),
+            Queue::Wheel256(q) => q.peek_time(),
+        }
+    }
+}
+
+/// One shard's engine: the full node set, `1/K` of the key space, its
+/// own queue, metrics, safety checker, and transport.
+struct ShardEngine {
+    shard: usize,
+    shards: usize,
+    demand: PacedKeyDemand,
+    hold: Time,
+    placement: Placement,
+    record_grants: bool,
+    tree: Tree,
+    orientations: OrientationCache,
+    queue: Queue,
+    seq: u64,
+    /// Per-node `LockId -> Instance` tables.
+    tables: Vec<LockTable<Instance>>,
+    /// Per-owned-key grant bookkeeping (`key / shards`).
+    keys: Vec<KeyState>,
+    metrics: KeyedMetrics,
+    safety: KeyedSafetyChecker,
+    violation: Option<KeyedViolation>,
+    scratch: Vec<Action>,
+    /// `(src, dst, msg)` sends of the tick being dispatched, in
+    /// dispatch order.
+    sends: Vec<(NodeId, NodeId, KeyedDagMessage)>,
+    send_tick: Time,
+    transport: Transport,
+    pool: BatchPool,
+    /// This window's envelope records, handed to the barrier merge.
+    records: Vec<EnvRecord>,
+    grants: u64,
+    events: u64,
+    window_events: u64,
+    now: Time,
+}
+
+impl ShardEngine {
+    fn new(tree: &Tree, demand: PacedKeyDemand, config: &ParallelConfig, shard: usize) -> Self {
+        let n = tree.len();
+        let backend = config.scheduler.resolve(
+            LatencyModel::Fixed(Time(1)),
+            LatencyModel::Fixed(config.hold),
+        );
+        let owned = (demand.keys() as usize).div_ceil(config.shards).max(1);
+        let mut engine = ShardEngine {
+            shard,
+            shards: config.shards,
+            demand,
+            hold: config.hold,
+            placement: config.placement,
+            record_grants: config.record_grants,
+            tree: tree.clone(),
+            orientations: OrientationCache::new(n),
+            queue: Queue::for_backend(backend),
+            seq: 0,
+            tables: (0..n).map(|_| LockTable::new(1)).collect(),
+            keys: vec![KeyState::default(); owned],
+            metrics: KeyedMetrics::with_keys(demand.keys() as usize),
+            safety: KeyedSafetyChecker::with_keys(demand.keys() as usize),
+            violation: None,
+            scratch: Vec::new(),
+            sends: Vec::new(),
+            send_tick: Time::ZERO,
+            transport: Transport::new(n, FlushPolicy::EveryTick),
+            pool: BatchPool::new(),
+            records: Vec::new(),
+            grants: 0,
+            events: 0,
+            window_events: 0,
+            now: Time::ZERO,
+        };
+        // Seed the first arrival of every owned key, in key order.
+        for k in (shard as u32..demand.keys()).step_by(config.shards) {
+            let key = LockId(k);
+            let (at, _) = demand.arrival(key, 0);
+            engine.push(at, Ev::Arrival { key, i: 0 });
+        }
+        engine
+    }
+
+    fn owned_keys(&self) -> impl Iterator<Item = LockId> + '_ {
+        (self.shard as u32..self.demand.keys())
+            .step_by(self.shards)
+            .map(LockId)
+    }
+
+    /// Grants this shard owes over the whole run.
+    fn expected_grants(&self) -> u64 {
+        self.owned_keys().count() as u64 * self.demand.requests_per_key()
+    }
+
+    #[inline]
+    fn push(&mut self, at: Time, ev: Ev) {
+        self.queue.push(at, self.seq, ev);
+        self.seq += 1;
+    }
+
+    fn next_time(&self) -> Option<Time> {
+        self.queue.peek()
+    }
+
+    /// The `(node, key)` instance, materialized on first touch with its
+    /// initial orientation (same soundness argument as the sequential
+    /// lock space — see the [`table`](crate::table) module docs).
+    fn instance(&mut self, node: NodeId, key: LockId) -> &mut Instance {
+        let placement = self.placement;
+        let tree = &self.tree;
+        let orientations = &mut self.orientations;
+        self.tables[node.index()].get_or_insert_with(key, || Instance {
+            node: placement.initial_instance(key, node, tree, orientations),
+            wait_since: Time::ZERO,
+            queued: VecDeque::new(),
+        })
+    }
+
+    /// Drains `actions` produced by `me`'s instance for `key` at `now`:
+    /// sends become next-tick deliveries plus staged envelope traffic,
+    /// `Enter` becomes a grant.
+    fn apply_actions(
+        &mut self,
+        me: NodeId,
+        key: LockId,
+        wait_since: Time,
+        actions: &mut Vec<Action>,
+    ) {
+        let now = self.now;
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, message } => {
+                    let keyed = KeyedDagMessage {
+                        lock: key,
+                        msg: message,
+                    };
+                    self.sends.push((me, to, keyed));
+                    self.push(
+                        now + Time(1),
+                        Ev::Deliver {
+                            dst: to,
+                            msg: keyed,
+                        },
+                    );
+                }
+                Action::Enter => {
+                    let wait = now.saturating_since(wait_since).ticks();
+                    self.metrics.on_grant(key.index(), wait);
+                    if let Err(v) = self.safety.on_enter(key.index(), me, now) {
+                        self.violation.get_or_insert(v);
+                    }
+                    self.grants += 1;
+                    let state = &mut self.keys[key.index() / self.shards];
+                    state.digest = fnv(fnv(state.digest, now.ticks()), me.index() as u64);
+                    if self.record_grants {
+                        state.log.push((now, me));
+                    }
+                    self.push(now + self.hold, Ev::Release { key, node: me });
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        let now = self.now;
+        let mut actions = std::mem::take(&mut self.scratch);
+        match ev {
+            Ev::Arrival { key, i } => {
+                // Chain the key's next arrival (strictly later in time,
+                // so the queue invariant holds).
+                if i + 1 < self.demand.requests_per_key() {
+                    let (at, _) = self.demand.arrival(key, i + 1);
+                    self.push(at, Ev::Arrival { key, i: i + 1 });
+                }
+                let (_, node) = self.demand.arrival(key, i);
+                self.metrics.on_request(key.index());
+                let inst = self.instance(node, key);
+                if inst.node.is_requesting() || inst.node.is_executing() {
+                    inst.queued.push_back(now);
+                } else {
+                    inst.wait_since = now;
+                    inst.node.request_into(&mut actions);
+                    self.apply_actions(node, key, now, &mut actions);
+                }
+            }
+            Ev::Deliver { dst, msg } => {
+                let key = msg.lock;
+                self.metrics.on_message(key.index(), msg.kind());
+                let inst = self.instance(dst, key);
+                let wait_since = inst.wait_since;
+                match msg.msg {
+                    DagMessage::Request { from, origin } => {
+                        inst.node.receive_request_into(from, origin, &mut actions);
+                    }
+                    DagMessage::Privilege => {
+                        inst.node.receive_privilege_into(&mut actions);
+                    }
+                    DagMessage::Initialize => {
+                        unreachable!("the paced runtime never floods INITIALIZE")
+                    }
+                }
+                self.apply_actions(dst, key, wait_since, &mut actions);
+            }
+            Ev::Release { key, node } => {
+                if let Err(v) = self.safety.on_exit(key.index(), node, now) {
+                    self.violation.get_or_insert(v);
+                }
+                let inst = self.instance(node, key);
+                inst.node.exit_into(&mut actions);
+                let requeued = inst.queued.pop_front();
+                self.apply_actions(node, key, now, &mut actions);
+                // A queued local arrival re-issues after the exit's
+                // traffic left, FIFO.
+                if let Some(t0) = requeued {
+                    let inst = self.instance(node, key);
+                    inst.wait_since = t0;
+                    inst.node.request_into(&mut actions);
+                    self.apply_actions(node, key, t0, &mut actions);
+                }
+            }
+        }
+        self.scratch = actions;
+    }
+
+    /// Groups the finished tick's sends per source through the shared
+    /// transport (`EveryTick` flush) into exchange records.
+    fn flush_sends(&mut self) {
+        if self.sends.is_empty() {
+            return;
+        }
+        let tick = self.send_tick;
+        // Stable by source: per-source dispatch order is preserved, as
+        // if each source node had staged into its own transport.
+        self.sends.sort_by_key(|(src, _, _)| src.index());
+        let mut i = 0;
+        while i < self.sends.len() {
+            let src = self.sends[i].0;
+            while i < self.sends.len() && self.sends[i].0 == src {
+                self.transport.stage(self.sends[i].1, self.sends[i].2);
+                i += 1;
+            }
+            let records = &mut self.records;
+            let mut spent_batches = Vec::new();
+            self.transport.flush(&mut self.pool, |dst, env| {
+                let (msgs, payload) = match &env {
+                    Envelope::One(m) => (1u64, m.wire_size() as u64),
+                    Envelope::Batch(v) => {
+                        (v.len() as u64, v.iter().map(|m| m.wire_size() as u64).sum())
+                    }
+                };
+                records.push(EnvRecord {
+                    tick,
+                    src,
+                    dst,
+                    msgs,
+                    payload,
+                });
+                if let Envelope::Batch(b) = env {
+                    spent_batches.push(b);
+                }
+            });
+            for b in spent_batches {
+                self.pool.put(b);
+            }
+        }
+        self.sends.clear();
+    }
+
+    /// Processes every event strictly before `barrier_end`.
+    fn run_window(&mut self, barrier_end: Time) {
+        while let Some(t) = self.queue.peek() {
+            if t >= barrier_end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("just peeked");
+            if t != self.send_tick {
+                self.flush_sends();
+                self.send_tick = t;
+            }
+            self.now = t;
+            self.events += 1;
+            self.window_events += 1;
+            self.dispatch(ev);
+        }
+        self.flush_sends();
+    }
+}
+
+/// Running totals the barrier leader folds each round.
+#[derive(Debug, Default)]
+struct Totals {
+    windows: u64,
+    critical_path_events: u64,
+    busy_critical_nanos: u128,
+    envelopes: u64,
+    envelope_bytes: u64,
+    messages: u64,
+}
+
+impl Totals {
+    /// Folds one barrier round: critical-path accounting plus the
+    /// deterministic `(tick, src, dst)` merge of every shard's records.
+    fn fold_round(
+        &mut self,
+        window_events: &[u64],
+        busy_nanos: &[u128],
+        records: &mut Vec<EnvRecord>,
+    ) {
+        self.windows += 1;
+        self.critical_path_events += window_events.iter().copied().max().unwrap_or(0);
+        self.busy_critical_nanos += busy_nanos.iter().copied().max().unwrap_or(0);
+        records.sort_unstable_by_key(|r| (r.tick, r.src.index(), r.dst.index()));
+        let mut i = 0;
+        while i < records.len() {
+            let (tick, src, dst) = (records[i].tick, records[i].src, records[i].dst);
+            let (mut msgs, mut payload) = (0u64, 0u64);
+            while i < records.len()
+                && records[i].tick == tick
+                && records[i].src == src
+                && records[i].dst == dst
+            {
+                msgs += records[i].msgs;
+                payload += records[i].payload;
+                i += 1;
+            }
+            self.envelopes += 1;
+            self.messages += msgs;
+            self.envelope_bytes += payload
+                + if msgs > 1 {
+                    BATCH_HEADER_BYTES as u64
+                } else {
+                    0
+                };
+        }
+        records.clear();
+    }
+}
+
+/// Mutable rendezvous state for the threaded barrier rounds.
+struct RoundState {
+    next: Vec<Option<Time>>,
+    window_events: Vec<u64>,
+    busy_nanos: Vec<u128>,
+    records: Vec<EnvRecord>,
+    barrier_end: Option<Time>,
+    totals: Totals,
+}
+
+/// The parallel lock-space runtime; see the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use dmx_lockspace::{ParallelConfig, ParallelEngine};
+/// use dmx_topology::Tree;
+/// use dmx_workload::PacedKeyDemand;
+///
+/// let tree = Tree::kary(15, 2);
+/// let demand = PacedKeyDemand::new(32, 15, 200, 2, 3, 42);
+/// let one = ParallelEngine::new(&tree, demand, ParallelConfig::default()).run();
+/// let four = ParallelEngine::new(
+///     &tree,
+///     demand,
+///     ParallelConfig { shards: 4, ..ParallelConfig::default() },
+/// )
+/// .run();
+/// assert_eq!(one.grant_digest, four.grant_digest); // shard-count invariant
+/// assert_eq!(one.starved, 0);
+/// ```
+pub struct ParallelEngine {
+    shards: Vec<ShardEngine>,
+    window: u64,
+    threads: bool,
+}
+
+impl ParallelEngine {
+    /// Builds `config.shards` shard engines over `tree` and `demand`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.shards == 0`, `config.window == 0`, the
+    /// demand's node count does not match the tree, or a
+    /// [`Placement::Hub`] names an out-of-range node.
+    pub fn new(tree: &Tree, demand: PacedKeyDemand, config: ParallelConfig) -> Self {
+        assert!(
+            config.shards > 0,
+            "parallel engine needs at least one shard"
+        );
+        assert!(
+            config.window > 0,
+            "tick-barrier window must be at least one tick"
+        );
+        assert_eq!(
+            demand.nodes(),
+            tree.len(),
+            "demand and tree disagree on the node count"
+        );
+        if let Placement::Hub(h) = config.placement {
+            assert!(h.index() < tree.len(), "hub {h} out of range");
+        }
+        let shards = (0..config.shards)
+            .map(|s| ShardEngine::new(tree, demand, &config, s))
+            .collect();
+        ParallelEngine {
+            shards,
+            window: config.window,
+            threads: config.threads,
+        }
+    }
+
+    /// The end of the barrier window containing `next`.
+    #[inline]
+    fn window_end(&self, next: Time) -> Time {
+        Time((next.ticks() / self.window + 1) * self.window)
+    }
+
+    /// Runs the simulation to quiescence and reports.
+    pub fn run(mut self) -> ParallelReport {
+        let started = Instant::now();
+        let totals = if self.threads {
+            self.run_threaded()
+        } else {
+            self.run_sequential()
+        };
+        self.finalize(totals, started.elapsed().as_nanos())
+    }
+
+    /// Round-robin single-thread driver: identical barrier rounds and
+    /// merge order to the threaded path, plus uncontended per-shard
+    /// busy timing.
+    fn run_sequential(&mut self) -> Totals {
+        let mut totals = Totals::default();
+        let mut records = Vec::new();
+        while let Some(next) = self.shards.iter().filter_map(ShardEngine::next_time).min() {
+            let end = self.window_end(next);
+            let mut window_events = Vec::with_capacity(self.shards.len());
+            let mut busy = Vec::with_capacity(self.shards.len());
+            for shard in &mut self.shards {
+                let t0 = Instant::now();
+                shard.run_window(end);
+                busy.push(t0.elapsed().as_nanos());
+                window_events.push(std::mem::take(&mut shard.window_events));
+                records.append(&mut shard.records);
+            }
+            totals.fold_round(&window_events, &busy, &mut records);
+        }
+        totals
+    }
+
+    /// One OS thread per shard with two barrier waits per round: all
+    /// threads publish their state, the leader (shard 0) merges and
+    /// announces the next window, everyone proceeds.
+    fn run_threaded(&mut self) -> Totals {
+        let k = self.shards.len();
+        let barrier = Barrier::new(k);
+        let state = Mutex::new(RoundState {
+            next: vec![None; k],
+            window_events: vec![0; k],
+            busy_nanos: vec![0; k],
+            records: Vec::new(),
+            barrier_end: None,
+            totals: Totals::default(),
+        });
+        let window = self.window;
+        std::thread::scope(|scope| {
+            for shard in &mut self.shards {
+                let barrier = &barrier;
+                let state = &state;
+                scope.spawn(move || loop {
+                    {
+                        let mut st = state.lock().expect("round state poisoned");
+                        let s = shard.shard;
+                        st.next[s] = shard.next_time();
+                        st.window_events[s] = std::mem::take(&mut shard.window_events);
+                        st.records.append(&mut shard.records);
+                    }
+                    barrier.wait();
+                    if shard.shard == 0 {
+                        let mut st = state.lock().expect("round state poisoned");
+                        let st = &mut *st;
+                        if st.windows_dirty() {
+                            st.totals.fold_round(
+                                &st.window_events,
+                                &st.busy_nanos,
+                                &mut st.records,
+                            );
+                        }
+                        st.barrier_end = st
+                            .next
+                            .iter()
+                            .flatten()
+                            .min()
+                            .map(|&t| Time((t.ticks() / window + 1) * window));
+                    }
+                    barrier.wait();
+                    let end = state.lock().expect("round state poisoned").barrier_end;
+                    let Some(end) = end else { break };
+                    let t0 = Instant::now();
+                    shard.run_window(end);
+                    let busy = t0.elapsed().as_nanos();
+                    state.lock().expect("round state poisoned").busy_nanos[shard.shard] = busy;
+                });
+            }
+        });
+        let state = state.into_inner().expect("round state poisoned");
+        state.totals
+    }
+
+    fn finalize(self, totals: Totals, wall_nanos: u128) -> ParallelReport {
+        let keys = self.shards.first().map_or(0, |s| s.demand.keys() as usize);
+        let shards_n = self.shards.len();
+        let mut metrics = KeyedMetrics::with_keys(keys);
+        let mut safety = KeyedSafetyChecker::with_keys(keys);
+        let mut violation = None;
+        let mut grant_digest = 0u64;
+        let mut grants = 0;
+        let mut events = 0;
+        let mut expected = 0;
+        let mut end = Time::ZERO;
+        let mut per_key_grants = self
+            .shards
+            .first()
+            .filter(|s| s.record_grants)
+            .map(|_| vec![Vec::new(); keys]);
+        for shard in &self.shards {
+            metrics.merge(&shard.metrics);
+            if let Err(v) = safety.merge(&shard.safety, shard.now) {
+                violation.get_or_insert(v);
+            }
+            if let Some(v) = &shard.violation {
+                violation.get_or_insert(*v);
+            }
+            grants += shard.grants;
+            events += shard.events;
+            expected += shard.expected_grants();
+            end = end.max(shard.now);
+            for (local, state) in shard.keys.iter().enumerate() {
+                let key = local * shards_n + shard.shard;
+                if key < keys {
+                    // Commutative fold over keys: invariant under any
+                    // key-to-shard assignment.
+                    grant_digest =
+                        grant_digest.wrapping_add(fnv(FNV_OFFSET ^ key as u64, state.digest));
+                    if let Some(logs) = per_key_grants.as_mut() {
+                        logs[key] = state.log.clone();
+                    }
+                }
+            }
+        }
+        ParallelReport {
+            shards: shards_n,
+            windows: totals.windows,
+            end,
+            events,
+            critical_path_events: totals.critical_path_events,
+            grants,
+            grant_digest,
+            per_key_grants,
+            rollup: metrics.rollup(),
+            envelopes: totals.envelopes,
+            envelope_bytes: totals.envelope_bytes,
+            messages: totals.messages,
+            violation,
+            starved: expected - grants,
+            peak_concurrent: safety.peak_concurrent(),
+            wall_nanos,
+            busy_critical_nanos: totals.busy_critical_nanos,
+        }
+    }
+}
+
+impl RoundState {
+    /// `true` once any shard has actually run a window (the very first
+    /// rendezvous has nothing to fold).
+    fn windows_dirty(&self) -> bool {
+        self.barrier_end.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_run(shards: usize, threads: bool) -> ParallelReport {
+        let tree = Tree::kary(15, 2);
+        let demand = PacedKeyDemand::new(24, 15, 120, 2, 4, 0xC0FFEE);
+        ParallelEngine::new(
+            &tree,
+            demand,
+            ParallelConfig {
+                shards,
+                threads,
+                record_grants: true,
+                ..ParallelConfig::default()
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn completes_without_violations_or_starvation() {
+        let report = small_run(1, false);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert_eq!(report.starved, 0);
+        assert_eq!(report.grants, 24 * 2 * 4);
+        assert_eq!(report.rollup.grants, report.grants);
+        assert_eq!(report.rollup.requests, report.grants);
+        assert!(report.envelopes > 0);
+        assert!(report.messages >= report.envelopes);
+    }
+
+    #[test]
+    fn shard_counts_agree_on_everything_observable() {
+        let base = small_run(1, false);
+        for shards in [2, 3, 4, 8] {
+            let report = small_run(shards, false);
+            assert_eq!(report.grant_digest, base.grant_digest, "K={shards}");
+            assert_eq!(report.per_key_grants, base.per_key_grants, "K={shards}");
+            assert_eq!(report.rollup, base.rollup, "K={shards}");
+            assert_eq!(report.envelopes, base.envelopes, "K={shards}");
+            assert_eq!(report.envelope_bytes, base.envelope_bytes, "K={shards}");
+            assert_eq!(report.messages, base.messages, "K={shards}");
+            assert_eq!(report.events, base.events, "K={shards}");
+            assert_eq!(report.end, base.end, "K={shards}");
+            assert_eq!(report.starved, 0, "K={shards}");
+        }
+    }
+
+    #[test]
+    fn threaded_and_sequential_runs_are_bit_identical() {
+        let seq = small_run(4, false);
+        let thr = small_run(4, true);
+        assert_eq!(seq.grant_digest, thr.grant_digest);
+        assert_eq!(seq.per_key_grants, thr.per_key_grants);
+        assert_eq!(seq.rollup, thr.rollup);
+        assert_eq!(seq.envelopes, thr.envelopes);
+        assert_eq!(seq.envelope_bytes, thr.envelope_bytes);
+        assert_eq!(seq.windows, thr.windows);
+        assert_eq!(seq.critical_path_events, thr.critical_path_events);
+    }
+
+    #[test]
+    fn window_width_does_not_change_results() {
+        let run = |window| {
+            let tree = Tree::kary(15, 2);
+            let demand = PacedKeyDemand::new(24, 15, 120, 2, 4, 0xC0FFEE);
+            ParallelEngine::new(
+                &tree,
+                demand,
+                ParallelConfig {
+                    shards: 4,
+                    window,
+                    record_grants: true,
+                    ..ParallelConfig::default()
+                },
+            )
+            .run()
+        };
+        let narrow = run(1);
+        let wide = run(512);
+        assert_eq!(narrow.grant_digest, wide.grant_digest);
+        assert_eq!(narrow.per_key_grants, wide.per_key_grants);
+        assert_eq!(narrow.envelopes, wide.envelopes);
+        assert!(
+            narrow.windows > wide.windows,
+            "narrow windows mean more rounds"
+        );
+    }
+
+    #[test]
+    fn matches_across_queue_backends() {
+        let run = |scheduler| {
+            let tree = Tree::star(9);
+            let demand = PacedKeyDemand::new(16, 9, 90, 3, 3, 7);
+            ParallelEngine::new(
+                &tree,
+                demand,
+                ParallelConfig {
+                    shards: 2,
+                    scheduler,
+                    record_grants: true,
+                    ..ParallelConfig::default()
+                },
+            )
+            .run()
+        };
+        let heap = run(Scheduler::Heap);
+        let wheel = run(Scheduler::Wheel);
+        assert_eq!(heap.grant_digest, wheel.grant_digest);
+        assert_eq!(heap.per_key_grants, wheel.per_key_grants);
+        assert_eq!(heap.envelopes, wheel.envelopes);
+    }
+
+    #[test]
+    fn hub_placement_and_queued_local_requests_work() {
+        // One key, every request through a hub leaf: bursts pile up at
+        // single nodes and exercise the local FIFO queue.
+        let tree = Tree::line(6);
+        let demand = PacedKeyDemand::new(1, 6, 40, 4, 5, 99);
+        let report = ParallelEngine::new(
+            &tree,
+            demand,
+            ParallelConfig {
+                placement: Placement::Hub(NodeId(5)),
+                record_grants: true,
+                ..ParallelConfig::default()
+            },
+        )
+        .run();
+        assert!(report.violation.is_none());
+        assert_eq!(report.starved, 0);
+        assert_eq!(report.grants, 20);
+        let grants = &report.per_key_grants.as_ref().unwrap()[0];
+        assert_eq!(grants.len(), 20);
+        // Grant times never go backwards on one key.
+        for pair in grants.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+}

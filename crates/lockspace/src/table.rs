@@ -31,13 +31,22 @@ fn spread(key: u32) -> usize {
 
 /// One open-addressed shard. Capacity is always a power of two; the
 /// shard grows at 7/8 occupancy.
-#[derive(Debug, Clone, Default)]
-struct Shard {
-    slots: Vec<Option<(u32, DagNode)>>,
+#[derive(Debug, Clone)]
+struct Shard<T> {
+    slots: Vec<Option<(u32, T)>>,
     live: usize,
 }
 
-impl Shard {
+impl<T> Default for Shard<T> {
+    fn default() -> Self {
+        Shard {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<T> Shard<T> {
     /// Index of `key`'s slot: `Ok(i)` if present, `Err(i)` naming the
     /// empty slot it would occupy. Requires a non-empty `slots`.
     fn probe(&self, key: u32) -> Result<usize, usize> {
@@ -54,7 +63,8 @@ impl Shard {
 
     fn grow(&mut self) {
         let new_cap = (self.slots.len() * 2).max(8);
-        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        let fresh = (0..new_cap).map(|_| None).collect();
+        let old = std::mem::replace(&mut self.slots, fresh);
         for slot in old.into_iter().flatten() {
             let i = self
                 .probe(slot.0)
@@ -64,8 +74,11 @@ impl Shard {
     }
 }
 
-/// A node's sharded `LockId -> DagNode` map; see the [module
-/// docs](self) for the design.
+/// A node's sharded `LockId -> T` map; see the [module docs](self) for
+/// the design. The instance type defaults to [`DagNode`] — the lock
+/// space's per-key protocol state — but any per-key record works (the
+/// parallel runtime stores its richer per-`(node, key)` instances in
+/// the same table).
 ///
 /// # Examples
 ///
@@ -81,11 +94,11 @@ impl Shard {
 /// assert_eq!(table.len(), 1);
 /// ```
 #[derive(Debug, Clone)]
-pub struct LockTable {
-    shards: Vec<Shard>,
+pub struct LockTable<T = DagNode> {
+    shards: Vec<Shard<T>>,
 }
 
-impl LockTable {
+impl<T> LockTable<T> {
     /// An empty table with `shards` shards.
     ///
     /// # Panics
@@ -94,7 +107,7 @@ impl LockTable {
     pub fn new(shards: usize) -> Self {
         assert!(shards > 0, "lock table needs at least one shard");
         LockTable {
-            shards: vec![Shard::default(); shards],
+            shards: (0..shards).map(|_| Shard::default()).collect(),
         }
     }
 
@@ -114,7 +127,7 @@ impl LockTable {
     }
 
     /// The instance for `key`, if materialized.
-    pub fn get(&self, key: LockId) -> Option<&DagNode> {
+    pub fn get(&self, key: LockId) -> Option<&T> {
         let shard = &self.shards[self.shard(key)];
         if shard.slots.is_empty() {
             return None;
@@ -126,7 +139,7 @@ impl LockTable {
     }
 
     /// Mutable access to `key`'s instance, if materialized.
-    pub fn get_mut(&mut self, key: LockId) -> Option<&mut DagNode> {
+    pub fn get_mut(&mut self, key: LockId) -> Option<&mut T> {
         let si = self.shard(key);
         let shard = &mut self.shards[si];
         if shard.slots.is_empty() {
@@ -142,11 +155,7 @@ impl LockTable {
     /// touch. Lookups of existing keys — the steady-state case — never
     /// grow the shard; growth happens only on the insert path, keeping
     /// at least one empty slot so probes terminate.
-    pub fn get_or_insert_with(
-        &mut self,
-        key: LockId,
-        init: impl FnOnce() -> DagNode,
-    ) -> &mut DagNode {
+    pub fn get_or_insert_with(&mut self, key: LockId, init: impl FnOnce() -> T) -> &mut T {
         let si = self.shard(key);
         let shard = &mut self.shards[si];
         if shard.slots.is_empty() {
@@ -174,7 +183,7 @@ impl LockTable {
 
     /// Iterates `(key, instance)` over every materialized lock, in
     /// unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (LockId, &DagNode)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (LockId, &T)> + '_ {
         self.shards
             .iter()
             .flat_map(|s| s.slots.iter().flatten())
@@ -194,7 +203,7 @@ mod tests {
 
     #[test]
     fn empty_table_has_no_instances() {
-        let table = LockTable::new(8);
+        let table: LockTable = LockTable::new(8);
         assert_eq!(table.len(), 0);
         assert!(table.is_empty());
         assert!(table.get(LockId(0)).is_none());

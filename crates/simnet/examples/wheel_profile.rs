@@ -1,0 +1,73 @@
+//! Profiling harness for `WheelQueue` overflow promotion.
+//!
+//! Steady-state closed loop: keep `n_live` timers in flight; every pop
+//! at time `t` schedules a replacement at `t + horizon`. Horizons past
+//! `WHEEL_SPAN` force every push through the overflow heap, which is
+//! exactly the regime the promotion strategy decides. Pass a pop count
+//! as the first argument for longer runs (default 2M; the lazy-vs-
+//! wholesale numbers in ROADMAP.md used 20M).
+
+use dmx_simnet::sched::{EventQueue, WheelQueue};
+use dmx_simnet::Time;
+use std::time::Instant;
+
+fn run(label: &str, n_live: u64, pops: u64, next: impl Fn(u64, u64) -> u64) {
+    let mut q: WheelQueue<u64> = WheelQueue::new();
+    let mut seq = 0u64;
+    for i in 0..n_live {
+        q.push(Time(next(0, i)), seq, i);
+        seq += 1;
+    }
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..pops {
+        let (t, id) = q.pop_earliest().expect("closed loop never drains");
+        acc = acc.wrapping_add(t.0);
+        q.push(Time(next(t.0, id)), seq, id);
+        seq += 1;
+    }
+    let dt = start.elapsed();
+    let stats = q.stats();
+    println!(
+        "{label:28} {:>7.2} M pops/s  (promotions {:>9}, rotations {:>9}, acc {acc})",
+        pops as f64 / dt.as_secs_f64() / 1e6,
+        stats.overflow_promotions,
+        stats.bucket_rotations,
+    );
+}
+
+fn main() {
+    let pops: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("pop count"))
+        .unwrap_or(2_000_000);
+    // Deterministic jitter so events spread over blocks instead of
+    // piling on one tick.
+    let mix = |t: u64, id: u64| (t ^ id).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48;
+    for n_live in [64u64, 1024, 16384] {
+        run(
+            &format!("overflow horizon 5k n={n_live}"),
+            n_live,
+            pops,
+            |t, id| t + 5_000 + (mix(t, id) % 512),
+        );
+        run(
+            &format!("overflow horizon 100k n={n_live}"),
+            n_live,
+            pops,
+            |t, id| t + 100_000 + (mix(t, id) % 8192),
+        );
+        run(
+            &format!("mixed 90/10 near/far n={n_live}"),
+            n_live,
+            pops,
+            |t, id| {
+                if mix(t, id) % 10 == 0 {
+                    t + 5_000 + (mix(t, id) % 512)
+                } else {
+                    t + 1 + (mix(t, id) % 3)
+                }
+            },
+        );
+    }
+}

@@ -375,6 +375,63 @@ impl KeyedSafetyChecker {
         self.inside -= 1;
         Ok(())
     }
+
+    /// Folds `other`'s state into `self`, as if `other`'s whole event
+    /// stream had been replayed into `self` *after* everything `self`
+    /// has seen. Occupancy is unioned, concurrent counts add, and the
+    /// peak becomes `max(self.peak, self.concurrent() + other.peak)` —
+    /// exactly the high-water mark a single checker reaches on the
+    /// concatenated stream (the replayed stream's concurrency rides on
+    /// top of whatever `self` still holds). This is how the parallel
+    /// lock-space runtime rolls its disjoint key shards up into one
+    /// whole-space verdict; shards that quiesced before merging
+    /// contribute `concurrent() == 0`, so their peaks combine by `max`.
+    ///
+    /// # Errors
+    ///
+    /// [`Violation::MutualExclusion`] (keyed, at `at`) if both checkers
+    /// have an occupant for the same key — the concatenated stream
+    /// would have faulted at that key's re-entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two checkers track different key-space sizes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_simnet::checker::KeyedSafetyChecker;
+    /// use dmx_simnet::Time;
+    /// use dmx_topology::NodeId;
+    ///
+    /// let mut a = KeyedSafetyChecker::with_keys(2);
+    /// a.on_enter(0, NodeId(1), Time(1)).unwrap();
+    /// let mut b = KeyedSafetyChecker::with_keys(2);
+    /// b.on_enter(1, NodeId(2), Time(1)).unwrap();
+    /// a.merge(&b, Time(2)).unwrap();
+    /// assert_eq!(a.concurrent(), 2);
+    /// assert_eq!(a.peak_concurrent(), 2);
+    /// ```
+    pub fn merge(&mut self, other: &KeyedSafetyChecker, at: Time) -> Result<(), KeyedViolation> {
+        assert_eq!(
+            self.occupant.len(),
+            other.occupant.len(),
+            "merging checkers over different key spaces"
+        );
+        for (key, theirs) in other.occupant.iter().enumerate() {
+            let Some(second) = *theirs else { continue };
+            if let Some(first) = self.occupant[key] {
+                return Err(KeyedViolation {
+                    key,
+                    violation: Violation::MutualExclusion { first, second, at },
+                });
+            }
+            self.occupant[key] = Some(second);
+        }
+        self.peak = self.peak.max(self.inside + other.peak);
+        self.inside += other.inside;
+        Ok(())
+    }
 }
 
 /// Liveness oracle for multi-lock runs under the lock-space system model:
@@ -590,6 +647,97 @@ mod tests {
         c.on_enter(1, NodeId(0), Time(0)).unwrap();
         assert!(c.on_exit(1, NodeId(3), Time(1)).is_err());
         assert!(c.on_exit(0, NodeId(0), Time(1)).is_err());
+    }
+
+    /// One enter/exit event, replayable into any keyed checker — the
+    /// merge tests drive the same stream through one checker and
+    /// through two merged shard halves.
+    #[derive(Clone, Copy)]
+    enum SafetyEvent {
+        Enter(usize, u32, u64),
+        Exit(usize, u32, u64),
+    }
+
+    fn replay(c: &mut KeyedSafetyChecker, events: &[SafetyEvent]) {
+        for &e in events {
+            match e {
+                SafetyEvent::Enter(k, node, at) => c.on_enter(k, NodeId(node), Time(at)).unwrap(),
+                SafetyEvent::Exit(k, node, at) => c.on_exit(k, NodeId(node), Time(at)).unwrap(),
+            }
+        }
+    }
+
+    #[test]
+    fn merged_keyed_safety_equals_one_checker_over_the_concatenated_stream() {
+        use SafetyEvent::*;
+        // Shard A works keys {0, 1} and leaves key 0 held; shard B works
+        // keys {2, 3} and quiesces. Concatenation = A's stream then B's.
+        let first = [
+            Enter(0, 10, 0),
+            Enter(1, 11, 1),
+            Exit(1, 11, 3),
+            Enter(1, 12, 4),
+            Exit(1, 12, 5),
+        ];
+        let second = [
+            Enter(2, 20, 0),
+            Enter(3, 21, 1),
+            Exit(2, 20, 2),
+            Exit(3, 21, 3),
+        ];
+
+        let mut whole = KeyedSafetyChecker::with_keys(4);
+        replay(&mut whole, &first);
+        replay(&mut whole, &second);
+
+        let mut a = KeyedSafetyChecker::with_keys(4);
+        replay(&mut a, &first);
+        let mut b = KeyedSafetyChecker::with_keys(4);
+        replay(&mut b, &second);
+        a.merge(&b, Time(9)).unwrap();
+
+        assert_eq!(a.concurrent(), whole.concurrent());
+        assert_eq!(a.peak_concurrent(), whole.peak_concurrent());
+        for key in 0..4 {
+            assert_eq!(a.occupant(key), whole.occupant(key), "key {key}");
+        }
+        // The concrete values, pinned: key 0 still held, peak was A's
+        // lingering hold riding under both of B's concurrent holds.
+        assert_eq!(a.concurrent(), 1);
+        assert_eq!(a.peak_concurrent(), 3);
+    }
+
+    #[test]
+    fn merged_quiesced_shards_combine_peaks_by_max() {
+        use SafetyEvent::*;
+        let mut a = KeyedSafetyChecker::with_keys(4);
+        replay(
+            &mut a,
+            &[Enter(0, 1, 0), Enter(1, 2, 1), Exit(0, 1, 2), Exit(1, 2, 3)],
+        );
+        let mut b = KeyedSafetyChecker::with_keys(4);
+        replay(&mut b, &[Enter(2, 3, 0), Exit(2, 3, 1)]);
+        a.merge(&b, Time(5)).unwrap();
+        assert_eq!(a.concurrent(), 0);
+        assert_eq!(a.peak_concurrent(), 2);
+    }
+
+    #[test]
+    fn merge_flags_conflicting_occupants() {
+        let mut a = KeyedSafetyChecker::with_keys(2);
+        a.on_enter(1, NodeId(4), Time(0)).unwrap();
+        let mut b = KeyedSafetyChecker::with_keys(2);
+        b.on_enter(1, NodeId(5), Time(0)).unwrap();
+        let err = a.merge(&b, Time(7)).unwrap_err();
+        assert_eq!(err.key, 1);
+        assert_eq!(
+            err.violation,
+            Violation::MutualExclusion {
+                first: NodeId(4),
+                second: NodeId(5),
+                at: Time(7),
+            }
+        );
     }
 
     #[test]

@@ -306,6 +306,32 @@ impl KeyStats {
     pub fn touched(&self) -> bool {
         self.requests > 0 || self.grants > 0 || self.messages() > 0
     }
+
+    /// Adds `other`'s counters into `self`. Every field is a plain sum,
+    /// so merging per-shard stats is exactly equivalent to having
+    /// counted the concatenated event stream with one instance — the
+    /// property the parallel lock-space runtime relies on to roll up
+    /// shard-local metrics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_simnet::metrics::KeyStats;
+    ///
+    /// let mut a = KeyStats { requests: 2, wait_ticks: 7, ..KeyStats::default() };
+    /// let b = KeyStats { requests: 1, wait_ticks: 3, ..KeyStats::default() };
+    /// a.merge(&b);
+    /// assert_eq!(a.requests, 3);
+    /// assert_eq!(a.wait_ticks, 10);
+    /// ```
+    pub fn merge(&mut self, other: &KeyStats) {
+        self.requests += other.requests;
+        self.grants += other.grants;
+        self.request_messages += other.request_messages;
+        self.privilege_messages += other.privilege_messages;
+        self.other_messages += other.other_messages;
+        self.wait_ticks += other.wait_ticks;
+    }
 }
 
 /// Whole-run summary computed by [`KeyedMetrics::rollup`].
@@ -411,6 +437,41 @@ impl KeyedMetrics {
         self.per_key.iter().enumerate().filter(|(_, s)| s.touched())
     }
 
+    /// Folds `other`'s per-key counters into `self`, key by key. Since
+    /// every [`KeyStats`] field is a plain sum, the merged rollup equals
+    /// the rollup a single instance would have produced over the
+    /// concatenated event stream — which is how the parallel lock-space
+    /// runtime combines shard-local metrics at its barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two rollups track different key-space sizes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dmx_simnet::metrics::KeyedMetrics;
+    ///
+    /// let mut a = KeyedMetrics::with_keys(4);
+    /// a.on_request(1);
+    /// let mut b = KeyedMetrics::with_keys(4);
+    /// b.on_request(1);
+    /// b.on_grant(1, 5);
+    /// a.merge(&b);
+    /// assert_eq!(a.stats(1).requests, 2);
+    /// assert_eq!(a.stats(1).grants, 1);
+    /// ```
+    pub fn merge(&mut self, other: &KeyedMetrics) {
+        assert_eq!(
+            self.per_key.len(),
+            other.per_key.len(),
+            "merging rollups over different key spaces"
+        );
+        for (mine, theirs) in self.per_key.iter_mut().zip(&other.per_key) {
+            mine.merge(theirs);
+        }
+    }
+
     /// Aggregates every key into a [`KeyedRollup`].
     pub fn rollup(&self) -> KeyedRollup {
         let mut r = KeyedRollup::default();
@@ -508,6 +569,67 @@ mod tests {
         assert_eq!(m.stats(1).privilege_messages, 1);
         assert!(!m.stats(0).touched());
         assert_eq!(m.iter_touched().count(), 2);
+    }
+
+    /// One recorded keyed-metrics event, replayable against any
+    /// instance — the merge tests drive the same stream through one
+    /// instance and through two merged halves.
+    #[derive(Clone, Copy)]
+    enum KeyedEvent {
+        Request(usize),
+        Grant(usize, u64),
+        Message(usize, &'static str),
+    }
+
+    fn replay(m: &mut KeyedMetrics, events: &[KeyedEvent]) {
+        for &e in events {
+            match e {
+                KeyedEvent::Request(k) => m.on_request(k),
+                KeyedEvent::Grant(k, w) => m.on_grant(k, w),
+                KeyedEvent::Message(k, kind) => m.on_message(k, kind),
+            }
+        }
+    }
+
+    #[test]
+    fn merged_keyed_metrics_equal_one_instance_over_the_concatenated_stream() {
+        use KeyedEvent::*;
+        let first = [
+            Request(0),
+            Message(0, "REQUEST"),
+            Message(0, "PRIVILEGE"),
+            Grant(0, 4),
+            Request(2),
+        ];
+        let second = [
+            Grant(2, 9),
+            Request(0),
+            Grant(0, 0),
+            Message(3, "INITIALIZE"),
+            Request(3),
+        ];
+
+        // Reference: one instance sees the whole concatenated stream.
+        let mut whole = KeyedMetrics::with_keys(4);
+        replay(&mut whole, &first);
+        replay(&mut whole, &second);
+
+        // Shards: one instance per half, merged afterwards.
+        let mut a = KeyedMetrics::with_keys(4);
+        replay(&mut a, &first);
+        let mut b = KeyedMetrics::with_keys(4);
+        replay(&mut b, &second);
+        a.merge(&b);
+
+        assert_eq!(a, whole);
+        assert_eq!(a.rollup(), whole.rollup());
+    }
+
+    #[test]
+    #[should_panic(expected = "different key spaces")]
+    fn merging_mismatched_key_spaces_is_rejected() {
+        let mut a = KeyedMetrics::with_keys(4);
+        a.merge(&KeyedMetrics::with_keys(5));
     }
 
     #[test]

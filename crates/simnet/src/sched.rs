@@ -44,8 +44,13 @@
 //! * **Overflow** — events beyond the current super-block
 //!   ([`Ctx::wake_at`](crate::Ctx::wake_at) may schedule arbitrarily
 //!   far ahead) park in a binary heap ordered by the same packed key.
-//!   When the whole wheel drains, the earliest overflow super-block is
-//!   **promoted** wholesale into the wheel;
+//!   When the whole wheel drains, overflow events are **promoted
+//!   lazily, one level-0 block at a time**: only the earliest block's
+//!   events move into level-0 slots, and the rest of their super-block
+//!   stays parked in the heap until the cursor actually reaches it.
+//!   (Pushes that arrive in the meantime file into level 1, so a
+//!   promoted block can later meet a level-1 bucket covering the same
+//!   block — the two are merge-sorted by the packed key.)
 //!   [`Metrics::sched_overflow_promotions`](crate::metrics::Metrics)
 //!   counts promoted events.
 //!
@@ -67,9 +72,12 @@
 //!
 //! Under those rules every wheel structure only ever appends events of
 //! one tick in increasing `seq` order — direct pushes arrive with
-//! ever-larger `seq`, a bucket rotation distributes stably, and an
-//! overflow promotion drains the heap in `(time, seq)` order into an
-//! empty wheel — so FIFO pops reproduce the heap's total order exactly.
+//! ever-larger `seq`, a bucket rotation distributes stably, an overflow
+//! promotion drains one block's events from the heap in `(time, seq)`
+//! order into empty level-0 slots, and when a promoted block coincides
+//! with a level-1 bucket the union is sorted by the packed `(time,
+//! seq)` key before filing — so FIFO pops reproduce the heap's total
+//! order exactly.
 //!
 //! # Choosing a backend
 //!
@@ -405,8 +413,14 @@ pub struct WheelQueue<T, const SLOT_BITS0: u32 = 6> {
     /// `2^SLOT_BITS0`-tick buckets; entries keep their key for the
     /// rotation down into level 0.
     level1: Vec<Vec<Entry<T>>>,
-    /// Far-future timers, beyond the current super-block.
+    /// Far-future timers, beyond the current super-block — plus, after
+    /// a lazy promotion, the unpromoted tail of the super-block the
+    /// wheel jumped into.
     overflow: BinaryHeap<Entry<T>>,
+    /// Persistent merge buffer for promotions that coincide with a
+    /// level-1 bucket (drained, never dropped — the hot path stays
+    /// allocation-free once warm).
+    promote_scratch: Vec<Entry<T>>,
     stats: SchedStats,
     #[cfg(debug_assertions)]
     last_seq: Option<u64>,
@@ -442,6 +456,7 @@ impl<T, const SLOT_BITS0: u32> WheelQueue<T, SLOT_BITS0> {
             level0: (0..Self::SLOTS0).map(|_| VecDeque::new()).collect(),
             level1: (0..SLOTS).map(|_| Vec::new()).collect(),
             overflow: BinaryHeap::new(),
+            promote_scratch: Vec::new(),
             stats: SchedStats::default(),
             #[cfg(debug_assertions)]
             last_seq: None,
@@ -481,21 +496,28 @@ impl<T, const SLOT_BITS0: u32> WheelQueue<T, SLOT_BITS0> {
         None
     }
 
-    /// Files `e` into level 0 or level 1 of the current blocks. Caller
-    /// guarantees `e` lies within the current super-block.
+    /// Files `e` into its level-0 slot. Caller guarantees `e` lies in
+    /// the current level-0 block and arrives in `(time, seq)` order
+    /// relative to the slot's existing tail.
     #[inline]
-    fn file_into_wheel(&mut self, e: Entry<T>) {
-        let t = e.at().0;
-        debug_assert_eq!(t >> (SLOT_BITS0 + SLOT_BITS), self.block1);
-        if t >> SLOT_BITS0 == self.block0 {
-            let s = (t & Self::MASK0) as usize;
-            self.level0[s].push_back(e.item);
-            self.occ0_set(s);
-        } else {
-            debug_assert!(t >> SLOT_BITS0 > self.block0);
-            let b = ((t >> SLOT_BITS0) & SLOT_MASK) as usize;
-            self.level1[b].push(e);
-            self.occ1 |= 1 << b;
+    fn file_into_level0(&mut self, e: Entry<T>) {
+        debug_assert_eq!(e.at().0 >> SLOT_BITS0, self.block0);
+        let s = (e.at().0 & Self::MASK0) as usize;
+        self.level0[s].push_back(e.item);
+        self.occ0_set(s);
+    }
+
+    /// Pops every overflow event belonging to level-0 block `block`
+    /// into `into`, counting each as a promotion. The heap yields them
+    /// in `(time, seq)` order, so `into` stays sorted if it was empty.
+    #[inline]
+    fn drain_overflow_block(&mut self, block: u64, into: &mut Vec<Entry<T>>) {
+        while let Some(head) = self.overflow.peek() {
+            if head.at().0 >> SLOT_BITS0 != block {
+                break;
+            }
+            into.push(self.overflow.pop().expect("just peeked"));
+            self.stats.overflow_promotions += 1;
         }
     }
 }
@@ -567,46 +589,73 @@ impl<T, const SLOT_BITS0: u32> EventQueue<T> for WheelQueue<T, SLOT_BITS0> {
                 self.cursor = at;
                 return Some((Time(at), item));
             }
-            if self.occ1 != 0 {
-                // Rotate the next non-empty bucket down into level 0.
-                // Its block index is recoverable from the bucket number
-                // alone: every entry shares `(block1 << 6) | b`.
+            // Level 0 drained: the next event lives in a level-1
+            // bucket, in the overflow heap, or both. (Lazy promotion
+            // parks the tail of a super-block in the heap, where it can
+            // end up behind — or level with — later pushes that filed
+            // into level 1.) Jump to whichever block comes first.
+            let l1_block = (self.occ1 != 0).then(|| {
+                // A bucket's block index is recoverable from the bucket
+                // number alone: every entry shares `(block1 << 6) | b`.
                 let b = self.occ1.trailing_zeros() as usize;
-                self.occ1 &= !(1 << b);
-                self.block0 = (self.block1 << SLOT_BITS) | b as u64;
-                self.cursor = self.block0 << SLOT_BITS0;
-                let mut bucket = std::mem::take(&mut self.level1[b]);
-                for e in bucket.drain(..) {
-                    debug_assert_eq!(e.at().0 >> SLOT_BITS0, self.block0);
-                    let s = (e.at().0 & Self::MASK0) as usize;
-                    self.level0[s].push_back(e.item);
-                    self.occ0_set(s);
-                }
-                self.level1[b] = bucket; // drained; capacity retained
-                self.stats.bucket_rotations += 1;
-                continue;
-            }
-            // The wheel is empty but len > 0: jump the wheel to the
-            // earliest overflow super-block and promote everything in
-            // it. Each event is promoted at most once, so the extra
-            // heap traffic amortizes to O(log q) per *far-future* event
-            // — the near-now majority never touches the overflow.
-            let head_at = self
-                .overflow
-                .peek()
-                .expect("len > 0 with an empty wheel")
-                .at()
-                .0;
-            self.block1 = head_at >> (SLOT_BITS0 + SLOT_BITS);
-            self.block0 = head_at >> SLOT_BITS0;
+                (b, (self.block1 << SLOT_BITS) | b as u64)
+            });
+            let of_block = self.overflow.peek().map(|e| e.at().0 >> SLOT_BITS0);
+            let target = match (l1_block, of_block) {
+                (Some((_, lb)), Some(ob)) => lb.min(ob),
+                (Some((_, lb)), None) => lb,
+                (None, Some(ob)) => ob,
+                (None, None) => unreachable!("len > 0 with every structure empty"),
+            };
+            debug_assert!(target > self.block0);
+            self.block1 = target >> SLOT_BITS;
+            self.block0 = target;
             self.cursor = self.block0 << SLOT_BITS0;
-            while let Some(head) = self.overflow.peek() {
-                if head.at().0 >> (SLOT_BITS0 + SLOT_BITS) != self.block1 {
-                    break;
+
+            match l1_block {
+                Some((b, lb)) if lb == target => {
+                    self.occ1 &= !(1 << b);
+                    self.stats.bucket_rotations += 1;
+                    if of_block == Some(target) {
+                        // The promoted block and a level-1 bucket cover
+                        // the same 64 ticks: merge through the scratch
+                        // buffer, sorted by the packed `(time, seq)`
+                        // key, so per-tick FIFO order stays seq order.
+                        let mut scratch = std::mem::take(&mut self.promote_scratch);
+                        scratch.append(&mut self.level1[b]);
+                        self.drain_overflow_block(target, &mut scratch);
+                        scratch.sort_unstable_by_key(|e| e.key);
+                        for e in scratch.drain(..) {
+                            self.file_into_level0(e);
+                        }
+                        self.promote_scratch = scratch; // drained; capacity retained
+                    } else {
+                        // Rotate the bucket down into level 0 (stable
+                        // distribution preserves per-tick seq order).
+                        let mut bucket = std::mem::take(&mut self.level1[b]);
+                        for e in bucket.drain(..) {
+                            self.file_into_level0(e);
+                        }
+                        self.level1[b] = bucket;
+                    }
                 }
-                let e = self.overflow.pop().expect("just peeked");
-                self.stats.overflow_promotions += 1;
-                self.file_into_wheel(e);
+                _ => {
+                    // Overflow only: promote just this block's events,
+                    // filing straight into level 0 — heap pops arrive
+                    // in `(time, seq)` order, so per-slot FIFO order is
+                    // seq order. The rest of the super-block stays
+                    // parked; each far-future event still round-trips
+                    // the heap at most once, and blocks the cursor
+                    // never visits cost nothing.
+                    while let Some(head) = self.overflow.peek() {
+                        if head.at().0 >> SLOT_BITS0 != target {
+                            break;
+                        }
+                        let e = self.overflow.pop().expect("just peeked");
+                        self.stats.overflow_promotions += 1;
+                        self.file_into_level0(e);
+                    }
+                }
             }
         }
     }
@@ -619,14 +668,23 @@ impl<T, const SLOT_BITS0: u32> EventQueue<T> for WheelQueue<T, SLOT_BITS0> {
         if let Some(s) = self.occ0_first_from(start) {
             return Some(Time((self.block0 << SLOT_BITS0) | s as u64));
         }
-        if self.occ1 != 0 {
+        // Lazy promotion can leave overflow events *earlier* than the
+        // next level-1 bucket (the unpromoted tail of the current
+        // super-block), so the earliest of the two structures wins.
+        let l1_min = if self.occ1 != 0 {
             let b = self.occ1.trailing_zeros() as usize;
             // Buckets are not internally time-sorted; scan for the
             // minimum (bounded by bucket size — peek is off the hot
             // path, the engine only pops).
-            return self.level1[b].iter().map(Entry::at).min();
+            self.level1[b].iter().map(Entry::at).min()
+        } else {
+            None
+        };
+        let of_min = self.overflow.peek().map(Entry::at);
+        match (l1_min, of_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
-        self.overflow.peek().map(Entry::at)
     }
 
     fn len(&self) -> usize {
@@ -645,6 +703,7 @@ impl<T, const SLOT_BITS0: u32> EventQueue<T> for WheelQueue<T, SLOT_BITS0> {
             bucket.reserve(additional);
         }
         self.overflow.reserve(additional);
+        self.promote_scratch.reserve(additional);
     }
 
     fn drain_stats(&mut self) -> SchedStats {
@@ -817,6 +876,68 @@ mod tests {
         // drain_stats resets.
         assert_eq!(wheel.drain_stats(), stats);
         assert_eq!(wheel.drain_stats(), SchedStats::default());
+    }
+
+    #[test]
+    fn promotion_is_lazy_one_block_at_a_time() {
+        // Two far-future events in the same super-block (blocks 156 and
+        // 160): popping the first promotes *only* its block; the second
+        // stays parked in the heap until its own block is reached.
+        let mut wheel: WheelQueue<&str> = WheelQueue::new();
+        wheel.push(Time(10_000), 0, "first");
+        wheel.push(Time(10_300), 1, "second");
+        assert_eq!(wheel.pop_earliest(), Some((Time(10_000), "first")));
+        assert_eq!(wheel.stats().overflow_promotions, 1, "second block parked");
+        assert_eq!(wheel.pop_earliest(), Some((Time(10_300), "second")));
+        assert_eq!(wheel.stats().overflow_promotions, 2);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn parked_overflow_merges_with_later_level1_pushes() {
+        // A lazy leftover (t=10_301, parked at push time) can meet
+        // level-1 entries covering the same block (160), pushed after
+        // the wheel jumped into the leftover's super-block. The merge
+        // must interleave the two sources by (time, seq) — including a
+        // same-tick tie across structures — exactly like the heap.
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut wheel: WheelQueue<u64> = WheelQueue::new();
+        let mut seq = 0u64;
+        let mut push = |heap: &mut HeapQueue<u64>, wheel: &mut WheelQueue<u64>, at: u64| {
+            heap.push(Time(at), seq, seq);
+            wheel.push(Time(at), seq, seq);
+            seq += 1;
+        };
+        push(&mut heap, &mut wheel, 10_000); // block 156
+        push(&mut heap, &mut wheel, 10_301); // block 160, parked
+        assert_eq!(heap.pop_earliest(), wheel.pop_earliest()); // t=10_000
+        push(&mut heap, &mut wheel, 10_240); // block 160, files into level 1
+        push(&mut heap, &mut wheel, 10_301); // same tick as the leftover
+        loop {
+            let h = heap.pop_earliest();
+            assert_eq!(h, wheel.pop_earliest());
+            if h.is_none() {
+                break;
+            }
+        }
+        assert!(wheel.is_empty() && heap.is_empty());
+    }
+
+    #[test]
+    fn peek_sees_parked_overflow_before_level1() {
+        // Leftover at t=10_100 (block 157) parked by a lazy promotion;
+        // a later push files t=10_300 into level 1. peek must report
+        // the *overflow* head — the old level1-first peek would lie.
+        let mut wheel: WheelQueue<&str> = WheelQueue::new();
+        wheel.push(Time(10_000), 0, "now");
+        wheel.push(Time(10_100), 1, "parked");
+        assert_eq!(wheel.pop_earliest(), Some((Time(10_000), "now")));
+        wheel.push(Time(10_300), 2, "bucketed");
+        assert_eq!(wheel.peek_time(), Some(Time(10_100)));
+        assert_eq!(wheel.pop_earliest(), Some((Time(10_100), "parked")));
+        assert_eq!(wheel.peek_time(), Some(Time(10_300)));
+        assert_eq!(wheel.pop_earliest(), Some((Time(10_300), "bucketed")));
+        assert!(wheel.is_empty());
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //! the `dmx-lockspace` subsystem. The [`script`] module adds the
 //! *session* axis: explicit lock-client programs ([`Script`]) — lock,
 //! try, timeout, deadline, multi-key — that run identically under the
-//! simulator and against the threaded clusters.
+//! simulator and against the threaded clusters. The [`paced`] module
+//! adds the *per-key open-loop* axis ([`PacedKeyDemand`]):
+//! counter-based pinned request streams whose per-key demand is
+//! independent of every other key — the property the key-sharded
+//! parallel runtime builds its shard-count invariance on.
 //!
 //! # Examples
 //!
@@ -41,9 +45,11 @@
 #![warn(missing_docs)]
 
 pub mod keyed;
+pub mod paced;
 pub mod script;
 
 pub use keyed::{KeyDist, KeySampler, KeyStream, KeyedSchedule, KeyedThinkTime, KeyedWorkload};
+pub use paced::PacedKeyDemand;
 pub use script::{AcquireMode, Outcome, Script, SessionOp, SessionStep};
 
 use dmx_simnet::{LatencyModel, Time, Workload};
