@@ -32,6 +32,14 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "ext_par",
         "extension: parallel tick-barrier scaling (shards × paced demand)",
     ),
+    (
+        "ext_path",
+        "extension: REQUEST path lengths vs Lavault's O(log n) bound",
+    ),
+    (
+        "ext_snap",
+        "extension: live consistent cuts of a threaded cluster mid-storm",
+    ),
 ];
 
 /// Run explicitly (`repro -- bench`); excluded from the default sweep
@@ -110,6 +118,8 @@ fn run_one(id: &str) -> bool {
             experiments::lock_scaling::run_windows(&[15, 127], &[64, 4096], 12)
         ),
         "ext_par" => println!("{}", experiments::parallel_scaling::run(127, 1024, 6)),
+        "ext_path" => println!("{}", experiments::path_length::run(&[15, 127, 1023], 64, 8)),
+        "ext_snap" => println!("{}", experiments::snapshot_storm::run(15, 64, 2, 8)),
         "ext_mega" => println!("{}", experiments::parallel_scaling::run_mega()),
         "bench" => run_bench(),
         _ => return false,

@@ -207,6 +207,14 @@ pub struct LockScalingMeasurement {
     /// Mean request→grant wait in ticks (the latency side of the
     /// window tradeoff).
     pub mean_wait_ticks: f64,
+    /// Median request→grant wait in ticks.
+    pub p50_wait_ticks: u64,
+    /// 99th-percentile request→grant wait in ticks.
+    pub p99_wait_ticks: u64,
+    /// 99.9th-percentile request→grant wait in ticks.
+    pub p999_wait_ticks: u64,
+    /// Largest request→grant wait in ticks.
+    pub max_wait_ticks: u64,
     /// Wall-clock seconds.
     pub elapsed_secs: f64,
 }
@@ -309,6 +317,10 @@ pub fn measure_window(
         keyed_messages: rollup.messages,
         envelopes: m.messages_total,
         mean_wait_ticks: rollup.mean_wait_ticks,
+        p50_wait_ticks: rollup.p50_wait_ticks,
+        p99_wait_ticks: rollup.p99_wait_ticks,
+        p999_wait_ticks: rollup.p999_wait_ticks,
+        max_wait_ticks: rollup.max_wait_ticks,
         elapsed_secs,
     }
 }
@@ -331,6 +343,9 @@ pub fn run_windows(sizes: &[usize], key_counts: &[u32], rounds: u32) -> Table {
             "envelopes",
             "batch savings",
             "mean wait",
+            "p50",
+            "p99",
+            "p999",
         ],
     );
     for &n in sizes {
@@ -355,6 +370,9 @@ pub fn run_windows(sizes: &[usize], key_counts: &[u32], rounds: u32) -> Table {
                     m.envelopes.to_string(),
                     format!("{:.0}%", m.savings_pct()),
                     format!("{:.1}", m.mean_wait_ticks),
+                    m.p50_wait_ticks.to_string(),
+                    m.p99_wait_ticks.to_string(),
+                    m.p999_wait_ticks.to_string(),
                 ]);
             }
         }
@@ -418,13 +436,16 @@ pub fn bench_suite() -> Vec<LockScalingMeasurement> {
             );
             eprintln!(
                 "lock_scaling: keys={:<5} n=127 window={:<3} {:>6} {:>12.0} events/s \
-                 {:>7.0}% batched away, mean wait {:.1}",
+                 {:>7.0}% batched away, mean wait {:.1} (p50 {} p99 {} p999 {})",
                 m.keys,
                 m.window,
                 m.scheduler,
                 m.events_per_sec(),
                 m.savings_pct(),
-                m.mean_wait_ticks
+                m.mean_wait_ticks,
+                m.p50_wait_ticks,
+                m.p99_wait_ticks,
+                m.p999_wait_ticks
             );
             results.push(m);
         }
@@ -442,7 +463,9 @@ pub fn results_json(results: &[LockScalingMeasurement]) -> String {
             "    {{\"keys\": {}, \"n\": {}, \"skew\": \"{}\", \
              \"scheduler\": \"{}\", \"window\": {}, \"events\": {}, \
              \"grants\": {}, \"keyed_messages\": {}, \"envelopes\": {}, \
-             \"mean_wait_ticks\": {:.2}, \
+             \"mean_wait_ticks\": {:.2}, \"p50_wait_ticks\": {}, \
+             \"p99_wait_ticks\": {}, \"p999_wait_ticks\": {}, \
+             \"max_wait_ticks\": {}, \
              \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}, \
              \"grants_per_sec\": {:.0}}}{}\n",
             m.keys,
@@ -455,6 +478,10 @@ pub fn results_json(results: &[LockScalingMeasurement]) -> String {
             m.keyed_messages,
             m.envelopes,
             m.mean_wait_ticks,
+            m.p50_wait_ticks,
+            m.p99_wait_ticks,
+            m.p999_wait_ticks,
+            m.max_wait_ticks,
             m.elapsed_secs,
             m.events_per_sec(),
             m.grants_per_sec(),
@@ -495,11 +522,26 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_are_ordered_and_bracket_the_mean() {
+        let m = measure(15, 16, "uniform", KeyDist::Uniform, 6);
+        assert!(m.p50_wait_ticks <= m.p99_wait_ticks);
+        assert!(m.p99_wait_ticks <= m.p999_wait_ticks);
+        assert!(m.p999_wait_ticks <= m.max_wait_ticks);
+        assert!(
+            m.mean_wait_ticks <= m.max_wait_ticks as f64,
+            "mean {} exceeds max {}",
+            m.mean_wait_ticks,
+            m.max_wait_ticks
+        );
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let m = measure(15, 4, "uniform", KeyDist::Uniform, 2);
         let json = results_json(&[m.clone(), m]);
         assert_eq!(json.matches("\"keys\"").count(), 2);
         assert_eq!(json.matches("\"window\": 1").count(), 2);
+        assert_eq!(json.matches("\"p999_wait_ticks\"").count(), 2);
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

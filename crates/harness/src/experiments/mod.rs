@@ -8,7 +8,9 @@ pub mod hub_placement;
 pub mod load_sweep;
 pub mod lock_scaling;
 pub mod parallel_scaling;
+pub mod path_length;
 pub mod scaling;
+pub mod snapshot_storm;
 pub mod storage;
 pub mod sync_delay;
 pub mod topology_sweep;

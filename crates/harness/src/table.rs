@@ -20,6 +20,7 @@ pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    notes: Vec<String>,
 }
 
 impl Table {
@@ -29,7 +30,19 @@ impl Table {
             title: title.to_string(),
             headers: headers.iter().map(|h| h.to_string()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Appends a footnote line, rendered after the table body (and
+    /// excluded from [`to_csv`](Table::to_csv)).
+    pub fn note(&mut self, line: &str) {
+        self.notes.push(line.to_string());
+    }
+
+    /// The footnote lines appended so far.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// Appends a row.
@@ -144,6 +157,10 @@ impl fmt::Display for Table {
         writeln!(f)?;
         for row in &self.rows {
             write_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f)?;
+            writeln!(f, "{note}")?;
         }
         Ok(())
     }

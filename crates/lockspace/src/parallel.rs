@@ -160,6 +160,16 @@ pub struct ParallelReport {
     pub violation: Option<KeyedViolation>,
     /// Requests that never got granted — 0 on a completed run.
     pub starved: u64,
+    /// The liveness oracle's starvation bound, folded across shards the
+    /// way grants and safety merge: how long the longest-waiting
+    /// still-pending request had been outstanding at quiescence, in
+    /// ticks (the same request `KeyedLivenessChecker::at_quiescence`
+    /// names in the sequential runtimes — the checker itself cannot run
+    /// per shard because paced demand lets one node wait on several
+    /// keys at once, so each shard reports its oldest pending arrival
+    /// and the merge takes the global oldest, a commutative min). 0 on
+    /// a fully-served run.
+    pub starvation_bound_ticks: u64,
     /// Peak concurrent holders as merged across shard checkers. Within
     /// a shard this observes true interleaving; across shards the
     /// checkers are combined at quiescence (max), so unlike every other
@@ -551,6 +561,25 @@ impl ShardEngine {
         self.sends.clear();
     }
 
+    /// Arrival time of the oldest request still outstanding (requesting
+    /// or queued locally) — `None` once every request was served. This
+    /// is the shard's slice of the liveness starvation bound.
+    fn oldest_pending(&self) -> Option<Time> {
+        let mut oldest: Option<Time> = None;
+        let mut consider = |t: Time| oldest = Some(oldest.map_or(t, |o| o.min(t)));
+        for table in &self.tables {
+            for (_, inst) in table.iter() {
+                if inst.node.is_requesting() {
+                    consider(inst.wait_since);
+                }
+                for &t in &inst.queued {
+                    consider(t);
+                }
+            }
+        }
+        oldest
+    }
+
     /// Processes every event strictly before `barrier_end`.
     fn run_window(&mut self, barrier_end: Time) {
         while let Some(t) = self.queue.peek() {
@@ -802,6 +831,7 @@ impl ParallelEngine {
         let mut events = 0;
         let mut expected = 0;
         let mut end = Time::ZERO;
+        let mut oldest_pending: Option<Time> = None;
         let mut per_key_grants = self
             .shards
             .first()
@@ -819,6 +849,9 @@ impl ParallelEngine {
             events += shard.events;
             expected += shard.expected_grants();
             end = end.max(shard.now);
+            if let Some(t) = shard.oldest_pending() {
+                oldest_pending = Some(oldest_pending.map_or(t, |o| o.min(t)));
+            }
             for (local, state) in shard.keys.iter().enumerate() {
                 let key = local * shards_n + shard.shard;
                 if key < keys {
@@ -847,6 +880,7 @@ impl ParallelEngine {
             messages: totals.messages,
             violation,
             starved: expected - grants,
+            starvation_bound_ticks: oldest_pending.map_or(0, |t| end.saturating_since(t).ticks()),
             peak_concurrent: safety.peak_concurrent(),
             wall_nanos,
             busy_critical_nanos: totals.busy_critical_nanos,
@@ -887,6 +921,7 @@ mod tests {
         let report = small_run(1, false);
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert_eq!(report.starved, 0);
+        assert_eq!(report.starvation_bound_ticks, 0);
         assert_eq!(report.grants, 24 * 2 * 4);
         assert_eq!(report.rollup.grants, report.grants);
         assert_eq!(report.rollup.requests, report.grants);
@@ -908,6 +943,7 @@ mod tests {
             assert_eq!(report.events, base.events, "K={shards}");
             assert_eq!(report.end, base.end, "K={shards}");
             assert_eq!(report.starved, 0, "K={shards}");
+            assert_eq!(report.starvation_bound_ticks, 0, "K={shards}");
         }
     }
 

@@ -35,7 +35,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dmx_core::{Action, DagMessage, DagNode, KeyedDagMessage, LockId};
-use dmx_simnet::checker::{KeyedSafetyChecker, KeyedViolation};
+use dmx_simnet::checker::{KeyedLivenessChecker, KeyedSafetyChecker, KeyedViolation};
+use dmx_simnet::metrics::Histogram;
 use dmx_simnet::{Ctx, Protocol, Time};
 use dmx_topology::{NodeId, Tree};
 use dmx_workload::{AcquireMode, Outcome, Script, SessionOp};
@@ -82,6 +83,13 @@ struct Shared {
     tree: Tree,
     orientations: OrientationCache,
     safety: KeyedSafetyChecker,
+    /// Liveness oracle: every request a client starts waiting on must
+    /// resolve (grant or explicit abandonment) before quiescence.
+    liveness: KeyedLivenessChecker,
+    /// Request→grant waits of every granted acquisition, in ticks
+    /// (locally-parked tokens grant with zero wait). Abandoned waits
+    /// never enter the distribution.
+    waits: Histogram,
     /// One slot per script step; acquire steps fill theirs.
     outcomes: Vec<Option<Outcome>>,
     /// First correctness violation observed, if any.
@@ -176,6 +184,8 @@ impl ScriptedClient {
             tree: tree.clone(),
             orientations: OrientationCache::new(n),
             safety: KeyedSafetyChecker::with_keys(config.keys as usize),
+            liveness: KeyedLivenessChecker::with_nodes(n),
+            waits: Histogram::default(),
             outcomes: vec![None; script.len()],
             violation: None,
         }));
@@ -256,6 +266,32 @@ impl ScriptedClient {
         sh.note(r);
     }
 
+    /// Opens `key`'s liveness interval: the local user starts waiting.
+    fn note_request(&mut self, key: LockId, now: Time) {
+        let mut sh = self.shared.borrow_mut();
+        let r = sh.liveness.on_request(self.me, key.index(), now).err();
+        sh.note(r);
+    }
+
+    /// Closes `key`'s liveness interval as a grant and records the
+    /// request→grant wait in the session's distribution.
+    fn note_grant(&mut self, key: LockId, now: Time) {
+        let mut sh = self.shared.borrow_mut();
+        match sh.liveness.on_grant(self.me, key.index(), now) {
+            Ok(since) => sh.waits.record(now.saturating_since(since).ticks()),
+            Err(v) => sh.note(Some(v)),
+        }
+    }
+
+    /// Closes `key`'s liveness interval without a grant: the user gave
+    /// up, so the wait resolved (not starved) but was never served —
+    /// it stays out of the grant-wait distribution.
+    fn note_abandoned(&mut self, key: LockId, now: Time) {
+        let mut sh = self.shared.borrow_mut();
+        let r = sh.liveness.on_grant(self.me, key.index(), now).err();
+        sh.note(r);
+    }
+
     /// Leaves `key`'s critical section: oracle exit + protocol exit.
     fn exit_key(&mut self, key: LockId, ctx: &mut Ctx<'_, Envelope>) {
         let now = ctx.now();
@@ -312,17 +348,22 @@ impl ScriptedClient {
                 // state machine is already `requesting`) — the same
                 // silent adoption the threaded pending machine performs.
                 self.abandoned.swap_remove(i);
+                // The adopted wait starts now: the abandoned interval
+                // was already resolved when its user gave up.
+                self.note_request(key, ctx.now());
                 match &mut self.activity {
                     Activity::Acquiring { in_flight, .. } => *in_flight = Some(key),
                     Activity::Idle => unreachable!(),
                 }
                 return;
             }
+            self.note_request(key, ctx.now());
             let mut scratch = std::mem::take(&mut self.scratch);
             self.instance(key).request_into(&mut scratch);
             self.scratch = scratch;
             let entered = self.flush_actions(key, ctx);
             if entered {
+                self.note_grant(key, ctx.now());
                 self.note_enter(key, ctx.now());
                 match &mut self.activity {
                     Activity::Acquiring { acquired, .. } => *acquired += 1,
@@ -355,6 +396,7 @@ impl ScriptedClient {
         let (_, outcome) = limit.expect("expire without a limit");
         // The REQUEST cannot be recalled; release-on-grant instead.
         if let Some(key) = in_flight {
+            self.note_abandoned(key, ctx.now());
             self.abandoned.push(key);
         }
         for &key in keys[..acquired].iter().rev() {
@@ -389,6 +431,10 @@ impl ScriptedClient {
                                 self.scratch = scratch;
                                 let entered = self.flush_actions(key, ctx);
                                 debug_assert!(entered, "a holding idle instance enters locally");
+                                // A try is an instant request→grant:
+                                // it contributes a zero-tick wait.
+                                self.note_request(key, now);
+                                self.note_grant(key, now);
                                 self.note_enter(key, now);
                                 taken = i + 1;
                             } else {
@@ -485,6 +531,7 @@ impl ScriptedClient {
                     } if *in_flight == Some(key) => {
                         *in_flight = None;
                         *acquired += 1;
+                        self.note_grant(key, now);
                         self.note_enter(key, now);
                         self.advance_acquisition(ctx);
                     }
@@ -572,6 +619,18 @@ impl SessionMonitor {
         self.shared.borrow().safety.occupant(key.index())
     }
 
+    /// Request→grant wait distribution over every granted acquisition,
+    /// in ticks. Timed-out acquisitions contribute nothing; a grant off
+    /// a locally parked token records a zero-tick wait.
+    pub fn wait_histogram(&self) -> Histogram {
+        self.shared.borrow().waits
+    }
+
+    /// Nodes currently waiting on an unresolved acquisition.
+    pub fn waiting(&self) -> usize {
+        self.shared.borrow().liveness.pending_count()
+    }
+
     /// Full-run verdict once the engine has quiesced: the outcome
     /// vector, or the first safety violation.
     ///
@@ -589,6 +648,9 @@ impl SessionMonitor {
         if let Some(v) = sh.violation {
             return Err(v);
         }
+        // Starvation first: a starved waiter coexists with a live
+        // holder, so the held-key assert below would mask it.
+        sh.liveness.at_quiescence()?;
         assert_eq!(
             sh.safety.concurrent(),
             0,
@@ -790,6 +852,78 @@ mod tests {
             outcomes,
             vec![Some(Outcome::Granted), None, Some(Outcome::Granted), None]
         );
+    }
+
+    #[test]
+    fn monitor_reports_the_wait_distribution_without_abandons() {
+        let tree = Tree::star(3);
+        let script = Script::new()
+            .lock(NodeId(1), LockId(2)) // hub is node 2: a real wait
+            .lock_timeout(NodeId(2), LockId(2), Time(100)) // times out: excluded
+            .release(NodeId(2))
+            .release(NodeId(1))
+            .lock(NodeId(2), LockId(2)) // bounced token parked locally: zero wait
+            .release(NodeId(2));
+        let config = SessionConfig {
+            keys: 4,
+            ..SessionConfig::default()
+        };
+        let (clients, monitor) = ScriptedClient::cluster(&tree, config, &script);
+        let mut engine = Engine::new(clients, EngineConfig::default());
+        engine.run_to_quiescence().expect("session run completes");
+        monitor.finish().expect("per-key safety holds");
+        let hist = monitor.wait_histogram();
+        assert_eq!(
+            hist.count(),
+            2,
+            "two grants; the abandoned wait is excluded"
+        );
+        assert!(hist.max() > 0, "the remote grant took time");
+        let zeros: u64 = hist
+            .iter_buckets()
+            .filter(|&(lo, _, _)| lo == 0)
+            .map(|(_, _, c)| c)
+            .sum();
+        assert_eq!(zeros, 1, "the parked-token grant waited zero ticks");
+        assert_eq!(monitor.waiting(), 0);
+    }
+
+    #[test]
+    fn unserved_waiter_is_reported_as_starved() {
+        use dmx_simnet::checker::Violation;
+
+        let tree = Tree::line(3);
+        // Well-formed script, inspected *mid-run*: node 0 still holds
+        // key 0 (its release is step 3, issued at t3000) while node 2's
+        // step-1 request waits. Pausing the engine between the two is
+        // exactly the state the starvation oracle must flag.
+        let script = Script::new()
+            .lock(NodeId(0), LockId(0))
+            .lock(NodeId(2), LockId(0))
+            .release(NodeId(2))
+            .release(NodeId(0));
+        let config = SessionConfig {
+            keys: 1,
+            placement: Placement::Hub(NodeId(0)),
+            ..SessionConfig::default()
+        };
+        let (clients, monitor) = ScriptedClient::cluster(&tree, config, &script);
+        let mut engine = Engine::new(clients, EngineConfig::default());
+        engine
+            .run_until(Time(2 * Script::STEP_TICKS + 500))
+            .expect("mid-run prefix is clean");
+        assert_eq!(monitor.waiting(), 1);
+        let err = monitor.finish().expect_err("node 2 is starving");
+        assert_eq!(err.key, 0);
+        assert!(
+            matches!(err.violation, Violation::Starvation { node, .. } if node == NodeId(2)),
+            "unexpected violation: {err:?}"
+        );
+
+        // Resuming to quiescence clears the verdict: the wait resolves.
+        engine.run_to_quiescence().expect("run completes");
+        assert_eq!(monitor.waiting(), 0);
+        monitor.finish().expect("served run has no starvation");
     }
 
     #[test]

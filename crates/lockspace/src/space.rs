@@ -46,7 +46,7 @@ use std::rc::Rc;
 
 use dmx_core::{Action, DagMessage, DagNode, KeyedDagMessage, LockId};
 use dmx_simnet::checker::{KeyedLivenessChecker, KeyedSafetyChecker, KeyedViolation};
-use dmx_simnet::metrics::{KeyStats, KeyedMetrics, KeyedRollup};
+use dmx_simnet::metrics::{Histogram, KeyStats, KeyedMetrics, KeyedRollup};
 use dmx_simnet::{Ctx, MessageMeta, Protocol, Time};
 use dmx_topology::{NodeId, Orientation, Tree};
 use dmx_workload::{KeyStream, KeyedWorkload};
@@ -155,6 +155,11 @@ pub struct LockSpaceConfig {
     pub flush: FlushPolicy,
     /// Shard count of each node's [`LockTable`].
     pub shards: usize,
+    /// Trace per-request DAG path lengths (REQUEST hops from requester
+    /// to the privilege holder) into a histogram reachable via
+    /// [`LockSpaceMonitor::path_histogram`]. Off by default: the hot
+    /// path then pays only an is-empty check on an always-empty vector.
+    pub trace_paths: bool,
 }
 
 impl Default for LockSpaceConfig {
@@ -166,6 +171,7 @@ impl Default for LockSpaceConfig {
             batching: true,
             flush: FlushPolicy::EveryTick,
             shards: 16,
+            trace_paths: false,
         }
     }
 }
@@ -186,6 +192,14 @@ struct Shared {
     /// cannot abort the engine, so violations are recorded here and
     /// surfaced through [`LockSpaceMonitor`].
     violation: Option<KeyedViolation>,
+    /// Per-origin REQUEST hop counters, sized to the node count when
+    /// `trace_paths` is on (empty — and costing one length check per
+    /// delivery — when off). One slot per node suffices because the
+    /// lock-space model allows one outstanding request per node.
+    path_hops: Vec<u32>,
+    /// Distribution of per-request DAG path lengths (0 for grants
+    /// satisfied locally by a parked token).
+    path_hist: Histogram,
 }
 
 impl Shared {
@@ -289,6 +303,9 @@ impl LockSpaceNode {
             let r = sh.liveness.on_request(self.me, key.index(), now).err();
             sh.note(r);
             sh.keyed.on_request(key.index());
+            if let Some(hops) = sh.path_hops.get_mut(self.me.index()) {
+                *hops = 0;
+            }
         }
         self.phase = Phase::Waiting { key };
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -317,6 +334,9 @@ impl LockSpaceNode {
             let r = sh.safety.on_enter(key.index(), self.me, now).err();
             sh.note(r);
             sh.keyed.on_grant(key.index(), wait);
+            if let Some(&hops) = sh.path_hops.get(self.me.index()) {
+                sh.path_hist.record(u64::from(hops));
+            }
         }
         let until = now + self.config.hold;
         self.phase = Phase::Holding { key, until };
@@ -355,10 +375,17 @@ impl LockSpaceNode {
     /// One keyed message arrived (already unwrapped from its envelope).
     fn deliver(&mut self, from: NodeId, keyed: KeyedDagMessage, ctx: &mut Ctx<'_, Envelope>) {
         let key = keyed.lock;
-        self.shared
-            .borrow_mut()
-            .keyed
-            .on_message(key.index(), keyed.msg.kind());
+        {
+            let mut sh = self.shared.borrow_mut();
+            sh.keyed.on_message(key.index(), keyed.msg.kind());
+            // Path tracing: every delivery of a REQUEST still carrying
+            // `origin` is one hop of that request's DAG path.
+            if let DagMessage::Request { origin, .. } = keyed.msg {
+                if let Some(hops) = sh.path_hops.get_mut(origin.index()) {
+                    *hops += 1;
+                }
+            }
+        }
         match keyed.msg {
             DagMessage::Request { from: link, origin } => {
                 debug_assert_eq!(link, from, "REQUEST's X field must match the wire sender");
@@ -519,10 +546,16 @@ impl LockSpace {
             tree: tree.clone(),
             safety: KeyedSafetyChecker::with_keys(config.keys as usize),
             liveness: KeyedLivenessChecker::with_nodes(n),
-            keyed: KeyedMetrics::with_keys(config.keys as usize),
+            keyed: KeyedMetrics::with_keys(config.keys as usize).with_per_key_histograms(),
             pool: BatchPool::new(),
             orientations: OrientationCache::new(n),
             violation: None,
+            path_hops: if config.trace_paths {
+                vec![0; n]
+            } else {
+                Vec::new()
+            },
+            path_hist: Histogram::default(),
         }));
         let nodes = tree
             .nodes()
@@ -593,6 +626,33 @@ impl LockSpaceMonitor {
     /// Whole-space rollup of the per-key counters.
     pub fn rollup(&self) -> KeyedRollup {
         self.shared.borrow().keyed.rollup()
+    }
+
+    /// The global request→grant wait distribution.
+    pub fn wait_histogram(&self) -> Histogram {
+        *self.shared.borrow().keyed.wait_histogram()
+    }
+
+    /// The wait distribution for one key (per-key histograms are always
+    /// on in the simulated lock space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is out of range.
+    pub fn key_wait_histogram(&self, key: LockId) -> Histogram {
+        *self
+            .shared
+            .borrow()
+            .keyed
+            .key_wait_histogram(key.index())
+            .expect("lock spaces record per-key histograms")
+    }
+
+    /// The per-request DAG path-length distribution (REQUEST hops from
+    /// requester to privilege holder; 0 for locally-parked grants).
+    /// Empty unless [`LockSpaceConfig::trace_paths`] was set.
+    pub fn path_histogram(&self) -> Histogram {
+        self.shared.borrow().path_hist
     }
 
     /// The `grants`-hottest keys, hottest first (ties by key id).
@@ -903,6 +963,40 @@ mod tests {
         // first acquisition costs 3, the other nine are local.
         assert_eq!(engine.metrics().messages_total, 3);
         assert!(engine.node(NodeId(2)).token_keys().any(|k| k == LockId(0)));
+    }
+
+    #[test]
+    fn path_tracing_counts_request_hops() {
+        // Hub at one end of a 4-node line, requester at the other: the
+        // first REQUEST travels 3 hops; after the token parks at the
+        // requester, the re-request is a 0-hop local grant.
+        let make = |trace_paths| {
+            let tree = Tree::line(4);
+            let mut sched = KeyedSchedule::new(4);
+            sched.push(NodeId(3), Time(0), LockId(0));
+            sched.push(NodeId(3), Time(100), LockId(0));
+            let config = LockSpaceConfig {
+                keys: 1,
+                placement: Placement::Hub(NodeId(0)),
+                trace_paths,
+                ..LockSpaceConfig::default()
+            };
+            run(&tree, config, &sched).1
+        };
+        let monitor = make(true);
+        let h = monitor.path_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 3);
+        assert_eq!(
+            h.iter_buckets().collect::<Vec<_>>(),
+            vec![(0, 0, 1), (2, 3, 1)]
+        );
+        // With tracing off (the default) the histogram stays empty —
+        // and the wait histograms record either way.
+        let off = make(false);
+        assert!(off.path_histogram().is_empty());
+        assert_eq!(off.wait_histogram().count(), 2);
+        assert_eq!(off.key_wait_histogram(LockId(0)).count(), 2);
     }
 
     #[test]

@@ -262,6 +262,17 @@ impl Transport {
         self.groups.len()
     }
 
+    /// Visits every staged send in stage order without flushing it.
+    ///
+    /// Consistent-cut capture uses this to count messages that are
+    /// logically in flight (sent by the protocol, not yet on the wire):
+    /// a Chandy–Lamport cut must account for them exactly once.
+    pub fn for_each_staged(&self, mut f: impl FnMut(NodeId, &KeyedDagMessage)) {
+        for (to, msg) in &self.staging {
+            f(*to, msg);
+        }
+    }
+
     /// Stages one keyed send for `to`, assigning it to its
     /// destination's group (created on first appearance, so flush-time
     /// envelope order is first-appearance order).

@@ -53,6 +53,7 @@ mod client;
 mod cluster;
 mod lockspace;
 pub mod service;
+pub mod snapshot;
 mod stats;
 pub mod tcp;
 
@@ -60,4 +61,5 @@ pub use client::{run_script, LockClient, LockGuard, LockRequest, MultiGuard, Mul
 pub use cluster::Cluster;
 pub use lockspace::{LockSpaceCluster, LockSpaceClusterConfig, LockSpaceNodeStats, LockSpaceStats};
 pub use service::{LockError, LockService};
+pub use snapshot::{KeyCut, LockSpaceSnapshot, NodeCut, SnapshotSummary, SnapshotViolation};
 pub use stats::{ClusterStats, NodeStats};

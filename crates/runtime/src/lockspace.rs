@@ -55,6 +55,7 @@
 //! # Ok::<(), dmx_runtime::LockError>(())
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -69,6 +70,7 @@ use crate::client::{Endpoint, LockClient};
 use crate::service::{
     AbandonAction, AcquireAction, GrantAction, LockError, LockService, PendingSet, Reply,
 };
+use crate::snapshot::{KeyCut, LockSpaceSnapshot, NodeCut};
 
 /// Threaded lock-space parameters.
 ///
@@ -138,6 +140,18 @@ enum Input {
         /// Payload: one or many keyed messages.
         envelope: Envelope,
     },
+    /// Capture a consistent cut: reply with this node's slice once the
+    /// Chandy–Lamport round completes (all peers' markers received).
+    Snapshot {
+        /// Where the node's [`NodeCut`] goes.
+        reply: Sender<NodeCut>,
+    },
+    /// A Chandy–Lamport marker from peer `from`: the cut boundary on
+    /// the `from → me` channel.
+    Marker {
+        /// The peer whose cut point this marker carries.
+        from: NodeId,
+    },
     /// Stop and report stats.
     Shutdown,
 }
@@ -147,6 +161,10 @@ enum Input {
 enum NodeMsg {
     External(Input),
     Worker(WorkerOut),
+    /// One worker's table slice for an in-progress cut. Deliberately
+    /// not a [`WorkerOut`]: cuts do not count against the router's
+    /// outstanding-job bookkeeping.
+    WorkerCut(Vec<KeyCut>),
 }
 
 /// One job dispatched from a router to the worker owning the key.
@@ -164,6 +182,10 @@ enum WorkerJob {
         /// Payload.
         msg: KeyedDagMessage,
     },
+    /// Report the table slice as a [`NodeMsg::WorkerCut`]. Queue
+    /// position is the worker's cut point: every job ahead of it is
+    /// pre-cut, everything behind post-cut.
+    Snapshot,
     /// Stop and report stats.
     Shutdown,
 }
@@ -175,6 +197,45 @@ struct WorkerOut {
     sends: Vec<(NodeId, KeyedDagMessage)>,
     entered: Option<LockId>,
     refused: Option<LockId>,
+}
+
+/// One router's in-progress Chandy–Lamport cut.
+///
+/// Two phases. **Drain** (`!markers_sent`): the workers have been sent
+/// [`WorkerJob::Snapshot`] and the router parks every external input in
+/// `deferred` while the pre-cut jobs' outboxes finish merging — worker
+/// out-channels are FIFO, so once all [`NodeMsg::WorkerCut`]s are in,
+/// the router has merged *exactly* the sends of the jobs the tables
+/// reflect, and the staged transport can be captured without double- or
+/// under-counting a token. **Record** (`markers_sent`): markers are
+/// out, deferred inputs replay, and traffic from each peer is recorded
+/// as that channel's in-flight state until its marker arrives.
+struct CutState {
+    /// Where this node's slice goes; `None` until the local snapshot
+    /// request arrives (a peer's marker may trigger the cut first).
+    reply: Option<Sender<NodeCut>>,
+    /// Worker table slices still owed.
+    workers_left: usize,
+    /// Per-peer: marker received, channel recording closed.
+    marker_seen: Vec<bool>,
+    /// Peers whose marker is still outstanding.
+    markers_left: usize,
+    /// `false` during the drain phase, `true` once this node's own
+    /// markers went out.
+    markers_sent: bool,
+    /// Materialized instances reported by the workers.
+    keys: Vec<KeyCut>,
+    /// Local user state at the cut point (captured at drain end).
+    held: Vec<LockId>,
+    /// Outstanding local acquisitions at the cut point.
+    pending: Vec<(LockId, bool)>,
+    /// Transport staging at the cut point.
+    staged: Vec<(NodeId, KeyedDagMessage)>,
+    /// Per-sender channel recordings.
+    recording: Vec<Vec<KeyedDagMessage>>,
+    /// External inputs parked during the drain phase, replayed in
+    /// arrival order the moment the markers go out.
+    deferred: Vec<Input>,
 }
 
 /// Counters one worker accumulates over its lifetime.
@@ -254,6 +315,7 @@ impl LockSpaceStats {
 #[derive(Debug)]
 pub struct LockSpaceCluster {
     keys: u32,
+    placement: Placement,
     txs: Vec<Sender<NodeMsg>>,
     joins: Vec<JoinHandle<LockSpaceNodeStats>>,
 }
@@ -380,6 +442,7 @@ impl LockSpaceCluster {
         (
             LockSpaceCluster {
                 keys: config.keys,
+                placement: config.placement,
                 txs,
                 joins,
             },
@@ -401,6 +464,40 @@ impl LockSpaceCluster {
     /// Number of keys served.
     pub fn keys(&self) -> u32 {
         self.keys
+    }
+
+    /// Captures a consistent cut of the running space without pausing
+    /// it: the Chandy–Lamport marker algorithm over the cluster's FIFO
+    /// channels (see [`crate::snapshot`] for the protocol and
+    /// [`LockSpaceSnapshot::verify`] for the oracle it must pass).
+    ///
+    /// Every node is asked at once, so whichever reaches a node first —
+    /// this request or a peer's marker — triggers its cut, and the
+    /// slices still compose into one consistent global state. Lock
+    /// traffic keeps flowing the whole time; only each node's own
+    /// worker drain serializes briefly with its cut point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is shut down while the cut is in
+    /// progress (take snapshots before [`shutdown`], not concurrently
+    /// with it).
+    ///
+    /// [`shutdown`]: LockSpaceCluster::shutdown
+    pub fn snapshot(&self) -> LockSpaceSnapshot {
+        let (reply, slices) = unbounded();
+        for tx in &self.txs {
+            let sent = tx.send(NodeMsg::External(Input::Snapshot {
+                reply: reply.clone(),
+            }));
+            assert!(sent.is_ok(), "snapshot of a stopped cluster");
+        }
+        drop(reply);
+        let mut cuts: Vec<NodeCut> = (0..self.txs.len())
+            .map(|_| slices.recv().expect("cut interrupted by shutdown"))
+            .collect();
+        cuts.sort_by_key(|c| c.node.index());
+        LockSpaceSnapshot::new(self.keys, self.placement, cuts)
     }
 
     /// Stops every node and returns the aggregated counters.
@@ -428,6 +525,10 @@ impl LockService for LockSpaceCluster {
         LockSpaceCluster::keys(self)
     }
 
+    fn snapshot(&self) -> Option<LockSpaceSnapshot> {
+        Some(LockSpaceCluster::snapshot(self))
+    }
+
     fn shutdown(self) -> LockSpaceStats {
         LockSpaceCluster::shutdown(self)
     }
@@ -445,7 +546,7 @@ fn worker_main(
     out: Sender<NodeMsg>,
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
-    let mut table = LockTable::new(16);
+    let mut table: LockTable = LockTable::new(16);
     // Orientations of the hubs this worker has seen traffic for, filled
     // on first use — untouched hubs cost nothing, like untouched keys.
     let mut orientations = OrientationCache::new(n);
@@ -471,6 +572,22 @@ fn worker_main(
         let key = match &job {
             WorkerJob::Acquire(key) | WorkerJob::TryAcquire(key) | WorkerJob::Release(key) => *key,
             WorkerJob::Net { msg, .. } => msg.lock,
+            WorkerJob::Snapshot => {
+                // The cut point for this worker's shard: every job the
+                // router dispatched before the cut has been applied to
+                // the table (per-channel FIFO), nothing after it has.
+                let cut = table
+                    .iter()
+                    .map(|(key, inst)| KeyCut {
+                        key,
+                        has_token: inst.has_token(),
+                        executing: inst.is_executing(),
+                        requesting: inst.is_requesting(),
+                    })
+                    .collect();
+                let _ = out.send(NodeMsg::WorkerCut(cut));
+                continue;
+            }
             WorkerJob::Shutdown => break,
         };
         actions.clear();
@@ -509,7 +626,7 @@ fn worker_main(
                     .receive_privilege_into(&mut actions),
                 DagMessage::Initialize => {} // pre-oriented start-up
             },
-            WorkerJob::Shutdown => unreachable!("handled above"),
+            WorkerJob::Snapshot | WorkerJob::Shutdown => unreachable!("handled above"),
         }
         let mut sends = Vec::with_capacity(actions.len());
         let mut entered = None;
@@ -578,6 +695,11 @@ fn router_main(
     // Worker outboxes merged since the last flush (the tickless
     // analogue of the simulator's coalescing window).
     let mut bursts = 0u64;
+    // The in-progress Chandy–Lamport cut, if any.
+    let mut cut: Option<CutState> = None;
+    // Inputs deferred during a cut's drain phase, consumed ahead of the
+    // inbox so channel order is preserved.
+    let mut replay: VecDeque<Input> = VecDeque::new();
 
     let workers = worker_txs.len();
     let worker_for = |key: LockId| key.index() % workers;
@@ -602,11 +724,58 @@ fn router_main(
         };
     }
 
+    // Opens a cut: ask every worker for its table slice at its current
+    // queue position; the drain phase runs until all slices are back.
+    macro_rules! start_cut {
+        () => {{
+            for tx in &worker_txs {
+                let _ = tx.send(WorkerJob::Snapshot);
+            }
+            CutState {
+                reply: None,
+                workers_left: workers,
+                marker_seen: vec![false; n],
+                markers_left: n - 1,
+                markers_sent: false,
+                keys: Vec::new(),
+                held: Vec::new(),
+                pending: Vec::new(),
+                staged: Vec::new(),
+                recording: vec![Vec::new(); n],
+                deferred: Vec::new(),
+            }
+        }};
+    }
+
+    // Ships the node's slice once the cut is complete: markers out,
+    // every peer's marker in, and the local reply channel attached.
+    macro_rules! finish_cut {
+        () => {
+            if cut
+                .as_ref()
+                .is_some_and(|c| c.markers_sent && c.markers_left == 0 && c.reply.is_some())
+            {
+                let mut c = cut.take().expect("checked above");
+                c.keys.sort_by_key(|k| k.key);
+                let _ = c.reply.expect("checked above").send(NodeCut {
+                    node: me,
+                    keys: c.keys,
+                    held: c.held,
+                    pending: c.pending,
+                    staged: c.staged,
+                    in_flight: c.recording,
+                });
+            }
+        };
+    }
+
     loop {
-        // Block only when the transport is empty or workers still owe
-        // outboxes; otherwise take what is immediately available and
-        // flush the moment the inbox goes idle.
-        let msg = if transport.staged() > 0 && outstanding == 0 {
+        // Deferred inputs replay ahead of the inbox; otherwise block
+        // only when the transport is empty or workers still owe
+        // outboxes, and flush the moment the inbox goes idle.
+        let msg = if let Some(input) = replay.pop_front() {
+            NodeMsg::External(input)
+        } else if transport.staged() > 0 && outstanding == 0 {
             match rx.try_recv() {
                 Ok(msg) => msg,
                 Err(TryRecvError::Empty) => {
@@ -620,6 +789,17 @@ fn router_main(
                 Ok(msg) => msg,
                 Err(_) => break,
             }
+        };
+        // Drain phase: park external inputs until the workers' cut
+        // slices are in — dispatching (or even resolving) them now
+        // could stage a post-cut send into the about-to-be-captured
+        // transport and double-count a token.
+        let msg = match (&mut cut, msg) {
+            (Some(c), NodeMsg::External(input)) if !c.markers_sent => {
+                c.deferred.push(input);
+                continue;
+            }
+            (_, msg) => msg,
         };
         match msg {
             NodeMsg::External(Input::Acquire(key, ack)) => match pending.acquire(key, ack) {
@@ -657,19 +837,54 @@ fn router_main(
                     }
                 }
             }
-            NodeMsg::External(Input::Net { from, envelope }) => match envelope {
-                Envelope::One(msg) => {
-                    dispatch!(msg.lock, WorkerJob::Net { from, msg });
+            NodeMsg::External(Input::Net { from, envelope }) => {
+                if let Some(c) = cut.as_mut() {
+                    // Post-cut, pre-marker traffic on this channel is
+                    // exactly the in-flight state the cut must record.
+                    if !c.marker_seen[from.index()] {
+                        match &envelope {
+                            Envelope::One(msg) => c.recording[from.index()].push(*msg),
+                            Envelope::Batch(batch) => {
+                                c.recording[from.index()].extend(batch.iter().copied());
+                            }
+                        }
+                    }
                 }
-                Envelope::Batch(mut batch) => {
-                    for msg in batch.drain(..) {
+                match envelope {
+                    Envelope::One(msg) => {
                         dispatch!(msg.lock, WorkerJob::Net { from, msg });
                     }
-                    // The drained payload joins this node's own pool:
-                    // cross-node buffer recycling.
-                    pool.put(batch);
+                    Envelope::Batch(mut batch) => {
+                        for msg in batch.drain(..) {
+                            dispatch!(msg.lock, WorkerJob::Net { from, msg });
+                        }
+                        // The drained payload joins this node's own pool:
+                        // cross-node buffer recycling.
+                        pool.put(batch);
+                    }
                 }
-            },
+            }
+            NodeMsg::External(Input::Snapshot { reply }) => {
+                if cut.is_none() {
+                    cut = Some(start_cut!());
+                }
+                cut.as_mut().expect("just opened").reply = Some(reply);
+                finish_cut!();
+            }
+            NodeMsg::External(Input::Marker { from }) => {
+                if cut.is_none() {
+                    // A peer's marker reached us before the local
+                    // snapshot request: its arrival is our cut point,
+                    // and that channel records nothing.
+                    cut = Some(start_cut!());
+                }
+                let c = cut.as_mut().expect("just opened");
+                if !c.marker_seen[from.index()] {
+                    c.marker_seen[from.index()] = true;
+                    c.markers_left -= 1;
+                }
+                finish_cut!();
+            }
             NodeMsg::External(Input::Shutdown) => break,
             NodeMsg::Worker(WorkerOut {
                 sends,
@@ -709,15 +924,51 @@ fn router_main(
                             }
                             GrantAction::AutoRelease => {
                                 // The waiter abandoned: bounce the
-                                // privilege straight back out.
+                                // privilege straight back out — unless a
+                                // cut is draining, in which case the
+                                // bounce is post-cut work and must wait
+                                // with the other deferred inputs.
                                 stats.abandoned += 1;
-                                dispatch!(key, WorkerJob::Release(key));
+                                match cut.as_mut().filter(|c| !c.markers_sent) {
+                                    Some(c) => c.deferred.push(Input::Release(key)),
+                                    None => {
+                                        dispatch!(key, WorkerJob::Release(key));
+                                    }
+                                }
                             }
                         }
                     }
                 }
                 if transport.staged() > 0 && transport.burst_cap_reached(bursts) {
                     flush_transport!();
+                }
+            }
+            NodeMsg::WorkerCut(mut keys) => {
+                let drained = {
+                    let c = cut.as_mut().expect("worker cut without an active cut");
+                    c.keys.append(&mut keys);
+                    c.workers_left -= 1;
+                    c.workers_left == 0
+                };
+                if drained {
+                    // Every pre-cut job's outbox is merged (worker out
+                    // channels are FIFO), so table slices, user state,
+                    // and transport staging now describe one frontier:
+                    // capture it, send the markers, and let the parked
+                    // inputs replay as post-cut traffic.
+                    let c = cut.as_mut().expect("still active");
+                    c.held = held.clone();
+                    pending.for_each_engaged(|key, abandoned| c.pending.push((key, abandoned)));
+                    transport.for_each_staged(|to, msg| c.staged.push((to, *msg)));
+                    for (p, peer) in peers.iter().enumerate() {
+                        if p != me.index() {
+                            let _ = peer.send(NodeMsg::External(Input::Marker { from: me }));
+                        }
+                    }
+                    c.markers_sent = true;
+                    debug_assert!(replay.is_empty(), "two cuts draining at once");
+                    replay.extend(c.deferred.drain(..));
+                    finish_cut!();
                 }
             }
         }
@@ -1068,6 +1319,80 @@ mod tests {
                 .unwrap(),
         );
         drop(clients);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn snapshot_of_quiescent_space_passes_the_oracle() {
+        let (cluster, mut clients) =
+            LockSpaceCluster::start(&Tree::line(3), 16, Placement::Hub(NodeId(0)));
+        // Pull key 7's token to node 2, then hold key 3 there while the
+        // cut is taken.
+        drop(clients[2].lock(LockId(7)).wait().unwrap());
+        let guard = clients[2].lock(LockId(3)).wait().unwrap();
+
+        let snapshot = cluster.snapshot();
+        let summary = snapshot.verify().expect("quiescent cut is consistent");
+        assert_eq!(snapshot.nodes(), 3);
+        assert_eq!(snapshot.keys(), 16);
+        // Nothing is moving: no staged or recorded traffic anywhere.
+        assert_eq!(snapshot.in_flight_messages(), 0);
+        assert_eq!(summary.executing, 1);
+        // Keys 7 and 3 materialized away from their hub; 14 never left.
+        assert_eq!(summary.implicit_tokens, 14);
+        let node2 = &snapshot.cuts()[2];
+        assert_eq!(node2.held, vec![LockId(3)]);
+        assert!(node2
+            .keys
+            .iter()
+            .any(|kc| kc.key == LockId(7) && kc.has_token && !kc.executing));
+
+        drop(guard);
+        drop(clients);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn snapshot_mid_storm_is_consistent_without_pausing_traffic() {
+        let n = 4;
+        let config = LockSpaceClusterConfig {
+            keys: 8,
+            placement: Placement::Modulo,
+            workers: 2,
+            flush: FlushPolicy::Window(4),
+        };
+        let (cluster, clients) = LockSpaceCluster::start_with(&Tree::star(n), config);
+        let mut workers = Vec::new();
+        for (i, mut client) in clients.into_iter().enumerate() {
+            workers.push(std::thread::spawn(move || {
+                for round in 0..200u32 {
+                    let key = LockId((round.wrapping_mul(7).wrapping_add(i as u32)) % 8);
+                    drop(client.lock(key).wait().unwrap());
+                }
+            }));
+        }
+        // Cuts race the storm: every one must still be consistent, and
+        // the storm keeps running through every capture.
+        for _ in 0..10 {
+            let snapshot = cluster.snapshot();
+            let summary = snapshot.verify().expect("mid-storm cut is consistent");
+            assert_eq!(
+                summary.tokens_in_tables + summary.implicit_tokens + summary.privileges_in_flight,
+                8,
+                "exactly one privilege per key"
+            );
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.entries, 200 * n as u64);
+    }
+
+    #[test]
+    fn single_lock_backends_have_no_online_snapshot() {
+        let (cluster, _clients) = crate::Cluster::start(&Tree::line(2), NodeId(0));
+        assert!(LockService::snapshot(&cluster).is_none());
         cluster.shutdown();
     }
 

@@ -61,6 +61,8 @@ use std::fmt;
 use crossbeam::channel::Sender;
 use dmx_core::LockId;
 
+use crate::snapshot::LockSpaceSnapshot;
+
 /// Failure acquiring or releasing a distributed lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockError {
@@ -116,6 +118,15 @@ pub trait LockService {
     /// Number of distinct keys served (`1` for the single-lock
     /// backends; clients' valid keys are `LockId(0..keys)`).
     fn keys(&self) -> u32;
+
+    /// Captures a consistent cut of the live service without pausing
+    /// it, for backends that support online capture. The default is
+    /// `None`; [`LockSpaceCluster`](crate::LockSpaceCluster) overrides
+    /// it with a Chandy–Lamport marker snapshot (see
+    /// [`crate::snapshot`]).
+    fn snapshot(&self) -> Option<LockSpaceSnapshot> {
+        None
+    }
 
     /// Stops every node and returns the aggregated counters.
     fn shutdown(self) -> Self::Stats;
@@ -201,6 +212,14 @@ impl PendingSet {
     /// `true` if `key` has any outstanding slot (waiting or abandoned).
     pub(crate) fn is_engaged(&self, key: LockId) -> bool {
         self.position(key).is_some()
+    }
+
+    /// Visits every outstanding slot as `(key, abandoned)` — the local
+    /// user state a consistent cut captures.
+    pub(crate) fn for_each_engaged(&self, mut f: impl FnMut(LockId, bool)) {
+        for (key, pending) in &self.slots {
+            f(*key, matches!(pending, Pending::Abandoned));
+        }
     }
 
     /// Registers a local acquire for `key`, replying on `ack` when the

@@ -73,6 +73,177 @@ pub struct SyncDelay {
     pub elapsed: Time,
 }
 
+/// An allocation-free latency histogram with fixed log₂-spaced buckets.
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. With 65 buckets the full `u64` range is
+/// covered, recording is a handful of integer ops (no branches on
+/// bucket boundaries, no allocation — this type sits on the multiplexed
+/// hot path next to [`KeyStats`]), and [`merge`](Histogram::merge) is an
+/// element-wise sum, so merging per-shard histograms equals having
+/// recorded the concatenated stream — the property the parallel
+/// runtime's shard rollup relies on.
+///
+/// Quantiles ([`quantile`](Histogram::quantile)) are estimated by linear
+/// interpolation inside the target bucket and clamped to the observed
+/// maximum; the estimate is deterministic integer math, so two runs (or
+/// two shard decompositions) that recorded the same multiset report
+/// identical percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::metrics::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for w in [0, 1, 2, 3, 100] {
+///     h.record(w);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 100);
+/// assert_eq!(h.quantile(0.0), Some(0));
+/// assert_eq!(h.quantile(1.0), Some(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; Histogram::BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; Histogram::BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket count: one for zero plus one per bit of `u64`.
+    pub const BUCKETS: usize = 65;
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        // Bit length: 0 → 0, 1 → 1, [2,3] → 2, [4,7] → 3, …
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `i`.
+    fn bounds(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest recorded observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all recorded observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Estimated value at quantile `q ∈ [0, 1]`, or `None` when empty.
+    ///
+    /// The rank-`⌈q·count⌉` observation's bucket is located by a
+    /// cumulative scan, then the value is linearly interpolated across
+    /// the bucket's `[lo, hi]` range and clamped to the observed max —
+    /// exact for bucket 0, within one bucket width otherwise.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = Self::bounds(i);
+                let within = rank - seen; // 1-based rank inside this bucket
+                let span = (hi - lo) as u128;
+                let est = lo + (span * within as u128).div_ceil(c as u128) as u64;
+                return Some(est.min(self.max));
+            }
+            seen += c;
+        }
+        unreachable!("rank {rank} beyond recorded count {}", self.count)
+    }
+
+    /// The median estimate (0 when empty).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50).unwrap_or(0)
+    }
+
+    /// The 99th-percentile estimate (0 when empty).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99).unwrap_or(0)
+    }
+
+    /// The 99.9th-percentile estimate (0 when empty).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999).unwrap_or(0)
+    }
+
+    /// Folds `other` into `self` bucket by bucket. Merging per-shard
+    /// histograms equals recording the concatenated stream into one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates `(lo, hi, count)` for every non-empty bucket, in value
+    /// order — the raw shape, for tables and debugging.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
 /// Per-message-kind delivery counters.
 ///
 /// Keys are the `&'static str` labels
@@ -248,6 +419,25 @@ impl Metrics {
         Some(total as f64 / self.grants.len() as f64)
     }
 
+    /// The request→grant wait distribution over every grant, as a
+    /// log₂-bucket [`Histogram`] — p50/p99/p999 for single-lock runs,
+    /// where waits are kept as raw [`GrantRecord`]s rather than binned
+    /// on the hot path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dmx_simnet::metrics::Metrics;
+    /// assert!(Metrics::default().wait_histogram().is_empty());
+    /// ```
+    pub fn wait_histogram(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for g in &self.grants {
+            h.record(g.wait().ticks());
+        }
+        h
+    }
+
     /// The order in which nodes were granted the critical section.
     ///
     /// # Examples
@@ -353,6 +543,14 @@ pub struct KeyedRollup {
     pub messages_per_grant: f64,
     /// Mean request→grant wait in ticks (0 when no grants).
     pub mean_wait_ticks: f64,
+    /// Median request→grant wait in ticks (0 when no grants).
+    pub p50_wait_ticks: u64,
+    /// 99th-percentile request→grant wait in ticks (0 when no grants).
+    pub p99_wait_ticks: u64,
+    /// 99.9th-percentile request→grant wait in ticks (0 when no grants).
+    pub p999_wait_ticks: u64,
+    /// Largest request→grant wait in ticks (0 when no grants).
+    pub max_wait_ticks: u64,
 }
 
 /// Per-key metric rollups for a multi-lock run: a dense vector of
@@ -376,6 +574,15 @@ pub struct KeyedRollup {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KeyedMetrics {
     per_key: Vec<KeyStats>,
+    /// Global request→grant wait distribution, always recorded — one
+    /// fixed-size [`Histogram`], so it costs a few integer ops per grant
+    /// and zero allocations regardless of key-space size.
+    wait_hist: Histogram,
+    /// Per-key wait distributions, opt-in
+    /// ([`with_per_key_histograms`](KeyedMetrics::with_per_key_histograms)):
+    /// ~0.5 KiB per key, so million-key parallel sweeps leave it off
+    /// while interactive lock spaces keep it on. Empty when disabled.
+    per_key_hist: Vec<Histogram>,
 }
 
 impl KeyedMetrics {
@@ -383,7 +590,16 @@ impl KeyedMetrics {
     pub fn with_keys(keys: usize) -> Self {
         KeyedMetrics {
             per_key: vec![KeyStats::default(); keys],
+            wait_hist: Histogram::default(),
+            per_key_hist: Vec::new(),
         }
+    }
+
+    /// Enables per-key wait histograms, pre-sized up front so recording
+    /// stays allocation-free.
+    pub fn with_per_key_histograms(mut self) -> Self {
+        self.per_key_hist = vec![Histogram::default(); self.per_key.len()];
+        self
     }
 
     /// Number of keys tracked.
@@ -415,6 +631,20 @@ impl KeyedMetrics {
         let s = &mut self.per_key[key];
         s.grants += 1;
         s.wait_ticks += wait_ticks;
+        self.wait_hist.record(wait_ticks);
+        if let Some(h) = self.per_key_hist.get_mut(key) {
+            h.record(wait_ticks);
+        }
+    }
+
+    /// The global request→grant wait distribution.
+    pub fn wait_histogram(&self) -> &Histogram {
+        &self.wait_hist
+    }
+
+    /// The wait distribution for one key, if per-key histograms are on.
+    pub fn key_wait_histogram(&self, key: usize) -> Option<&Histogram> {
+        self.per_key_hist.get(key)
     }
 
     /// Records the delivery of one keyed message of `kind` for `key`.
@@ -467,7 +697,16 @@ impl KeyedMetrics {
             other.per_key.len(),
             "merging rollups over different key spaces"
         );
+        assert_eq!(
+            self.per_key_hist.len(),
+            other.per_key_hist.len(),
+            "merging rollups over different key spaces (per-key histograms enabled on one side only)"
+        );
         for (mine, theirs) in self.per_key.iter_mut().zip(&other.per_key) {
+            mine.merge(theirs);
+        }
+        self.wait_hist.merge(&other.wait_hist);
+        for (mine, theirs) in self.per_key_hist.iter_mut().zip(&other.per_key_hist) {
             mine.merge(theirs);
         }
     }
@@ -489,6 +728,10 @@ impl KeyedMetrics {
             r.messages_per_grant = r.messages as f64 / r.grants as f64;
             let wait: u64 = self.per_key.iter().map(|s| s.wait_ticks).sum();
             r.mean_wait_ticks = wait as f64 / r.grants as f64;
+            r.p50_wait_ticks = self.wait_hist.p50();
+            r.p99_wait_ticks = self.wait_hist.p99();
+            r.p999_wait_ticks = self.wait_hist.p999();
+            r.max_wait_ticks = self.wait_hist.max();
         }
         r
     }
@@ -630,6 +873,95 @@ mod tests {
     fn merging_mismatched_key_spaces_is_rejected() {
         let mut a = KeyedMetrics::with_keys(4);
         a.merge(&KeyedMetrics::with_keys(5));
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64, u64)> = h.iter_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (0, 0, 1),              // the exact zero
+                (1, 1, 1),              // 1
+                (2, 3, 2),              // 2, 3
+                (4, 7, 2),              // 4, 7
+                (8, 15, 1),             // 8
+                (1 << 63, u64::MAX, 1), // u64::MAX
+            ]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturated
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_clamped() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for w in 0..1000u64 {
+            h.record(w);
+        }
+        let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(p999 <= h.max());
+        // p50 of 0..1000 lands in the [256, 511] bucket; the linear
+        // interpolation keeps the estimate within that bucket.
+        assert!((256..=511).contains(&p50), "{p50}");
+        assert!(p99 >= 512, "{p99}");
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.mean(), Some(499.5));
+    }
+
+    #[test]
+    fn histogram_merge_equals_whole_stream() {
+        let (first, second): (Vec<u64>, Vec<u64>) =
+            ((0..100u64).collect(), (50..300).step_by(7).collect());
+        let mut whole = Histogram::default();
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for &v in &first {
+            whole.record(v);
+            a.record(v);
+        }
+        for &v in &second {
+            whole.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.quantile(0.99), whole.quantile(0.99));
+    }
+
+    #[test]
+    fn keyed_metrics_record_wait_histograms() {
+        let mut m = KeyedMetrics::with_keys(4).with_per_key_histograms();
+        m.on_grant(1, 4);
+        m.on_grant(1, 100);
+        m.on_grant(3, 0);
+        assert_eq!(m.wait_histogram().count(), 3);
+        assert_eq!(m.wait_histogram().max(), 100);
+        assert_eq!(m.key_wait_histogram(1).unwrap().count(), 2);
+        assert_eq!(m.key_wait_histogram(3).unwrap().max(), 0);
+        let r = m.rollup();
+        assert!(r.p50_wait_ticks <= r.p99_wait_ticks);
+        assert_eq!(r.max_wait_ticks, 100);
+        // Without the opt-in, per-key histograms are absent but the
+        // global one still records.
+        let mut plain = KeyedMetrics::with_keys(4);
+        plain.on_grant(1, 9);
+        assert!(plain.key_wait_histogram(1).is_none());
+        assert_eq!(plain.wait_histogram().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-key histograms enabled on one side only")]
+    fn merging_mismatched_histogram_modes_is_rejected() {
+        let mut a = KeyedMetrics::with_keys(4).with_per_key_histograms();
+        a.merge(&KeyedMetrics::with_keys(4));
     }
 
     #[test]

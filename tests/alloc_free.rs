@@ -119,7 +119,14 @@ fn assert_single_lock_alloc_free<P: Protocol>(label: &str, scheduler: Scheduler,
 /// workload) and the given transport flush policy (a coalescing window
 /// holds bigger batches in the transport's persistent buffers, which
 /// must still reach a steady capacity).
-fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy) {
+///
+/// Every grant records its request→grant wait into the fixed-bucket
+/// latency [`Histogram`](dagmutex::simnet::metrics::Histogram) — the
+/// percentile machinery is *always on*, so this phase also proves that
+/// recording is allocation-free. With `trace_paths` set, per-request DAG
+/// hop counting feeds a second histogram from pre-sized per-origin
+/// slots, which must be just as free.
+fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy, trace_paths: bool) {
     let n = 15;
     let tree = Tree::kary(n, 2);
     // Saturated keyed closed loop: think time zero, enough rounds that
@@ -137,6 +144,7 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy) {
         hold: Time(1),
         batching: true,
         flush,
+        trace_paths,
         ..LockSpaceConfig::default()
     };
     let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
@@ -156,8 +164,10 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy) {
     // would fail.
     engine.reserve(64 * n, 0);
     let mut quiet_after_rounds = None;
+    let mut quiet_recorded = 0;
     for round in 0..20 {
         let before = allocations();
+        let waits_before = monitor.wait_histogram().count();
         for _ in 0..STEPS {
             engine
                 .step()
@@ -166,6 +176,7 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy) {
         }
         if allocations() == before {
             quiet_after_rounds = Some(round);
+            quiet_recorded = monitor.wait_histogram().count() - waits_before;
             break;
         }
     }
@@ -175,13 +186,33 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy) {
         monitor.rollup().grants > 0 && engine.metrics().kind_count("BATCH") > 0,
         "the measured window must exercise real multiplexed batching"
     );
+    // The quiet window was not idle on the observability side: waits
+    // kept landing in the histogram (and hop counts, when tracing) with
+    // the allocation counter frozen.
+    assert!(
+        quiet_recorded > 0,
+        "the allocation-free window must record request→grant waits"
+    );
+    let rollup = monitor.rollup();
+    assert!(
+        rollup.p50_wait_ticks <= rollup.p99_wait_ticks
+            && rollup.p99_wait_ticks <= rollup.p999_wait_ticks,
+        "percentiles must be ordered"
+    );
+    if trace_paths {
+        assert!(
+            monitor.path_histogram().count() > 0,
+            "path tracing must have recorded hop counts"
+        );
+    }
     let rounds = quiet_after_rounds.expect(
         "steady-state multiplexed Engine::step must stop allocating with \
          batching on, but every warm-up window still allocated",
     );
     println!(
-        "alloc_free: lockspace ({scheduler:?}, {flush:?}) ok (0 allocations across \
-         {STEPS} steady-state steps, after {rounds} warm-up rounds)"
+        "alloc_free: lockspace ({scheduler:?}, {flush:?}, trace_paths={trace_paths}) ok \
+         (0 allocations across {STEPS} steady-state steps, {quiet_recorded} waits \
+         histogrammed, after {rounds} warm-up rounds)"
     );
 }
 
@@ -237,8 +268,11 @@ fn main() {
         // Phase 3: the multiplexed lock-space hot path, batching on —
         // under end-of-tick flushing and under a 4-tick coalescing
         // window (the transport layer's Nagle path must be just as
-        // allocation-free as its same-tick path).
-        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick);
-        assert_lockspace_alloc_free(scheduler, FlushPolicy::Window(4));
+        // allocation-free as its same-tick path). Wait histograms are
+        // always on; the third variant adds per-request DAG path
+        // tracing, the full observability load.
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick, false);
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::Window(4), false);
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick, true);
     }
 }
