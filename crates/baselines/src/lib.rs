@@ -13,6 +13,7 @@
 //! | [`suzuki_kasami`] | Suzuki–Kasami '85 | 0 or N | 1 |
 //! | [`singhal`] | Singhal '89 (heuristic) | ≤ N | 1 |
 //! | [`maekawa`] | Maekawa '85 + Sanders' fix | 3√N … 7√N | 2 |
+//! | [`naimi_thiare`] | Naimi–Thiare ordered quorum | 3(K−1) exactly | K |
 //! | [`raymond`] | Raymond '89 (tree) | 2D | ≤ D |
 //!
 //! (D = diameter of the logical tree.) The DAG algorithm itself lives in
@@ -44,6 +45,7 @@ pub mod carvalho_roucairol;
 pub mod centralized;
 pub mod lamport;
 pub mod maekawa;
+pub mod naimi_thiare;
 pub mod raymond;
 pub mod ricart_agrawala;
 pub mod singhal;

@@ -1,0 +1,403 @@
+//! Naimi–Thiare's deadlock-free quorum algorithm (PAPERS.md): ordered
+//! **sequential** quorum locking over the same intersecting quorums
+//! Maekawa votes with — but with none of Sanders' FAIL / INQUIRE /
+//! RELINQUISH machinery.
+//!
+//! Maekawa asks its whole quorum *in parallel* and then needs three
+//! extra message types (plus arbiter timestamp queues) to break the
+//! deadlocks parallel acquisition creates. Naimi–Thiare removes the
+//! deadlock instead of resolving it: a requester locks its quorum
+//! members **one at a time in ascending node order**, only asking the
+//! next member after the previous LOCKED arrives. Because every
+//! requester climbs the same total order, no wait-for cycle can form —
+//! the classic resource-ordering argument — so the arbiter shrinks to a
+//! one-word holder plus a FIFO queue, and the wire carries exactly
+//! three message kinds:
+//!
+//! * `LOCK` — requester asks the next member in its sorted quorum;
+//! * `LOCKED` — the member's lock is yours (advance to the next one);
+//! * `RELEASE` — on exit, broadcast to every member; each grants its
+//!   FIFO head.
+//!
+//! The price is latency: acquisition is a chain of `K` round trips
+//! where Maekawa pays one, so the sync delay grows with the quorum
+//! size. The message bill is exactly `3(K−1)` wire messages per entry
+//! (self-addressed traffic is routed locally), contended or not —
+//! there is no contention-dependent overhead term at all, which is
+//! what makes it an honest floor for the `ext_skew` comparison.
+//!
+//! Handlers follow the buffered `*_into` pattern (see
+//! [`ProtocolAction`](crate::ProtocolAction) docs): effects go into a
+//! caller-provided buffer, and the node's reusable inbox routes
+//! self-addressed messages without touching the network.
+
+use std::collections::VecDeque;
+
+use dmx_simnet::{Ctx, MessageMeta, Protocol};
+use dmx_topology::quorum::QuorumSystem;
+use dmx_topology::NodeId;
+
+/// Naimi–Thiare's three message types. None carries a payload: ordered
+/// acquisition needs no timestamps to stay deadlock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NtMessage {
+    /// Ask a quorum member for its lock (sequential: one outstanding).
+    Lock,
+    /// The member's lock is yours; ask the next member (or enter).
+    Locked,
+    /// Requester is done; the member grants its FIFO head.
+    Release,
+}
+
+impl MessageMeta for NtMessage {
+    fn kind(&self) -> &'static str {
+        match self {
+            NtMessage::Lock => "LOCK",
+            NtMessage::Locked => "LOCKED",
+            NtMessage::Release => "RELEASE",
+        }
+    }
+    fn wire_size(&self) -> usize {
+        0 // all three are bare signals
+    }
+}
+
+/// One node of Naimi–Thiare's algorithm: a requester climbing its
+/// sorted quorum and an arbiter (holder + FIFO queue) for the lock it
+/// manages on behalf of every quorum containing it.
+///
+/// # Examples
+///
+/// ```
+/// use dmx_baselines::naimi_thiare::NaimiThiareProtocol;
+/// use dmx_simnet::{Engine, EngineConfig, Time};
+/// use dmx_topology::NodeId;
+///
+/// let nodes = NaimiThiareProtocol::cluster(13); // projective plane, K = 4
+/// let mut engine = Engine::new(nodes, EngineConfig::default());
+/// engine.request_at(Time(0), NodeId(5));
+/// let report = engine.run_to_quiescence()?;
+/// // (K-1) LOCK + (K-1) LOCKED + (K-1) RELEASE = 9, contended or not.
+/// assert_eq!(report.metrics.messages_total, 9);
+/// # Ok::<(), dmx_simnet::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaimiThiareProtocol {
+    me: NodeId,
+    /// Sorted ascending — the total order that makes sequential
+    /// acquisition deadlock-free. Always contains `me`.
+    quorum: Vec<NodeId>,
+
+    // ---- requester side ----
+    waiting: bool,
+    executing: bool,
+    /// Members `quorum[..cursor]` are locked for us; `quorum[cursor]`
+    /// is the one we are waiting on (when `waiting`).
+    cursor: usize,
+
+    // ---- arbiter side ----
+    /// Who holds the lock this node arbitrates.
+    holder: Option<NodeId>,
+    /// Requesters waiting for it, FIFO — the fairness of the scheme.
+    queue: VecDeque<NodeId>,
+
+    // ---- reusable buffers (steady state allocates nothing) ----
+    outbox: Vec<(NodeId, NtMessage)>,
+    inbox: VecDeque<(NodeId, NtMessage)>,
+}
+
+impl NaimiThiareProtocol {
+    /// One node with an explicit quorum (must contain `me`; sorted
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` does not contain `me`.
+    pub fn new(me: NodeId, mut quorum: Vec<NodeId>) -> Self {
+        assert!(quorum.contains(&me), "a node must belong to its own quorum");
+        quorum.sort_unstable();
+        quorum.dedup();
+        NaimiThiareProtocol {
+            me,
+            quorum,
+            waiting: false,
+            executing: false,
+            cursor: 0,
+            holder: None,
+            queue: VecDeque::new(),
+            outbox: Vec::new(),
+            inbox: VecDeque::new(),
+        }
+    }
+
+    /// A full `n`-node system using the best quorum construction for `n`
+    /// (finite projective plane when `n = q² + q + 1`, grid otherwise).
+    pub fn cluster(n: usize) -> Vec<Self> {
+        let qs = QuorumSystem::for_size(n);
+        Self::cluster_with(&qs)
+    }
+
+    /// A full system over an explicit [`QuorumSystem`].
+    pub fn cluster_with(qs: &QuorumSystem) -> Vec<Self> {
+        (0..qs.len())
+            .map(|i| {
+                let id = NodeId::from_index(i);
+                NaimiThiareProtocol::new(id, qs.quorum(id).to_vec())
+            })
+            .collect()
+    }
+
+    /// This node's quorum (sorted ascending, includes itself).
+    pub fn quorum(&self) -> &[NodeId] {
+        &self.quorum
+    }
+
+    // ---------------------------------------------------------------
+    // Buffered handlers: effects into `out`, `true` means enter the CS.
+    // ---------------------------------------------------------------
+
+    /// An arbiter receives a LOCK: grant if free, queue FIFO otherwise.
+    fn lock_into(&mut self, from: NodeId, out: &mut Vec<(NodeId, NtMessage)>) {
+        if self.holder.is_none() {
+            self.holder = Some(from);
+            out.push((from, NtMessage::Locked));
+        } else {
+            self.queue.push_back(from);
+        }
+    }
+
+    /// A requester receives LOCKED from the member it was waiting on:
+    /// advance the cursor, ask the next member or enter.
+    fn locked_into(&mut self, from: NodeId, out: &mut Vec<(NodeId, NtMessage)>) -> bool {
+        debug_assert!(self.waiting, "LOCKED without an outstanding request");
+        debug_assert_eq!(
+            from, self.quorum[self.cursor],
+            "sequential locking answers in ask order"
+        );
+        self.cursor += 1;
+        if self.cursor == self.quorum.len() {
+            self.waiting = false;
+            self.executing = true;
+            return true;
+        }
+        out.push((self.quorum[self.cursor], NtMessage::Lock));
+        false
+    }
+
+    /// An arbiter receives the holder's RELEASE: grant the FIFO head.
+    fn release_into(&mut self, from: NodeId, out: &mut Vec<(NodeId, NtMessage)>) {
+        debug_assert_eq!(self.holder, Some(from), "only the holder releases");
+        self.holder = self.queue.pop_front();
+        if let Some(next) = self.holder {
+            out.push((next, NtMessage::Locked));
+        }
+    }
+
+    fn handle_into(
+        &mut self,
+        from: NodeId,
+        msg: NtMessage,
+        out: &mut Vec<(NodeId, NtMessage)>,
+    ) -> bool {
+        match msg {
+            NtMessage::Lock => {
+                self.lock_into(from, out);
+                false
+            }
+            NtMessage::Locked => self.locked_into(from, out),
+            NtMessage::Release => {
+                self.release_into(from, out);
+                false
+            }
+        }
+    }
+
+    /// Drains the outbox, looping self-addressed messages through the
+    /// reusable inbox (a node arbitrates for itself without network
+    /// traffic) until everything has settled.
+    fn pump(&mut self, ctx: &mut Ctx<'_, NtMessage>) {
+        let mut inbox = std::mem::take(&mut self.inbox);
+        let mut outs = std::mem::take(&mut self.outbox);
+        loop {
+            for (dst, msg) in outs.drain(..) {
+                if dst == self.me {
+                    inbox.push_back((self.me, msg));
+                } else {
+                    ctx.send(dst, msg);
+                }
+            }
+            let Some((from, msg)) = inbox.pop_front() else {
+                break;
+            };
+            if self.handle_into(from, msg, &mut outs) {
+                ctx.enter_cs();
+            }
+        }
+        self.inbox = inbox;
+        self.outbox = outs;
+    }
+}
+
+impl Protocol for NaimiThiareProtocol {
+    type Message = NtMessage;
+
+    fn on_request_cs(&mut self, ctx: &mut Ctx<'_, NtMessage>) {
+        debug_assert!(!self.waiting && !self.executing);
+        self.waiting = true;
+        self.cursor = 0;
+        self.outbox.push((self.quorum[0], NtMessage::Lock));
+        self.pump(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: NtMessage, ctx: &mut Ctx<'_, NtMessage>) {
+        let mut out = std::mem::take(&mut self.outbox);
+        let enter = self.handle_into(from, msg, &mut out);
+        self.outbox = out;
+        if enter {
+            ctx.enter_cs();
+        }
+        self.pump(ctx);
+    }
+
+    fn on_exit_cs(&mut self, ctx: &mut Ctx<'_, NtMessage>) {
+        debug_assert!(self.executing, "exit without entry");
+        self.executing = false;
+        self.cursor = 0;
+        for i in 0..self.quorum.len() {
+            self.outbox.push((self.quorum[i], NtMessage::Release));
+        }
+        self.pump(ctx);
+    }
+
+    fn storage_words(&self) -> usize {
+        // Quorum list + FIFO queue + holder slot + cursor + two flags.
+        self.quorum.len() + self.queue.len() + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery;
+    use dmx_simnet::{Engine, EngineConfig, LatencyModel, Time};
+
+    #[test]
+    fn uncontended_cost_is_exactly_3_k_minus_1() {
+        // Projective plane of order 3: N = 13, K = 4.
+        let nodes = NaimiThiareProtocol::cluster(13);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(7));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.messages_total, 9); // 3 * (K - 1)
+        assert_eq!(report.metrics.kind_count("LOCK"), 3);
+        assert_eq!(report.metrics.kind_count("LOCKED"), 3);
+        assert_eq!(report.metrics.kind_count("RELEASE"), 3);
+    }
+
+    #[test]
+    fn per_entry_cost_is_flat_under_full_contention() {
+        // The whole point vs Maekawa: no FAIL/INQUIRE/RELINQUISH term,
+        // so messages/entry stays exactly 3(K-1) however hard the
+        // contention.
+        let n = 13;
+        let nodes = NaimiThiareProtocol::cluster(n);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        for i in 0..n as u32 {
+            engine.request_at(Time(0), NodeId(i));
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, n as u64);
+        let k = 4.0; // quorum size for N = 13
+        assert!(
+            (report.metrics.messages_per_entry() - 3.0 * (k - 1.0)).abs() < 1e-9,
+            "messages/entry {} != 3(K-1)",
+            report.metrics.messages_per_entry()
+        );
+    }
+
+    #[test]
+    fn two_way_contention_resolves_in_fifo_arrival_order() {
+        let nodes = NaimiThiareProtocol::cluster(7);
+        let mut engine = Engine::new(nodes, EngineConfig::default());
+        engine.request_at(Time(0), NodeId(3));
+        engine.request_at(Time(5), NodeId(6));
+        let report = engine.run_to_quiescence().unwrap();
+        assert_eq!(report.metrics.cs_entries, 2);
+        assert_eq!(report.metrics.grant_order(), vec![NodeId(3), NodeId(6)]);
+    }
+
+    #[test]
+    fn simultaneous_requests_never_deadlock() {
+        // Ordered sequential acquisition is the deadlock fix: every
+        // interleaving must complete with zero extra machinery.
+        for seed in 0..10u64 {
+            let nodes = NaimiThiareProtocol::cluster(7);
+            let config = EngineConfig {
+                latency: LatencyModel::Uniform {
+                    lo: Time(1),
+                    hi: Time(20),
+                },
+                seed,
+                ..Default::default()
+            };
+            let mut engine = Engine::new(nodes, config);
+            for i in 0..7u32 {
+                engine.request_at(Time(0), NodeId(i));
+            }
+            let report = engine
+                .run_to_quiescence()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(report.metrics.cs_entries, 7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grid_quorums_work_for_awkward_sizes() {
+        for n in [2usize, 5, 10, 17] {
+            let nodes = NaimiThiareProtocol::cluster(n);
+            let mut engine = Engine::new(nodes, EngineConfig::default());
+            for i in 0..n as u32 {
+                engine.request_at(Time(i as u64 % 4), NodeId(i));
+            }
+            let report = engine.run_to_quiescence().unwrap();
+            assert_eq!(report.metrics.cs_entries, n as u64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn single_node_is_free() {
+        let metrics = battery::run_schedule(NaimiThiareProtocol::cluster(1), &[(0, 0)]);
+        assert_eq!(metrics.messages_total, 0);
+        assert_eq!(metrics.cs_entries, 1);
+    }
+
+    #[test]
+    fn stress_under_random_latency() {
+        battery::stress_protocol(|| NaimiThiareProtocol::cluster(7), 7, 3, "naimi-thiare");
+    }
+
+    #[test]
+    fn wide_seed_sweep_never_starves() {
+        for seed in 0..30u64 {
+            let nodes = NaimiThiareProtocol::cluster(13);
+            let config = EngineConfig {
+                latency: LatencyModel::Exponential { mean: Time(7) },
+                cs_duration: LatencyModel::Uniform {
+                    lo: Time(1),
+                    hi: Time(5),
+                },
+                seed,
+                record_trace: false,
+                ..Default::default()
+            };
+            let mut engine = Engine::new(nodes, config);
+            for i in 0..13u32 {
+                engine.request_at(Time((seed + i as u64) % 5), NodeId(i));
+            }
+            let report = engine
+                .run_to_quiescence()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(report.metrics.cs_entries, 13, "seed {seed}");
+        }
+    }
+}

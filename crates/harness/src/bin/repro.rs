@@ -29,6 +29,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "extension: coalescing-window sweep (window × keys × n)",
     ),
     (
+        "ext_skew",
+        "extension: leases × hub placement × skew vs a quorum baseline",
+    ),
+    (
         "ext_par",
         "extension: parallel tick-barrier scaling (shards × paced demand)",
     ),
@@ -60,11 +64,15 @@ fn run_bench() {
     let results = experiments::hot_loop::run_suite();
     let multi_key = experiments::lock_scaling::bench_suite();
     let parallel = experiments::parallel_scaling::bench_suite();
+    let skew = experiments::skew::bench_suite();
+    let placement = experiments::hub_placement::bench_suite();
     let json = format!(
-        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"results\": {},\n  \"multi_key\": {},\n  \"parallel\": {}\n}}\n",
+        "{{\n  \"bench\": \"engine_hot_loop\",\n  \"results\": {},\n  \"multi_key\": {},\n  \"parallel\": {},\n  \"skew\": {},\n  \"placement\": {}\n}}\n",
         experiments::hot_loop::results_json(&results),
         experiments::lock_scaling::results_json(&multi_key),
-        experiments::parallel_scaling::results_json(&parallel)
+        experiments::parallel_scaling::results_json(&parallel),
+        experiments::skew::results_json(&skew),
+        experiments::hub_placement::results_json(&placement)
     );
     // Always a distinct file: BENCH_PR<n>.json artifacts are curated
     // (they carry unreproducible pre-refactor baselines) and must
@@ -117,6 +125,7 @@ fn run_one(id: &str) -> bool {
             "{}",
             experiments::lock_scaling::run_windows(&[15, 127], &[64, 4096], 12)
         ),
+        "ext_skew" => println!("{}", experiments::skew::run(127, &[64], 12)),
         "ext_par" => println!("{}", experiments::parallel_scaling::run(127, 1024, 6)),
         "ext_path" => println!("{}", experiments::path_length::run(&[15, 127, 1023], 64, 8)),
         "ext_snap" => println!("{}", experiments::snapshot_storm::run(15, 64, 2, 8)),

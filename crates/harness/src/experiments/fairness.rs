@@ -63,7 +63,7 @@ pub fn measure(algo: Algorithm, n: usize, rounds: u32) -> (f64, f64, f64) {
 ///
 /// ```
 /// let t = dmx_harness::experiments::fairness::run(6, 3);
-/// assert_eq!(t.len(), 9);
+/// assert_eq!(t.len(), 10);
 /// ```
 pub fn run(n: usize, rounds: u32) -> Table {
     let mut table = Table::new(

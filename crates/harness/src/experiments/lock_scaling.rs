@@ -37,6 +37,15 @@ pub const WINDOWS: [u64; 3] = [1, 4, 16];
 /// windows — not the workload — are what differs.
 pub const WINDOW_STAGGER: u64 = 4;
 
+/// Seed occupancy target for the adaptive cells (learned away by the
+/// EWMA from the first flush on).
+pub const ADAPTIVE_TARGET: f64 = 2.0;
+
+/// `max_window` cap for the adaptive cells — the widest static window
+/// of the sweep, so adaptive can only win by flushing *earlier* when
+/// batches are already fat.
+pub const ADAPTIVE_CAP: u64 = 16;
+
 /// The flush policy for a window of `w` ticks (1 ≡ end-of-tick).
 pub fn flush_for_window(w: u64) -> FlushPolicy {
     if w <= 1 {
@@ -194,8 +203,11 @@ pub struct LockScalingMeasurement {
     /// Scheduler backend the cell ran under (`"heap"` / `"wheel"`).
     pub scheduler: &'static str,
     /// Coalescing window in ticks (1 = end-of-tick flushing, the PR 2
-    /// behavior; wider windows trade latency for envelope count).
+    /// behavior; wider windows trade latency for envelope count). For
+    /// the adaptive policy this is its `max_window` cap.
     pub window: u64,
+    /// Flush-policy label (`"every-tick"` / `"window"` / `"adaptive"`).
+    pub flush: &'static str,
     /// Engine events processed (deliveries + wake-ups).
     pub events: u64,
     /// Keyed critical-section entries completed.
@@ -291,17 +303,72 @@ pub fn measure_window(
     window: u64,
     stagger: u64,
 ) -> LockScalingMeasurement {
-    let start = Instant::now();
-    let (engine, monitor) = run_cell_flush(
+    let label = if window <= 1 { "every-tick" } else { "window" };
+    measure_flush(
         n,
         keys,
+        skew,
         dist,
         rounds,
-        42,
         scheduler,
         flush_for_window(window),
+        label,
+        window,
         stagger,
-    );
+    )
+}
+
+/// [`measure_window`] for the learning transport: `FlushPolicy::
+/// Adaptive` seeded at `target_per_dst` with a `max_window` cap. The
+/// measurement's `window` field records the cap.
+///
+/// # Panics
+///
+/// Panics if the run violates per-key safety or liveness.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_adaptive(
+    n: usize,
+    keys: u32,
+    skew: &'static str,
+    dist: KeyDist,
+    rounds: u32,
+    scheduler: Scheduler,
+    target_per_dst: f64,
+    max_window: u64,
+    stagger: u64,
+) -> LockScalingMeasurement {
+    measure_flush(
+        n,
+        keys,
+        skew,
+        dist,
+        rounds,
+        scheduler,
+        FlushPolicy::Adaptive {
+            target_per_dst,
+            max_window,
+        },
+        "adaptive",
+        max_window,
+        stagger,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_flush(
+    n: usize,
+    keys: u32,
+    skew: &'static str,
+    dist: KeyDist,
+    rounds: u32,
+    scheduler: Scheduler,
+    flush: FlushPolicy,
+    flush_label: &'static str,
+    window: u64,
+    stagger: u64,
+) -> LockScalingMeasurement {
+    let start = Instant::now();
+    let (engine, monitor) = run_cell_flush(n, keys, dist, rounds, 42, scheduler, flush, stagger);
     let elapsed_secs = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
     let m = engine.metrics();
     let events = m.requests + m.messages_total + m.cs_entries + m.wakes;
@@ -312,6 +379,7 @@ pub fn measure_window(
         skew,
         scheduler: engine.sched_backend().name(),
         window,
+        flush: flush_label,
         events,
         grants: rollup.grants,
         keyed_messages: rollup.messages,
@@ -337,7 +405,7 @@ pub fn run_windows(sizes: &[usize], key_counts: &[u32], rounds: u32) -> Table {
         &[
             "n",
             "keys",
-            "window",
+            "flush",
             "grants",
             "keyed msgs",
             "envelopes",
@@ -348,10 +416,29 @@ pub fn run_windows(sizes: &[usize], key_counts: &[u32], rounds: u32) -> Table {
             "p999",
         ],
     );
+    let mut row = |m: &LockScalingMeasurement| {
+        table.row(&[
+            m.n.to_string(),
+            m.keys.to_string(),
+            if m.flush == "adaptive" {
+                format!("adaptive≤{}", m.window)
+            } else {
+                m.window.to_string()
+            },
+            m.grants.to_string(),
+            m.keyed_messages.to_string(),
+            m.envelopes.to_string(),
+            format!("{:.0}%", m.savings_pct()),
+            format!("{:.1}", m.mean_wait_ticks),
+            m.p50_wait_ticks.to_string(),
+            m.p99_wait_ticks.to_string(),
+            m.p999_wait_ticks.to_string(),
+        ]);
+    };
     for &n in sizes {
         for &keys in key_counts {
             for window in WINDOWS {
-                let m = measure_window(
+                row(&measure_window(
                     n,
                     keys,
                     "uniform",
@@ -360,21 +447,19 @@ pub fn run_windows(sizes: &[usize], key_counts: &[u32], rounds: u32) -> Table {
                     Scheduler::Auto,
                     window,
                     WINDOW_STAGGER,
-                );
-                table.row(&[
-                    n.to_string(),
-                    keys.to_string(),
-                    window.to_string(),
-                    m.grants.to_string(),
-                    m.keyed_messages.to_string(),
-                    m.envelopes.to_string(),
-                    format!("{:.0}%", m.savings_pct()),
-                    format!("{:.1}", m.mean_wait_ticks),
-                    m.p50_wait_ticks.to_string(),
-                    m.p99_wait_ticks.to_string(),
-                    m.p999_wait_ticks.to_string(),
-                ]);
+                ));
             }
+            row(&measure_adaptive(
+                n,
+                keys,
+                "uniform",
+                KeyDist::Uniform,
+                rounds,
+                Scheduler::Auto,
+                ADAPTIVE_TARGET,
+                ADAPTIVE_CAP,
+                WINDOW_STAGGER,
+            ));
         }
     }
     table
@@ -449,6 +534,34 @@ pub fn bench_suite() -> Vec<LockScalingMeasurement> {
             );
             results.push(m);
         }
+        // The learning transport on the same demand: starts at the seed
+        // target, converges to the observed occupancy, capped at the
+        // widest static window.
+        let m = measure_adaptive(
+            127,
+            keys,
+            "uniform",
+            KeyDist::Uniform,
+            rounds,
+            Scheduler::Auto,
+            ADAPTIVE_TARGET,
+            ADAPTIVE_CAP,
+            WINDOW_STAGGER,
+        );
+        eprintln!(
+            "lock_scaling: keys={:<5} n=127 adaptive≤{:<2} {:>6} {:>12.0} events/s \
+             {:>7.0}% batched away, mean wait {:.1} (p50 {} p99 {} p999 {})",
+            m.keys,
+            m.window,
+            m.scheduler,
+            m.events_per_sec(),
+            m.savings_pct(),
+            m.mean_wait_ticks,
+            m.p50_wait_ticks,
+            m.p99_wait_ticks,
+            m.p999_wait_ticks
+        );
+        results.push(m);
     }
     results
 }
@@ -461,7 +574,7 @@ pub fn results_json(results: &[LockScalingMeasurement]) -> String {
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"keys\": {}, \"n\": {}, \"skew\": \"{}\", \
-             \"scheduler\": \"{}\", \"window\": {}, \"events\": {}, \
+             \"scheduler\": \"{}\", \"window\": {}, \"flush\": \"{}\", \"events\": {}, \
              \"grants\": {}, \"keyed_messages\": {}, \"envelopes\": {}, \
              \"mean_wait_ticks\": {:.2}, \"p50_wait_ticks\": {}, \
              \"p99_wait_ticks\": {}, \"p999_wait_ticks\": {}, \
@@ -473,6 +586,7 @@ pub fn results_json(results: &[LockScalingMeasurement]) -> String {
             m.skew,
             m.scheduler,
             m.window,
+            m.flush,
             m.events,
             m.grants,
             m.keyed_messages,
@@ -579,9 +693,60 @@ mod tests {
     #[test]
     fn window_sweep_covers_the_grid() {
         let table = run_windows(&[15], &[16], 4);
-        assert_eq!(table.len(), 3, "3 windows × 1 key count × 1 size");
+        assert_eq!(table.len(), 4, "3 windows + adaptive × 1 key count × 1 size");
         // Envelope counts are monotonically non-increasing in the window.
         let envelopes: Vec<u64> = (0..3).map(|r| table.cell(r, 5).parse().unwrap()).collect();
         assert!(envelopes[2] <= envelopes[1] && envelopes[1] <= envelopes[0]);
+        assert!(table.cell(3, 2).starts_with("adaptive"));
+    }
+
+    #[test]
+    fn adaptive_envelope_savings_land_within_the_best_static_window() {
+        // The satellite acceptance: the learning transport, with no
+        // hand-picked window, saves envelopes vs end-of-tick flushing
+        // and lands within the static sweep's envelope range — it
+        // learns a window instead of needing one tuned.
+        let cell = |window| {
+            measure_window(
+                15,
+                64,
+                "uniform",
+                KeyDist::Uniform,
+                30,
+                Scheduler::Auto,
+                window,
+                WINDOW_STAGGER,
+            )
+        };
+        let static_envelopes: Vec<u64> = WINDOWS.iter().map(|&w| cell(w).envelopes).collect();
+        let best = *static_envelopes.iter().min().unwrap();
+        let worst = *static_envelopes.iter().max().unwrap();
+        let adaptive = measure_adaptive(
+            15,
+            64,
+            "uniform",
+            KeyDist::Uniform,
+            30,
+            Scheduler::Auto,
+            ADAPTIVE_TARGET,
+            ADAPTIVE_CAP,
+            WINDOW_STAGGER,
+        );
+        assert_eq!(adaptive.flush, "adaptive");
+        assert_eq!(adaptive.grants, cell(1).grants, "same demand served");
+        assert!(
+            adaptive.envelopes < worst,
+            "adaptive {} !< every-tick {}",
+            adaptive.envelopes,
+            worst
+        );
+        // Within 10% of the best hand-tuned window (it is allowed to
+        // beat it: flushing fat batches early regroups later traffic).
+        assert!(
+            adaptive.envelopes as f64 <= 1.10 * best as f64,
+            "adaptive {} not within 10% of best static window {}",
+            adaptive.envelopes,
+            best
+        );
     }
 }

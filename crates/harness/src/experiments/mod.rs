@@ -10,6 +10,7 @@ pub mod lock_scaling;
 pub mod parallel_scaling;
 pub mod path_length;
 pub mod scaling;
+pub mod skew;
 pub mod snapshot_storm;
 pub mod storage;
 pub mod sync_delay;

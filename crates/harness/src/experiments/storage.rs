@@ -27,6 +27,7 @@ fn paper_storage(algo: Algorithm) -> &'static str {
         Algorithm::SuzukiKasami => "RN[N]/node; token carries LN[N] + queue",
         Algorithm::Singhal => "SV[N],SN[N]/node; token carries TSV[N],TSN[N]",
         Algorithm::Maekawa => "O(K)=O(sqrt N) sets + arbiter queue",
+        Algorithm::NaimiThiare => "O(K) quorum + FIFO arbiter queue",
         Algorithm::Lamport => "queue of all requests replicated at every node",
         Algorithm::RicartAgrawala => "O(N) deferred set",
         Algorithm::CarvalhoRoucairol => "O(N) authorization vector",
@@ -130,6 +131,6 @@ mod tests {
     #[test]
     fn table_lists_everyone() {
         let t = run(8);
-        assert_eq!(t.len(), 9);
+        assert_eq!(t.len(), 10);
     }
 }

@@ -187,7 +187,7 @@ mod tests {
     #[test]
     fn full_table_has_all_algorithms() {
         let t = run(5, 4);
-        assert_eq!(t.len(), 9);
+        assert_eq!(t.len(), 10);
         // The paper's punchline: the DAG algorithm beats the centralized
         // scheme's hand-off.
         let dag: u64 = t.find_row("dag (this paper)").unwrap()[2].parse().unwrap();

@@ -32,6 +32,7 @@ fn paper_bound(algo: Algorithm, n: usize) -> (String, String) {
             "3(K-1) .. 7(K-1)".into(),
             format!("{} .. {}", 3 * (k - 1), 7 * (k - 1)),
         ),
+        Algorithm::NaimiThiare => ("3(K-1)".into(), (3 * (k - 1)).to_string()),
         Algorithm::Lamport => ("3(N-1)".into(), (3 * (n - 1)).to_string()),
         Algorithm::RicartAgrawala => ("2(N-1)".into(), (2 * (n - 1)).to_string()),
         Algorithm::CarvalhoRoucairol => ("0 .. 2(N-1)".into(), format!("0 .. {}", 2 * (n - 1))),
@@ -107,8 +108,9 @@ mod tests {
             (Algorithm::Centralized, 3),
             (Algorithm::SuzukiKasami, 13),
             (Algorithm::Singhal, 13),
-            (Algorithm::Maekawa, 9),  // 3(K-1), uncontended
-            (Algorithm::Lamport, 36), // 3(N-1)
+            (Algorithm::Maekawa, 9),     // 3(K-1), uncontended
+            (Algorithm::NaimiThiare, 9), // 3(K-1), always
+            (Algorithm::Lamport, 36),    // 3(N-1)
             (Algorithm::RicartAgrawala, 24),
             (Algorithm::CarvalhoRoucairol, 24),
         ];
@@ -121,7 +123,7 @@ mod tests {
     #[test]
     fn table_shape() {
         let t = run(7);
-        assert_eq!(t.len(), 9);
+        assert_eq!(t.len(), 10);
         // The DAG algorithm's worst case on the star is 3 — the paper's
         // headline claim.
         assert_eq!(t.find_row("dag (this paper)").unwrap()[3], "3");

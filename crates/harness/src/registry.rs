@@ -2,6 +2,7 @@ use dmx_baselines::carvalho_roucairol::CarvalhoRoucairolProtocol;
 use dmx_baselines::centralized::CentralizedProtocol;
 use dmx_baselines::lamport::LamportProtocol;
 use dmx_baselines::maekawa::MaekawaProtocol;
+use dmx_baselines::naimi_thiare::NaimiThiareProtocol;
 use dmx_baselines::raymond::RaymondProtocol;
 use dmx_baselines::ricart_agrawala::RicartAgrawalaProtocol;
 use dmx_baselines::singhal::SinghalProtocol;
@@ -27,6 +28,8 @@ pub enum Algorithm {
     Singhal,
     /// Maekawa quorums with Sanders' fix.
     Maekawa,
+    /// Naimi–Thiare deadlock-free ordered sequential quorum locking.
+    NaimiThiare,
     /// Lamport's replicated-queue algorithm.
     Lamport,
     /// Ricart–Agrawala.
@@ -36,14 +39,15 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// All nine algorithms, in the order tables list them.
-    pub const ALL: [Algorithm; 9] = [
+    /// All ten algorithms, in the order tables list them.
+    pub const ALL: [Algorithm; 10] = [
         Algorithm::Dag,
         Algorithm::Raymond,
         Algorithm::Centralized,
         Algorithm::SuzukiKasami,
         Algorithm::Singhal,
         Algorithm::Maekawa,
+        Algorithm::NaimiThiare,
         Algorithm::Lamport,
         Algorithm::RicartAgrawala,
         Algorithm::CarvalhoRoucairol,
@@ -58,6 +62,7 @@ impl Algorithm {
             Algorithm::SuzukiKasami => "suzuki-kasami",
             Algorithm::Singhal => "singhal",
             Algorithm::Maekawa => "maekawa",
+            Algorithm::NaimiThiare => "naimi-thiare",
             Algorithm::Lamport => "lamport",
             Algorithm::RicartAgrawala => "ricart-agrawala",
             Algorithm::CarvalhoRoucairol => "carvalho-roucairol",
@@ -142,6 +147,7 @@ pub fn run_algorithm(
         }
         Algorithm::Singhal => drive(SinghalProtocol::cluster(n, NodeId(0)), config, workload),
         Algorithm::Maekawa => drive(MaekawaProtocol::cluster(n), config, workload),
+        Algorithm::NaimiThiare => drive(NaimiThiareProtocol::cluster(n), config, workload),
         Algorithm::Lamport => drive(LamportProtocol::cluster(n), config, workload),
         Algorithm::RicartAgrawala => drive(RicartAgrawalaProtocol::cluster(n), config, workload),
         Algorithm::CarvalhoRoucairol => {
@@ -186,7 +192,7 @@ mod tests {
         let mut names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub use envelope::{Envelope, BATCH_HEADER_BYTES};
 pub use parallel::{ParallelConfig, ParallelEngine, ParallelReport};
 pub use session::{ScriptedClient, SessionConfig, SessionMonitor};
 pub use space::{
-    LockSpace, LockSpaceConfig, LockSpaceMonitor, LockSpaceNode, OrientationCache, Placement,
+    LeaseConfig, LockSpace, LockSpaceConfig, LockSpaceMonitor, LockSpaceNode, OrientationCache,
+    Placement,
 };
 pub use table::LockTable;
 pub use transport::{BatchPool, FlushPolicy, Transport};

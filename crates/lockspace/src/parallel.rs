@@ -63,7 +63,7 @@ use dmx_topology::{NodeId, Tree};
 use dmx_workload::PacedKeyDemand;
 
 use crate::envelope::{Envelope, BATCH_HEADER_BYTES};
-use crate::space::{OrientationCache, Placement};
+use crate::space::{LeaseConfig, OrientationCache, Placement};
 use crate::table::LockTable;
 use crate::transport::{BatchPool, FlushPolicy, Transport};
 
@@ -77,7 +77,7 @@ use crate::transport::{BatchPool, FlushPolicy, Transport};
 /// let config = ParallelConfig { shards: 4, ..ParallelConfig::default() };
 /// assert!(!config.threads); // sequential shard stepping by default
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParallelConfig {
     /// Shard engines to partition the key space over (`key % shards`).
     pub shards: usize,
@@ -95,6 +95,11 @@ pub struct ParallelConfig {
     pub hold: Time,
     /// Initial token placement per key.
     pub placement: Placement,
+    /// Holder-lease policy (see [`LeaseConfig`]): off by default. Leases
+    /// are a per-key decision over per-key state only, so lease runs
+    /// stay shard-count invariant by the same argument as everything
+    /// else here.
+    pub lease: LeaseConfig,
     /// Record full per-key grant logs in the report (tests and small
     /// runs; the folded digest is always computed).
     pub record_grants: bool,
@@ -111,6 +116,7 @@ impl Default for ParallelConfig {
             threads: false,
             hold: Time(1),
             placement: Placement::Modulo,
+            lease: LeaseConfig::OFF,
             record_grants: false,
             scheduler: Scheduler::Auto,
         }
@@ -139,6 +145,9 @@ pub struct ParallelReport {
     pub critical_path_events: u64,
     /// Total grants across all keys.
     pub grants: u64,
+    /// Grants served by a holder lease (local re-entry, no messages) —
+    /// a subset of [`ParallelReport::grants`]; 0 with leases off.
+    pub lease_grants: u64,
     /// Order-sensitive digest folded over every key's `(time, node)`
     /// grant sequence, combined across keys commutatively — *the*
     /// shard-invariance witness.
@@ -220,6 +229,10 @@ struct Instance {
     wait_since: Time,
     /// Arrival times queued behind the outstanding request.
     queued: VecDeque<Time>,
+    /// When this instance's FOLLOW pointer formed (a remote REQUEST is
+    /// queued behind the local hold) — the lease fairness clock. `None`
+    /// when no remote waiter is known.
+    follow_since: Option<Time>,
 }
 
 /// Per-owned-key bookkeeping (indexed by `key / shards`).
@@ -305,6 +318,7 @@ struct ShardEngine {
     demand: PacedKeyDemand,
     hold: Time,
     placement: Placement,
+    lease: LeaseConfig,
     record_grants: bool,
     tree: Tree,
     orientations: OrientationCache,
@@ -327,6 +341,7 @@ struct ShardEngine {
     /// This window's envelope records, handed to the barrier merge.
     records: Vec<EnvRecord>,
     grants: u64,
+    lease_grants: u64,
     events: u64,
     window_events: u64,
     now: Time,
@@ -345,7 +360,8 @@ impl ShardEngine {
             shards: config.shards,
             demand,
             hold: config.hold,
-            placement: config.placement,
+            placement: config.placement.clone(),
+            lease: config.lease,
             record_grants: config.record_grants,
             tree: tree.clone(),
             orientations: OrientationCache::new(n),
@@ -363,6 +379,7 @@ impl ShardEngine {
             pool: BatchPool::new(),
             records: Vec::new(),
             grants: 0,
+            lease_grants: 0,
             events: 0,
             window_events: 0,
             now: Time::ZERO,
@@ -401,13 +418,14 @@ impl ShardEngine {
     /// initial orientation (same soundness argument as the sequential
     /// lock space — see the [`table`](crate::table) module docs).
     fn instance(&mut self, node: NodeId, key: LockId) -> &mut Instance {
-        let placement = self.placement;
+        let placement = &self.placement;
         let tree = &self.tree;
         let orientations = &mut self.orientations;
         self.tables[node.index()].get_or_insert_with(key, || Instance {
             node: placement.initial_instance(key, node, tree, orientations),
             wait_since: Time::ZERO,
             queued: VecDeque::new(),
+            follow_since: None,
         })
     }
 
@@ -495,22 +513,62 @@ impl ShardEngine {
                     }
                 }
                 self.apply_actions(dst, key, wait_since, &mut actions);
+                if self.lease.enabled() {
+                    // Start the fairness clock the moment a remote
+                    // waiter queues behind this instance (FOLLOW set).
+                    let inst = self.instance(dst, key);
+                    if inst.follow_since.is_none() && inst.node.follow().is_some() {
+                        inst.follow_since = Some(now);
+                    }
+                }
             }
             Ev::Release { key, node } => {
                 if let Err(v) = self.safety.on_exit(key.index(), node, now) {
                     self.violation.get_or_insert(v);
                 }
+                let lease = self.lease;
+                let hold = self.hold;
                 let inst = self.instance(node, key);
-                inst.node.exit_into(&mut actions);
-                let requeued = inst.queued.pop_front();
-                self.apply_actions(node, key, now, &mut actions);
-                // A queued local arrival re-issues after the exit's
-                // traffic left, FIFO.
-                if let Some(t0) = requeued {
-                    let inst = self.instance(node, key);
+                let fair = lease.enabled()
+                    && match inst.follow_since {
+                        None => true,
+                        Some(since) => {
+                            (now + hold).saturating_since(since).ticks() <= lease.fairness_budget
+                        }
+                    };
+                let leased = if fair { inst.queued.pop_front() } else { None };
+                if let Some(t0) = leased {
+                    // Holder lease: the queued local claimant re-enters
+                    // without ceding the privilege — zero messages, zero
+                    // DAG hops. The instance never exits, so FOLLOW (and
+                    // its fairness clock) carries to the next release.
                     inst.wait_since = t0;
-                    inst.node.request_into(&mut actions);
-                    self.apply_actions(node, key, t0, &mut actions);
+                    let wait = now.saturating_since(t0).ticks();
+                    self.metrics.on_grant(key.index(), wait);
+                    if let Err(v) = self.safety.on_enter(key.index(), node, now) {
+                        self.violation.get_or_insert(v);
+                    }
+                    self.grants += 1;
+                    self.lease_grants += 1;
+                    let state = &mut self.keys[key.index() / self.shards];
+                    state.digest = fnv(fnv(state.digest, now.ticks()), node.index() as u64);
+                    if self.record_grants {
+                        state.log.push((now, node));
+                    }
+                    self.push(now + hold, Ev::Release { key, node });
+                } else {
+                    inst.node.exit_into(&mut actions);
+                    inst.follow_since = None;
+                    let requeued = inst.queued.pop_front();
+                    self.apply_actions(node, key, now, &mut actions);
+                    // A queued local arrival re-issues after the exit's
+                    // traffic left, FIFO.
+                    if let Some(t0) = requeued {
+                        let inst = self.instance(node, key);
+                        inst.wait_since = t0;
+                        inst.node.request_into(&mut actions);
+                        self.apply_actions(node, key, t0, &mut actions);
+                    }
                 }
             }
         }
@@ -709,8 +767,17 @@ impl ParallelEngine {
             tree.len(),
             "demand and tree disagree on the node count"
         );
-        if let Placement::Hub(h) = config.placement {
-            assert!(h.index() < tree.len(), "hub {h} out of range");
+        match &config.placement {
+            Placement::Hub(h) => {
+                assert!(h.index() < tree.len(), "hub {h} out of range");
+            }
+            Placement::Profile(profile) => {
+                assert!(!profile.is_empty(), "placement profile must not be empty");
+                for h in profile.iter() {
+                    assert!(h.index() < tree.len(), "profile hub {h} out of range");
+                }
+            }
+            Placement::Modulo => {}
         }
         let shards = (0..config.shards)
             .map(|s| ShardEngine::new(tree, demand, &config, s))
@@ -828,6 +895,7 @@ impl ParallelEngine {
         let mut violation = None;
         let mut grant_digest = 0u64;
         let mut grants = 0;
+        let mut lease_grants = 0;
         let mut events = 0;
         let mut expected = 0;
         let mut end = Time::ZERO;
@@ -846,6 +914,7 @@ impl ParallelEngine {
                 violation.get_or_insert(*v);
             }
             grants += shard.grants;
+            lease_grants += shard.lease_grants;
             events += shard.events;
             expected += shard.expected_grants();
             end = end.max(shard.now);
@@ -872,6 +941,7 @@ impl ParallelEngine {
             events,
             critical_path_events: totals.critical_path_events,
             grants,
+            lease_grants,
             grant_digest,
             per_key_grants,
             rollup: metrics.rollup(),
@@ -1010,6 +1080,39 @@ mod tests {
         assert_eq!(heap.grant_digest, wheel.grant_digest);
         assert_eq!(heap.per_key_grants, wheel.per_key_grants);
         assert_eq!(heap.envelopes, wheel.envelopes);
+    }
+
+    #[test]
+    fn leased_runs_stay_shard_invariant_and_serve_everyone() {
+        let run = |shards| {
+            let tree = Tree::kary(15, 2);
+            let demand = PacedKeyDemand::new(8, 15, 80, 4, 4, 0xBEEF);
+            ParallelEngine::new(
+                &tree,
+                demand,
+                ParallelConfig {
+                    shards,
+                    lease: LeaseConfig::new(8, 16),
+                    record_grants: true,
+                    ..ParallelConfig::default()
+                },
+            )
+            .run()
+        };
+        let base = run(1);
+        assert!(base.violation.is_none(), "{:?}", base.violation);
+        assert_eq!(base.starved, 0);
+        assert_eq!(base.starvation_bound_ticks, 0);
+        assert!(base.lease_grants > 0, "bursty local demand leases locally");
+        assert!(base.lease_grants < base.grants, "the DAG still moves the token");
+        for shards in [2, 4, 8] {
+            let report = run(shards);
+            assert_eq!(report.grant_digest, base.grant_digest, "K={shards}");
+            assert_eq!(report.per_key_grants, base.per_key_grants, "K={shards}");
+            assert_eq!(report.rollup, base.rollup, "K={shards}");
+            assert_eq!(report.lease_grants, base.lease_grants, "K={shards}");
+            assert_eq!(report.starved, 0, "K={shards}");
+        }
     }
 
     #[test]

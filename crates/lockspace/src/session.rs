@@ -57,7 +57,7 @@ use crate::table::LockTable;
 /// let config = SessionConfig { keys: 64, ..SessionConfig::default() };
 /// assert_eq!(config.shards, 16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Number of independent locks (the key space is `0..keys`).
     pub keys: u32,
@@ -162,8 +162,17 @@ impl ScriptedClient {
         assert!(config.keys > 0, "session needs at least one key");
         assert!(config.shards > 0, "session needs at least one shard");
         let n = tree.len();
-        if let Placement::Hub(h) = config.placement {
-            assert!(h.index() < n, "hub {h} out of range for {n} nodes");
+        match &config.placement {
+            Placement::Hub(h) => {
+                assert!(h.index() < n, "hub {h} out of range for {n} nodes");
+            }
+            Placement::Profile(profile) => {
+                assert!(!profile.is_empty(), "placement profile must not be empty");
+                for h in profile.iter() {
+                    assert!(h.index() < n, "profile hub {h} out of range for {n} nodes");
+                }
+            }
+            Placement::Modulo => {}
         }
         script.validate(n, config.keys);
         for (i, step) in script.steps().iter().enumerate() {
@@ -202,7 +211,7 @@ impl ScriptedClient {
             .zip(per_node)
             .map(|(id, steps)| ScriptedClient {
                 me: id,
-                placement: config.placement,
+                placement: config.placement.clone(),
                 shared: Rc::clone(&shared),
                 table: LockTable::new(config.shards),
                 steps,
@@ -225,7 +234,7 @@ impl ScriptedClient {
     /// (same seed as every other lock-space runtime).
     fn instance(&mut self, key: LockId) -> &mut DagNode {
         let me = self.me;
-        let placement = self.placement;
+        let placement = self.placement.clone();
         let shared = &self.shared;
         self.table.get_or_insert_with(key, move || {
             let mut sh = shared.borrow_mut();

@@ -43,6 +43,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use dmx_core::{Action, DagMessage, DagNode, KeyedDagMessage, LockId};
 use dmx_simnet::checker::{KeyedLivenessChecker, KeyedSafetyChecker, KeyedViolation};
@@ -57,7 +58,7 @@ use crate::transport::{BatchPool, FlushPolicy, Transport};
 
 /// Where each key's token starts (its *hub*): the sink of the key's
 /// initial orientation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
     /// Key `k`'s hub is node `k mod n` — spreads the key space evenly
     /// over the nodes, the sharded-service default.
@@ -65,14 +66,25 @@ pub enum Placement {
     /// Every key's hub is one designated node — a centralized lock
     /// server built out of K DAG instances.
     Hub(NodeId),
+    /// Per-key hub map: key `k`'s hub is `profile[k mod profile.len()]`
+    /// — skew-aware placement, seeding each key's orientation DAG at
+    /// the node a popularity profile names as its hottest (e.g. a
+    /// workload's [`hub_profile`](dmx_workload::KeyedAffinity::hub_profile)).
+    Profile(Arc<Vec<NodeId>>),
 }
 
 impl Placement {
     /// The hub node for `key` in an `n`-node space.
-    pub fn hub(self, key: LockId, n: usize) -> NodeId {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is an empty [`Placement::Profile`]
+    /// (rejected earlier by [`LockSpace::cluster`]).
+    pub fn hub(&self, key: LockId, n: usize) -> NodeId {
         match self {
             Placement::Modulo => NodeId(key.0 % n as u32),
-            Placement::Hub(h) => h,
+            Placement::Hub(h) => *h,
+            Placement::Profile(p) => p[key.index() % p.len()],
         }
     }
 
@@ -82,7 +94,7 @@ impl Placement {
     /// materialization with this seed is sound no matter when it happens
     /// — see the [`table`](crate::table) module docs.
     pub fn initial_instance(
-        self,
+        &self,
         key: LockId,
         me: NodeId,
         tree: &Tree,
@@ -126,6 +138,60 @@ impl OrientationCache {
     }
 }
 
+/// Holder-lease knobs: how long a node may keep serving a key's local
+/// demand after a hold expires before the token must go back to the DAG.
+///
+/// While a node holds a key's privilege and its *own next request* for
+/// the same key arrives within the lease window, the release is
+/// deferred: the per-key instance stays `executing`, the privilege
+/// cannot leave, and the re-grant is purely local — zero messages, zero
+/// DAG hops. The lease cedes to the DAG when local demand moves on,
+/// when the window closes, or when a queued remote REQUEST (the
+/// instance's FOLLOW pointer) would be kept waiting past the fairness
+/// budget — so remote waiters cannot starve (the keyed liveness oracle
+/// checks the result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseConfig {
+    /// Lease window in ticks: after a hold expires, a same-key local
+    /// re-request arriving within this many ticks is granted locally.
+    /// `0` disables leasing (the default) — the release path is then
+    /// identical to the pre-lease behavior, trace for trace.
+    pub window: u64,
+    /// Fairness budget in ticks: a lease is refused when it would keep
+    /// a queued remote REQUEST waiting longer than this between the
+    /// moment it queued behind the holder and the end of the leased
+    /// hold.
+    pub fairness_budget: u64,
+}
+
+impl LeaseConfig {
+    /// Leasing disabled (the default).
+    pub const OFF: LeaseConfig = LeaseConfig {
+        window: 0,
+        fairness_budget: 0,
+    };
+
+    /// A lease of `window` ticks with a fairness budget of `budget`
+    /// ticks.
+    pub fn new(window: u64, budget: u64) -> Self {
+        LeaseConfig {
+            window,
+            fairness_budget: budget,
+        }
+    }
+
+    /// `true` when leasing is on.
+    pub fn enabled(&self) -> bool {
+        self.window > 0
+    }
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig::OFF
+    }
+}
+
 /// Lock-space parameters.
 ///
 /// # Examples
@@ -136,7 +202,7 @@ impl OrientationCache {
 /// let config = LockSpaceConfig { keys: 64, ..LockSpaceConfig::default() };
 /// assert!(config.batching);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LockSpaceConfig {
     /// Number of independent locks (the key space is `0..keys`).
     pub keys: u32,
@@ -160,6 +226,8 @@ pub struct LockSpaceConfig {
     /// [`LockSpaceMonitor::path_histogram`]. Off by default: the hot
     /// path then pays only an is-empty check on an always-empty vector.
     pub trace_paths: bool,
+    /// Holder-lease knobs (see [`LeaseConfig`]); off by default.
+    pub lease: LeaseConfig,
 }
 
 impl Default for LockSpaceConfig {
@@ -172,6 +240,7 @@ impl Default for LockSpaceConfig {
             flush: FlushPolicy::EveryTick,
             shards: 16,
             trace_paths: false,
+            lease: LeaseConfig::OFF,
         }
     }
 }
@@ -200,6 +269,9 @@ struct Shared {
     /// Distribution of per-request DAG path lengths (0 for grants
     /// satisfied locally by a parked token).
     path_hist: Histogram,
+    /// Grants served under a holder lease (zero messages, zero DAG
+    /// hops), across the whole space.
+    lease_grants: u64,
 }
 
 impl Shared {
@@ -227,6 +299,15 @@ enum Phase {
         /// Scheduled release time.
         until: Time,
     },
+    /// Between a hold and a leased local re-grant of the same key: the
+    /// per-key instance is still `executing` (the DAG never saw an
+    /// exit), and the re-grant fires at `at`.
+    Leased {
+        /// The leased key.
+        key: LockId,
+        /// When the local re-request arrives (the re-grant time).
+        at: Time,
+    },
 }
 
 /// One node of a lock space: the [`Protocol`] impl the engine drives.
@@ -248,6 +329,12 @@ pub struct LockSpaceNode {
     /// and the flush-window bookkeeping (shared implementation with the
     /// threaded `LockSpaceCluster`).
     transport: Transport,
+    /// When a remote REQUEST first queued behind this node's current
+    /// occupancy (the instance's FOLLOW pointer became set), for the
+    /// lease fairness budget. One slot suffices: FOLLOW only forms at
+    /// the node currently requesting or executing a key, and this node
+    /// does one key at a time. Cleared on the real DAG exit.
+    lease_follow_since: Option<Time>,
 }
 
 impl LockSpaceNode {
@@ -283,7 +370,7 @@ impl LockSpaceNode {
     /// [`table`](crate::table) module docs).
     fn instance(&mut self, key: LockId) -> &mut DagNode {
         let me = self.me;
-        let placement = self.config.placement;
+        let placement = self.config.placement.clone();
         let shared = &self.shared;
         self.table.get_or_insert_with(key, move || {
             let mut sh = shared.borrow_mut();
@@ -345,6 +432,15 @@ impl LockSpaceNode {
 
     /// The hold on `key` expired: leave the critical section, hand the
     /// token on if someone follows, and line up the next request.
+    ///
+    /// With a lease window configured, the stream is peeked *before*
+    /// the DAG exit: when this node's own next request is for the same
+    /// key, lands within the window, and no remote waiter is past the
+    /// fairness budget, the exit is deferred — the instance stays
+    /// `executing`, the privilege cannot leave, and the re-grant at the
+    /// arrival time is purely local. With the window at 0 (leases off)
+    /// the peek is skipped entirely and this path is the pre-lease
+    /// behavior, trace for trace.
     fn release(&mut self, key: LockId, ctx: &mut Ctx<'_, Envelope>) {
         let now = ctx.now();
         {
@@ -352,13 +448,41 @@ impl LockSpaceNode {
             let r = sh.safety.on_exit(key.index(), self.me, now).err();
             sh.note(r);
         }
+        if self.config.lease.enabled() {
+            // Pulling early is sound: `next_arrival` is never occupied
+            // while Holding (arrivals are consumed by `issue` and only
+            // re-pulled here or at init).
+            debug_assert!(self.next_arrival.is_none(), "arrival pending during a hold");
+            self.next_arrival = self.stream.next_request(now);
+            if let Some((at, next_key)) = self.next_arrival {
+                debug_assert!(at >= now, "streams must not request in the past");
+                if next_key == key
+                    && at.saturating_since(now).ticks() <= self.config.lease.window
+                    && self.lease_is_fair(at)
+                {
+                    self.next_arrival = None;
+                    self.phase = Phase::Leased { key, at };
+                    if at <= now {
+                        self.regrant(ctx);
+                    } else {
+                        ctx.wake_at(at);
+                    }
+                    return;
+                }
+            }
+        }
         self.table
             .get_mut(key)
             .expect("held key is materialized")
             .exit_into(&mut self.scratch);
+        self.lease_follow_since = None;
         self.phase = Phase::Idle;
         self.apply_actions(key, ctx);
-        if let Some((at, next_key)) = self.stream.next_request(now) {
+        let arrival = match self.next_arrival.take() {
+            pulled @ Some(_) => pulled, // the declined lease peek
+            None => self.stream.next_request(now),
+        };
+        if let Some((at, next_key)) = arrival {
             debug_assert!(at >= now, "streams must not request in the past");
             if at == now {
                 // Issue in this dispatch: the fresh REQUEST shares the
@@ -370,6 +494,54 @@ impl LockSpaceNode {
                 ctx.wake_at(at);
             }
         }
+    }
+
+    /// A lease extending this node's occupancy of the key until
+    /// `at + hold` is fair iff no queued remote waiter would have been
+    /// deferred longer than the fairness budget by then.
+    fn lease_is_fair(&self, at: Time) -> bool {
+        match self.lease_follow_since {
+            None => true,
+            Some(since) => {
+                (at + self.config.hold).saturating_since(since).ticks()
+                    <= self.config.lease.fairness_budget
+            }
+        }
+    }
+
+    /// A leased re-grant fires: the local user re-enters `key`'s
+    /// critical section with the DAG never having seen an exit. The
+    /// request and grant still flow through the per-key oracles and
+    /// counters — a leased grant is a real grant with a zero-hop path.
+    fn regrant(&mut self, ctx: &mut Ctx<'_, Envelope>) {
+        let Phase::Leased { key, at } = self.phase else {
+            unreachable!("regrant outside a lease");
+        };
+        let now = ctx.now();
+        debug_assert!(at <= now, "regrant before the leased arrival");
+        {
+            let mut sh = self.shared.borrow_mut();
+            let r = sh.liveness.on_request(self.me, key.index(), now).err();
+            sh.note(r);
+            sh.keyed.on_request(key.index());
+            let wait = match sh.liveness.on_grant(self.me, key.index(), now) {
+                Ok(requested_at) => now.saturating_since(requested_at).ticks(),
+                Err(v) => {
+                    sh.note(Some(v));
+                    0
+                }
+            };
+            let r = sh.safety.on_enter(key.index(), self.me, now).err();
+            sh.note(r);
+            sh.keyed.on_grant(key.index(), wait);
+            if !sh.path_hops.is_empty() {
+                sh.path_hist.record(0);
+            }
+            sh.lease_grants += 1;
+        }
+        let until = now + self.config.hold;
+        self.phase = Phase::Holding { key, until };
+        ctx.wake_at(until);
     }
 
     /// One keyed message arrived (already unwrapped from its envelope).
@@ -405,6 +577,25 @@ impl LockSpaceNode {
             }
         }
         self.apply_actions(key, ctx);
+        // Lease fairness: note when a remote REQUEST first queues behind
+        // this node's occupancy of the key (the instance's FOLLOW
+        // pointer forms) — the budget clock starts here.
+        if self.config.lease.enabled() && self.lease_follow_since.is_none() {
+            let ours = match self.phase {
+                Phase::Waiting { key: k }
+                | Phase::Holding { key: k, .. }
+                | Phase::Leased { key: k, .. } => k == key,
+                Phase::Idle => false,
+            };
+            if ours
+                && self
+                    .table
+                    .get(key)
+                    .is_some_and(|inst| inst.follow().is_some())
+            {
+                self.lease_follow_since = Some(ctx.now());
+            }
+        }
     }
 
     /// Drains the per-key handler's actions: sends are staged (tagged
@@ -492,6 +683,11 @@ impl Protocol for LockSpaceNode {
                 self.release(key, ctx);
             }
         }
+        if let Phase::Leased { at, .. } = self.phase {
+            if at <= now {
+                self.regrant(ctx);
+            }
+        }
         if self.phase == Phase::Idle {
             if let Some((at, key)) = self.next_arrival {
                 if at <= now {
@@ -539,8 +735,17 @@ impl LockSpace {
         assert!(config.keys > 0, "lock space needs at least one key");
         config.flush.validate();
         let n = tree.len();
-        if let Placement::Hub(h) = config.placement {
-            assert!(h.index() < n, "hub {h} out of range for {n} nodes");
+        match &config.placement {
+            Placement::Hub(h) => {
+                assert!(h.index() < n, "hub {h} out of range for {n} nodes");
+            }
+            Placement::Profile(p) => {
+                assert!(!p.is_empty(), "placement profile must name at least one hub");
+                for h in p.iter() {
+                    assert!(h.index() < n, "profile hub {h} out of range for {n} nodes");
+                }
+            }
+            Placement::Modulo => {}
         }
         let shared = Rc::new(RefCell::new(Shared {
             tree: tree.clone(),
@@ -556,12 +761,13 @@ impl LockSpace {
                 Vec::new()
             },
             path_hist: Histogram::default(),
+            lease_grants: 0,
         }));
         let nodes = tree
             .nodes()
             .map(|id| LockSpaceNode {
                 me: id,
-                config,
+                config: config.clone(),
                 shared: Rc::clone(&shared),
                 table: LockTable::new(config.shards),
                 stream: workload.stream(id),
@@ -569,6 +775,7 @@ impl LockSpace {
                 phase: Phase::Idle,
                 scratch: Vec::new(),
                 transport: Transport::new(n, config.flush),
+                lease_follow_since: None,
             })
             .collect();
         (nodes, LockSpaceMonitor { shared })
@@ -653,6 +860,12 @@ impl LockSpaceMonitor {
     /// Empty unless [`LockSpaceConfig::trace_paths`] was set.
     pub fn path_histogram(&self) -> Histogram {
         self.shared.borrow().path_hist
+    }
+
+    /// Grants served under a holder lease — local re-grants that moved
+    /// zero messages and zero DAG hops. Always 0 with leases off.
+    pub fn lease_grants(&self) -> u64 {
+        self.shared.borrow().lease_grants
     }
 
     /// The `grants`-hottest keys, hottest first (ties by key id).
@@ -997,6 +1210,131 @@ mod tests {
         assert!(off.path_histogram().is_empty());
         assert_eq!(off.wait_histogram().count(), 2);
         assert_eq!(off.key_wait_histogram(LockId(0)).count(), 2);
+    }
+
+    #[test]
+    fn leased_regrants_move_no_messages() {
+        // A single hot node hammers one key with short think times: with
+        // a lease window covering the think time, every re-entry after
+        // the first acquisition is a leased local grant — the wire sees
+        // only the initial acquisition, and every re-grant is counted.
+        let tree = Tree::line(3);
+        let mut sched = KeyedSchedule::new(3);
+        for round in 0..10u64 {
+            sched.push(NodeId(2), Time(round * 3), LockId(0));
+        }
+        let config = LockSpaceConfig {
+            keys: 1,
+            placement: Placement::Hub(NodeId(0)),
+            hold: Time(1),
+            lease: LeaseConfig::new(8, 64),
+            ..LockSpaceConfig::default()
+        };
+        let (engine, monitor) = run(&tree, config, &sched);
+        assert_eq!(monitor.key_stats(LockId(0)).grants, 10);
+        assert_eq!(monitor.lease_grants(), 9, "all re-entries leased");
+        // 2 REQUEST hops + 1 direct PRIVILEGE for the first acquisition;
+        // nothing after.
+        assert_eq!(engine.metrics().messages_total, 3);
+    }
+
+    #[test]
+    fn lease_cedes_to_a_remote_waiter_past_the_fairness_budget() {
+        // Node 2 hammers key 0 back to back; node 0 asks once at t=5.
+        // With a generous window but a tight fairness budget, the lease
+        // must break soon after node 0's REQUEST queues, and node 0's
+        // wait stays bounded by budget + transfer.
+        let tree = Tree::line(3);
+        let mut sched = KeyedSchedule::new(3);
+        for round in 0..30u64 {
+            sched.push(NodeId(2), Time(round * 2), LockId(0));
+        }
+        sched.push(NodeId(0), Time(5), LockId(0));
+        let budget = 6u64;
+        let config = LockSpaceConfig {
+            keys: 1,
+            placement: Placement::Hub(NodeId(2)),
+            hold: Time(1),
+            lease: LeaseConfig::new(16, budget),
+            ..LockSpaceConfig::default()
+        };
+        let (_, monitor) = run(&tree, config, &sched);
+        assert_eq!(monitor.key_stats(LockId(0)).grants, 31);
+        assert!(monitor.lease_grants() > 0, "leases never engaged");
+        assert!(
+            monitor.lease_grants() < 30,
+            "lease never ceded to the remote waiter"
+        );
+        // The remote waiter's wait is bounded: budget plus the 2-hop
+        // REQUEST it already paid and the direct PRIVILEGE transfer.
+        let h = monitor.key_wait_histogram(LockId(0));
+        assert!(
+            h.max() <= budget + 4,
+            "remote wait {} exceeds fairness budget {budget} + transfer",
+            h.max()
+        );
+    }
+
+    #[test]
+    fn lease_off_is_the_default_and_counts_nothing() {
+        let tree = Tree::line(3);
+        let mut sched = KeyedSchedule::new(3);
+        for round in 0..5u64 {
+            sched.push(NodeId(2), Time(round * 3), LockId(0));
+        }
+        let config = LockSpaceConfig {
+            keys: 1,
+            placement: Placement::Hub(NodeId(0)),
+            ..LockSpaceConfig::default()
+        };
+        assert!(!config.lease.enabled());
+        let (_, monitor) = run(&tree, config, &sched);
+        assert_eq!(monitor.lease_grants(), 0);
+    }
+
+    #[test]
+    fn profile_placement_parks_each_key_at_its_named_hub() {
+        // Keys 0/1/2 hubbed at nodes 2/0/1: each node requests "its" key
+        // at t=0 and grants locally — zero traffic, like Modulo's
+        // aligned case but under an arbitrary map.
+        let tree = Tree::line(3);
+        let profile = Arc::new(vec![NodeId(2), NodeId(0), NodeId(1)]);
+        let mut sched = KeyedSchedule::new(3);
+        sched.push(NodeId(2), Time(0), LockId(0));
+        sched.push(NodeId(0), Time(0), LockId(1));
+        sched.push(NodeId(1), Time(0), LockId(2));
+        let config = LockSpaceConfig {
+            keys: 3,
+            placement: Placement::Profile(profile),
+            ..LockSpaceConfig::default()
+        };
+        let (engine, monitor) = run(&tree, config, &sched);
+        assert_eq!(monitor.rollup().grants, 3);
+        assert_eq!(engine.metrics().messages_total, 0, "all grants local");
+    }
+
+    #[test]
+    #[should_panic(expected = "profile hub")]
+    fn out_of_range_profile_hub_is_rejected_at_cluster_construction() {
+        let tree = Tree::star(3);
+        let sched = KeyedSchedule::new(3);
+        let config = LockSpaceConfig {
+            placement: Placement::Profile(Arc::new(vec![NodeId(7)])),
+            ..LockSpaceConfig::default()
+        };
+        let _ = LockSpace::cluster(&tree, config, &sched);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hub")]
+    fn empty_profile_is_rejected_at_cluster_construction() {
+        let tree = Tree::star(3);
+        let sched = KeyedSchedule::new(3);
+        let config = LockSpaceConfig {
+            placement: Placement::Profile(Arc::new(Vec::new())),
+            ..LockSpaceConfig::default()
+        };
+        let _ = LockSpace::cluster(&tree, config, &sched);
     }
 
     #[test]

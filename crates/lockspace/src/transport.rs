@@ -25,7 +25,10 @@
 //! * [`FlushPolicy::Adaptive`] — a `Window` that closes early the
 //!   moment batches are already fat (staged messages per destination
 //!   reached a target), so a loaded node flushes promptly and an idle
-//!   one waits out the window.
+//!   one waits out the window. The target is *learned*: the configured
+//!   `target_per_dst` only seeds an EWMA over the per-destination batch
+//!   occupancy observed at each flush, so the policy tracks the traffic
+//!   the node actually carries instead of trusting a shipped constant.
 //!
 //! ## Grouping
 //!
@@ -73,7 +76,11 @@ pub enum FlushPolicy {
     /// A bounded window that closes early once batches are fat.
     Adaptive {
         /// Close the window as soon as staged messages per destination
-        /// reach this ratio (must be finite and `>= 1.0`).
+        /// reach the *learned* target ratio (must be finite and
+        /// `>= 1.0`). This value only seeds the learner: each flush
+        /// folds the observed per-destination occupancy into an EWMA
+        /// (see [`Transport::learned_target`]), which is what the
+        /// early-close comparison actually uses.
         target_per_dst: f64,
         /// Longest a staged message waits before a forced flush (must
         /// be `>= 1` tick).
@@ -227,6 +234,11 @@ pub struct Transport {
     /// The tick the pending flush is booked for, if any (simulated
     /// runtime only).
     flush_at: Option<Time>,
+    /// The adaptive policy's learned per-destination occupancy target:
+    /// seeded from the configured `target_per_dst`, updated by an EWMA
+    /// over the occupancy each flush actually observed. Unused (stays
+    /// at the seed) under the other policies.
+    learned_target: f64,
 }
 
 impl Transport {
@@ -237,6 +249,10 @@ impl Transport {
     /// Panics if the policy is invalid (see [`FlushPolicy::validate`]).
     pub fn new(n: usize, policy: FlushPolicy) -> Self {
         policy.validate();
+        let learned_target = match policy {
+            FlushPolicy::Adaptive { target_per_dst, .. } => target_per_dst,
+            _ => 1.0,
+        };
         Transport {
             policy,
             staging: Vec::new(),
@@ -244,7 +260,17 @@ impl Transport {
             groups: Vec::new(),
             sorted: Vec::new(),
             flush_at: None,
+            learned_target,
         }
+    }
+
+    /// The adaptive policy's current per-destination occupancy target:
+    /// the configured seed before the first flush, then an EWMA of the
+    /// occupancies observed at each flush (smoothing factor
+    /// [`Transport::EWMA_ALPHA`], floored at 1.0 — an envelope never
+    /// carries less than one message).
+    pub fn learned_target(&self) -> f64 {
+        self.learned_target
     }
 
     /// The policy this transport flushes under.
@@ -316,11 +342,8 @@ impl Transport {
                     None
                 }
             }
-            FlushPolicy::Adaptive {
-                target_per_dst,
-                max_window,
-            } => {
-                if self.batches_are_fat(target_per_dst) {
+            FlushPolicy::Adaptive { max_window, .. } => {
+                if self.batches_are_fat() {
                     self.book(now)
                 } else if self.flush_at.is_none() {
                     self.book(now + Time(max_window - 1))
@@ -366,16 +389,21 @@ impl Transport {
         match self.policy {
             FlushPolicy::EveryTick => bursts >= 1,
             FlushPolicy::Window(ticks) => bursts >= ticks,
-            FlushPolicy::Adaptive {
-                target_per_dst,
-                max_window,
-            } => bursts >= max_window || self.batches_are_fat(target_per_dst),
+            FlushPolicy::Adaptive { max_window, .. } => {
+                bursts >= max_window || self.batches_are_fat()
+            }
         }
     }
 
-    fn batches_are_fat(&self, target_per_dst: f64) -> bool {
+    /// EWMA smoothing factor for the adaptive policy's learned target:
+    /// each flush contributes 20% of its observed per-destination
+    /// occupancy, so the target adapts within a handful of flushes but
+    /// one outlier batch cannot whipsaw it.
+    pub const EWMA_ALPHA: f64 = 0.2;
+
+    fn batches_are_fat(&self) -> bool {
         !self.groups.is_empty()
-            && self.staging.len() as f64 >= target_per_dst * self.groups.len() as f64
+            && self.staging.len() as f64 >= self.learned_target * self.groups.len() as f64
     }
 
     /// Transmits everything staged, grouped by destination
@@ -421,6 +449,16 @@ impl Transport {
                 send(dst, Envelope::Batch(batch));
             }
             self.dst_group[dst.index()] = u32::MAX;
+        }
+        if matches!(self.policy, FlushPolicy::Adaptive { .. }) {
+            // Learn from what this flush actually carried: the observed
+            // per-destination occupancy folds into the target so the
+            // fatness threshold tracks real traffic instead of the
+            // configured seed. Floored at 1.0 — an envelope never
+            // carries less than one message.
+            let observed = (self.staging.len() as f64 / self.groups.len() as f64).max(1.0);
+            self.learned_target =
+                (1.0 - Self::EWMA_ALPHA) * self.learned_target + Self::EWMA_ALPHA * observed;
         }
         self.groups.clear();
         self.staging.clear();
@@ -556,6 +594,57 @@ mod tests {
         assert!(t.flush_due(Time(4)));
         // The stale wake at t=15 finds nothing due.
         assert!(!t.flush_due(Time(15)));
+    }
+
+    #[test]
+    fn adaptive_learns_its_target_from_observed_occupancy() {
+        let mut t = Transport::new(
+            8,
+            FlushPolicy::Adaptive {
+                target_per_dst: 3.0,
+                max_window: 16,
+            },
+        );
+        let mut pool = BatchPool::new();
+        assert_eq!(t.learned_target(), 3.0, "seeded from the config");
+        // A fat flush (6 messages, one destination) pulls the target up
+        // by exactly one EWMA step.
+        for i in 0..6 {
+            t.stage(NodeId(1), keyed(i));
+        }
+        t.flush(&mut pool, |_, _| {});
+        let expected = (1.0 - Transport::EWMA_ALPHA) * 3.0 + Transport::EWMA_ALPHA * 6.0;
+        assert!((t.learned_target() - expected).abs() < 1e-12);
+        assert!(t.learned_target() > 3.0 && t.learned_target() < 6.0);
+        // Repeated thin flushes (one message each) walk it back down
+        // toward the 1.0 floor.
+        for _ in 0..64 {
+            t.stage(NodeId(2), keyed(0));
+            t.flush(&mut pool, |_, _| {});
+        }
+        assert!(t.learned_target() < 1.01, "converges toward the floor");
+        // The fatness threshold follows the learned value, not the
+        // configured seed: two messages per destination would have sat
+        // out the window under the 3.0 seed, but flush immediately now.
+        t.stage(NodeId(3), keyed(0));
+        t.stage(NodeId(3), keyed(1));
+        assert_eq!(
+            t.after_dispatch(Time(0)),
+            Some(Time(0)),
+            "learned-thin traffic flushes immediately"
+        );
+        assert!(t.flush_due(Time(0)));
+    }
+
+    #[test]
+    fn non_adaptive_policies_never_move_the_learned_target() {
+        let mut t = Transport::new(4, FlushPolicy::EveryTick);
+        let mut pool = BatchPool::new();
+        for i in 0..5 {
+            t.stage(NodeId(1), keyed(i));
+        }
+        t.flush(&mut pool, |_, _| {});
+        assert_eq!(t.learned_target(), 1.0, "static policies keep the 1.0 seed");
     }
 
     #[test]

@@ -88,7 +88,7 @@ use crate::snapshot::{KeyCut, LockSpaceSnapshot, NodeCut};
 /// };
 /// assert_eq!(config.workers, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LockSpaceClusterConfig {
     /// Number of independent locks (the key space is `0..keys`).
     pub keys: u32,
@@ -416,7 +416,7 @@ impl LockSpaceCluster {
                 let (jtx, jrx) = unbounded::<WorkerJob>();
                 let out = self_tx.clone();
                 let tree = Arc::clone(&tree);
-                let placement = config.placement;
+                let placement = config.placement.clone();
                 worker_txs.push(jtx);
                 worker_joins.push(std::thread::spawn(move || {
                     worker_main(me, n, placement, tree, jrx, out)
@@ -497,7 +497,7 @@ impl LockSpaceCluster {
             .map(|_| slices.recv().expect("cut interrupted by shutdown"))
             .collect();
         cuts.sort_by_key(|c| c.node.index());
-        LockSpaceSnapshot::new(self.keys, self.placement, cuts)
+        LockSpaceSnapshot::new(self.keys, self.placement.clone(), cuts)
     }
 
     /// Stops every node and returns the aggregated counters.
@@ -558,7 +558,7 @@ fn worker_main(
         table: &'t mut LockTable,
         key: LockId,
         me: NodeId,
-        placement: Placement,
+        placement: &Placement,
         tree: &Tree,
         orientations: &mut OrientationCache,
     ) -> &'t mut DagNode {
@@ -594,12 +594,12 @@ fn worker_main(
         let mut refused = None;
         match job {
             WorkerJob::Acquire(key) => {
-                materialize(&mut table, key, me, placement, &tree, &mut orientations)
+                materialize(&mut table, key, me, &placement, &tree, &mut orientations)
                     .request_into(&mut actions);
             }
             WorkerJob::TryAcquire(key) => {
                 let instance =
-                    materialize(&mut table, key, me, placement, &tree, &mut orientations);
+                    materialize(&mut table, key, me, &placement, &tree, &mut orientations);
                 if instance.has_token() && !instance.is_executing() {
                     // The token is parked here, idle: entering is local
                     // and free (request_into yields a bare Enter).
@@ -617,7 +617,7 @@ fn worker_main(
             WorkerJob::Net { from, msg } => match msg.msg {
                 DagMessage::Request { from: link, origin } => {
                     debug_assert_eq!(link, from);
-                    materialize(&mut table, key, me, placement, &tree, &mut orientations)
+                    materialize(&mut table, key, me, &placement, &tree, &mut orientations)
                         .receive_request_into(from, origin, &mut actions);
                 }
                 DagMessage::Privilege => table

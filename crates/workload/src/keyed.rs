@@ -238,6 +238,272 @@ impl KeyStream for ThinkStream {
     }
 }
 
+/// Closed-loop keyed workload with **node affinity**, a *hot-tenant*
+/// model: every key has a deterministic *home node* (a hash of the key,
+/// deliberately *not* `key % n` so it disagrees with modulo-style hub
+/// seeding), a fraction `affinity` of every key's demand is born at its
+/// home node, and the thin `1 − affinity` tail is spread across all
+/// nodes via the global [`KeyDist`]. Per-key aggregate popularity is
+/// *exactly* the global distribution; what affinity changes is **where
+/// that demand originates** — the home node of a hot key issues
+/// proportionally more requests (it is a hot tenant), so per-node
+/// request volume follows [`KeyedAffinity::rounds_for`] rather than a
+/// flat per-node constant, and `rounds` is the fleet-wide *average*
+/// visits per node.
+///
+/// This is the demand shape real caches and shard routers produce: a
+/// key's traffic concentrates at one node with a thin global tail. It
+/// is what holder leases exploit (back-to-back local claims) and what
+/// skew-aware hub placement targets ([`KeyedAffinity::hub_profile`]
+/// names each key's hottest node). [`KeyedThinkTime`]'s symmetric skew
+/// cannot produce it: there every node is equally likely to draw the
+/// hot key, so consecutive same-node claims stay rare — and no token
+/// scheme, however clever, can beat the cross-node queueing that
+/// symmetric skew forces (the privilege must round-trip between
+/// distinct requesters on every grant).
+///
+/// # Examples
+///
+/// ```
+/// use dmx_simnet::{LatencyModel, Time};
+/// use dmx_topology::NodeId;
+/// use dmx_workload::{KeyDist, KeyStream, KeyedAffinity, KeyedWorkload};
+///
+/// let w = KeyedAffinity::new(64, 15, KeyDist::Zipf { exponent: 1.1 },
+///                            0.9, LatencyModel::Fixed(Time(3)), 5, 42);
+/// let profile = w.hub_profile();
+/// assert_eq!(profile.len(), 64);
+/// let (_, key) = w.stream(NodeId(2)).next_request(Time::ZERO).unwrap();
+/// assert!(key.index() < 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyedAffinity {
+    sampler: KeySampler,
+    dist: KeyDist,
+    nodes: usize,
+    affinity: f64,
+    think: LatencyModel,
+    rounds: u32,
+    seed: u64,
+    stagger: u64,
+    spacing: u64,
+}
+
+/// SplitMix64 finalizer — the key→home hash. Deliberately unrelated to
+/// `key % n` so modulo placement and demand disagree (the gap the
+/// skew-aware placement closes).
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+impl KeyedAffinity {
+    /// `rounds` critical-section visits per node *on average* over
+    /// `keys` keys across `nodes` nodes; a fraction `affinity` of every
+    /// key's demand is born at the key's home node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys == 0`, `nodes == 0`, `rounds == 0`, or
+    /// `affinity` is outside `[0, 1]`.
+    pub fn new(
+        keys: u32,
+        nodes: usize,
+        dist: KeyDist,
+        affinity: f64,
+        think: LatencyModel,
+        rounds: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(nodes > 0, "affinity workload needs >= 1 node");
+        assert!(rounds > 0, "affinity workload needs >= 1 round");
+        assert!(
+            (0.0..=1.0).contains(&affinity),
+            "affinity is a probability; got {affinity}"
+        );
+        KeyedAffinity {
+            sampler: KeySampler::new(keys, dist),
+            dist,
+            nodes,
+            affinity,
+            think,
+            rounds,
+            seed,
+            stagger: 1,
+            spacing: 0,
+        }
+    }
+
+    /// Staggers the per-node start times, exactly like
+    /// [`KeyedThinkTime::with_stagger`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stagger == 0` (use 1 for no stagger).
+    pub fn with_stagger(mut self, stagger: u64) -> Self {
+        assert!(stagger > 0, "stagger of 0 ticks is meaningless; use 1");
+        self.stagger = stagger;
+        self
+    }
+
+    /// Spaces node onsets `ticks` apart: node `i`'s first request is
+    /// delayed by an extra `i × ticks`. A hot-tenant fleet's background
+    /// tenants wake gradually — with every cold tenant's entire closed
+    /// loop compressed into tick 0, a cell measures a one-tick
+    /// thundering herd rather than steady skewed traffic. 0 (the
+    /// default) disables spacing.
+    pub fn with_onset_spacing(mut self, ticks: u64) -> Self {
+        self.spacing = ticks;
+        self
+    }
+
+    /// Number of keys in the space.
+    pub fn keys(&self) -> u32 {
+        self.sampler.keys()
+    }
+
+    /// `key`'s home node — where `affinity` of its demand originates.
+    pub fn home(&self, key: LockId) -> NodeId {
+        NodeId((mix64(u64::from(key.0) + 1) % self.nodes as u64) as u32)
+    }
+
+    /// The per-key hottest-node map — exactly the profile to hand to a
+    /// `Placement::Profile`-style hub assignment: key `k`'s initial
+    /// sink is its home node, where most of its requests will be born.
+    pub fn hub_profile(&self) -> Vec<NodeId> {
+        (0..self.sampler.keys()).map(|k| self.home(LockId(k))).collect()
+    }
+
+    /// `key`'s weight under the global distribution (unnormalized).
+    fn weight(&self, key: u32) -> f64 {
+        match self.dist {
+            KeyDist::Uniform => 1.0,
+            KeyDist::Zipf { exponent } => 1.0 / f64::from(key + 1).powf(exponent),
+        }
+    }
+
+    /// The fraction of the global key distribution owned by `node`'s
+    /// home pool (0 when no key calls `node` home).
+    fn pool_weight(&self, node: NodeId) -> f64 {
+        let total: f64 = (0..self.sampler.keys()).map(|k| self.weight(k)).sum();
+        let pool: f64 = (0..self.sampler.keys())
+            .filter(|&k| self.home(LockId(k)) == node)
+            .map(|k| self.weight(k))
+            .sum();
+        pool / total
+    }
+
+    /// The fraction of all system demand born at `node`: `affinity` of
+    /// its home pool's global weight, plus an equal slice of the thin
+    /// `1 − affinity` tail. Shares sum to 1 across nodes.
+    fn share(&self, node: NodeId) -> f64 {
+        self.affinity * self.pool_weight(node) + (1.0 - self.affinity) / self.nodes as f64
+    }
+
+    /// Requests issued by `node` over the whole run — the hot-tenant
+    /// knob: the home node of a popular key issues proportionally more
+    /// (its share of `rounds × nodes` total requests), never zero.
+    pub fn rounds_for(&self, node: NodeId) -> u32 {
+        let target = f64::from(self.rounds) * self.nodes as f64 * self.share(node);
+        (target.round() as u32).max(1)
+    }
+
+    /// Total requests across all nodes (the sum of
+    /// [`rounds_for`](KeyedAffinity::rounds_for), which rounding can
+    /// nudge slightly off `rounds × nodes`).
+    pub fn total_requests(&self) -> u64 {
+        (0..self.nodes)
+            .map(|i| u64::from(self.rounds_for(NodeId::from_index(i))))
+            .sum()
+    }
+
+    /// The per-key weights of `node`'s home keys under the global
+    /// distribution, as a normalized CDF over `(key, cum_prob)` pairs —
+    /// empty when no key calls `node` home.
+    fn home_cdf(&self, node: NodeId) -> Vec<(LockId, f64)> {
+        let mut cdf = Vec::new();
+        let mut total = 0.0f64;
+        for k in 0..self.sampler.keys() {
+            if self.home(LockId(k)) != node {
+                continue;
+            }
+            let w = self.weight(k);
+            total += w;
+            cdf.push((LockId(k), total));
+        }
+        for (_, c) in &mut cdf {
+            *c /= total;
+        }
+        cdf
+    }
+}
+
+impl KeyedWorkload for KeyedAffinity {
+    fn stream(&self, node: NodeId) -> Box<dyn KeyStream> {
+        let node_seed = self
+            .seed
+            .wrapping_add((u64::from(node.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Per-draw home probability that makes exactly `affinity` of
+        // each key's aggregate demand home-born: the home slice of this
+        // node's share, over its whole share.
+        let share = self.share(node);
+        let local_prob = if share > 0.0 {
+            self.affinity * self.pool_weight(node) / share
+        } else {
+            0.0
+        };
+        Box::new(AffinityStream {
+            rng: StdRng::seed_from_u64(node_seed),
+            sampler: self.sampler.clone(),
+            home_cdf: self.home_cdf(node),
+            local_prob,
+            think: self.think,
+            remaining: self.rounds_for(node),
+            offset: Time(
+                u64::from(node.0) % self.stagger + u64::from(node.0) * self.spacing,
+            ),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct AffinityStream {
+    rng: StdRng,
+    sampler: KeySampler,
+    /// Normalized CDF over this node's home keys (empty: no home keys).
+    home_cdf: Vec<(LockId, f64)>,
+    /// Per-draw probability of a home-pool draw for *this node* (the
+    /// home slice of the node's demand share — not the global
+    /// `affinity`, which is a per-key property).
+    local_prob: f64,
+    think: LatencyModel,
+    remaining: u32,
+    /// Extra delay applied to the first request only (stagger).
+    offset: Time,
+}
+
+impl KeyStream for AffinityStream {
+    fn next_request(&mut self, now: Time) -> Option<(Time, LockId)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let at = now + self.think.sample(&mut self.rng) + self.offset;
+        self.offset = Time::ZERO;
+        let local = !self.home_cdf.is_empty() && self.rng.gen_range(0.0..1.0) < self.local_prob;
+        let key = if local {
+            let x = self.rng.gen_range(0.0..1.0);
+            let idx = self.home_cdf.partition_point(|&(_, c)| c < x);
+            self.home_cdf[idx.min(self.home_cdf.len() - 1)].0
+        } else {
+            self.sampler.sample(&mut self.rng)
+        };
+        Some((at, key))
+    }
+}
+
 /// An explicit keyed schedule: each node issues a fixed `(time, key)`
 /// sequence (sorted by time at construction). Requests whose scheduled
 /// time has already passed are issued immediately.
@@ -448,6 +714,146 @@ mod tests {
     fn zero_stagger_is_rejected() {
         let _ = KeyedThinkTime::new(4, KeyDist::Uniform, LatencyModel::Fixed(Time(0)), 1, 0)
             .with_stagger(0);
+    }
+
+    #[test]
+    fn affinity_concentrates_each_keys_demand_at_its_home_node() {
+        let nodes = 15usize;
+        let w = KeyedAffinity::new(
+            64,
+            nodes,
+            KeyDist::Zipf { exponent: 1.1 },
+            0.9,
+            LatencyModel::Fixed(Time(0)),
+            2000,
+            42,
+        );
+        // Drain every node's stream, tallying per-key (home, total).
+        let mut home = vec![0u32; 64];
+        let mut total = vec![0u32; 64];
+        let mut issued = vec![0u32; nodes];
+        for node in 0..nodes {
+            let node = NodeId::from_index(node);
+            let mut s = w.stream(node);
+            let mut now = Time::ZERO;
+            while let Some((at, k)) = s.next_request(now) {
+                issued[node.index()] += 1;
+                total[k.index()] += 1;
+                if w.home(k) == node {
+                    home[k.index()] += 1;
+                }
+                now = at + Time(1);
+            }
+            assert_eq!(issued[node.index()], w.rounds_for(node));
+        }
+        // The per-KEY locality contract: ~90% of every busy key's
+        // demand is born at its home node (sampling slack downward).
+        for k in 0..64 {
+            if total[k] < 200 {
+                continue; // cold tail: too few draws to estimate a share
+            }
+            let share = f64::from(home[k]) / f64::from(total[k]);
+            assert!(
+                share > 0.85,
+                "key {k}: only {}/{} draws were home-born",
+                home[k],
+                total[k]
+            );
+        }
+        // The hot-tenant contract: the hottest key's home node issues a
+        // large multiple of a cold node's volume, and the fleet total
+        // stays the advertised sum.
+        let hottest_home = w.home(LockId(0)).index();
+        assert!(
+            issued[hottest_home] > 3 * 2000,
+            "key 0's home node issued only {} of {} total",
+            issued[hottest_home],
+            w.total_requests()
+        );
+        assert_eq!(
+            u64::from(issued.iter().sum::<u32>()),
+            w.total_requests(),
+            "streams must issue exactly total_requests()"
+        );
+    }
+
+    #[test]
+    fn affinity_hub_profile_names_each_keys_hottest_node() {
+        let nodes = 15usize;
+        let w = KeyedAffinity::new(
+            64,
+            nodes,
+            KeyDist::Zipf { exponent: 1.1 },
+            0.9,
+            LatencyModel::Fixed(Time(0)),
+            3000,
+            7,
+        );
+        let profile = w.hub_profile();
+        assert_eq!(profile.len(), 64);
+        assert!(profile.iter().all(|h| h.index() < nodes));
+        // Empirical per-(key, node) counts across every node's stream.
+        let mut counts = vec![[0u32; 15]; 64];
+        for node in 0..nodes {
+            let node = NodeId::from_index(node);
+            let mut s = w.stream(node);
+            let mut now = Time::ZERO;
+            while let Some((at, k)) = s.next_request(now) {
+                counts[k.index()][node.index()] += 1;
+                now = at + Time(1);
+            }
+        }
+        // For every key with meaningful traffic, the empirically hottest
+        // node is the profiled home.
+        for (k, per_node) in counts.iter().enumerate() {
+            let total: u32 = per_node.iter().sum();
+            if total < 100 {
+                continue; // cold tail: too few draws to rank nodes
+            }
+            let hottest = (0..nodes).max_by_key(|&i| per_node[i]).unwrap();
+            assert_eq!(
+                profile[k].index(),
+                hottest,
+                "key {k}: profile says {} but node {hottest} was hottest",
+                profile[k]
+            );
+        }
+        // The hash spreads homes across many nodes (not all on one).
+        let distinct: std::collections::HashSet<_> = profile.iter().collect();
+        assert!(distinct.len() > nodes / 2);
+        // And it disagrees with modulo placement somewhere — otherwise
+        // profile placement could never beat it.
+        assert!((0..64).any(|k| profile[k].index() != k % nodes));
+    }
+
+    #[test]
+    fn affinity_streams_are_deterministic_and_stagger_only_shifts_start() {
+        let w = KeyedAffinity::new(
+            32,
+            8,
+            KeyDist::Uniform,
+            0.5,
+            LatencyModel::Exponential { mean: Time(6) },
+            10,
+            99,
+        );
+        let drain = |w: &KeyedAffinity, node| {
+            let mut s = w.stream(node);
+            let mut out = Vec::new();
+            let mut now = Time::ZERO;
+            while let Some((at, k)) = s.next_request(now) {
+                out.push((at, k));
+                now = at + Time(1);
+            }
+            out
+        };
+        assert_eq!(drain(&w, NodeId(5)), drain(&w, NodeId(5)));
+        assert_ne!(drain(&w, NodeId(5)), drain(&w, NodeId(6)));
+        let staggered = w.clone().with_stagger(4);
+        let base = drain(&w, NodeId(3));
+        let shifted = drain(&staggered, NodeId(3));
+        assert_eq!(shifted[0].0, base[0].0 + Time(3));
+        assert_eq!(shifted[0].1, base[0].1, "stagger must not perturb keys");
     }
 
     #[test]

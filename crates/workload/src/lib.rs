@@ -48,7 +48,9 @@ pub mod keyed;
 pub mod paced;
 pub mod script;
 
-pub use keyed::{KeyDist, KeySampler, KeyStream, KeyedSchedule, KeyedThinkTime, KeyedWorkload};
+pub use keyed::{
+    KeyDist, KeySampler, KeyStream, KeyedAffinity, KeyedSchedule, KeyedThinkTime, KeyedWorkload,
+};
 pub use paced::PacedKeyDemand;
 pub use script::{AcquireMode, Outcome, Script, SessionOp, SessionStep};
 

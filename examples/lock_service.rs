@@ -74,7 +74,7 @@ fn main() {
         flush,
         ..LockSpaceConfig::default()
     };
-    let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
+    let (nodes, monitor) = LockSpace::cluster(&tree, config.clone(), &workload);
     let mut engine = Engine::new(
         nodes,
         EngineConfig {

@@ -21,11 +21,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dagmutex::baselines::naimi_thiare::NaimiThiareProtocol;
 use dagmutex::baselines::raymond::RaymondProtocol;
 use dagmutex::baselines::ricart_agrawala::RicartAgrawalaProtocol;
 use dagmutex::baselines::suzuki_kasami::SuzukiKasamiProtocol;
 use dagmutex::core::DagProtocol;
-use dagmutex::lockspace::{FlushPolicy, LockSpace, LockSpaceConfig, Placement};
+use dagmutex::lockspace::{FlushPolicy, LeaseConfig, LockSpace, LockSpaceConfig, Placement};
 use dagmutex::simnet::{Engine, EngineConfig, LatencyModel, Protocol, Scheduler, Time};
 use dagmutex::topology::{NodeId, Tree};
 use dagmutex::workload::{KeyDist, KeyedThinkTime};
@@ -126,7 +127,12 @@ fn assert_single_lock_alloc_free<P: Protocol>(label: &str, scheduler: Scheduler,
 /// recording is allocation-free. With `trace_paths` set, per-request DAG
 /// hop counting feeds a second histogram from pre-sized per-origin
 /// slots, which must be just as free.
-fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy, trace_paths: bool) {
+fn assert_lockspace_alloc_free(
+    scheduler: Scheduler,
+    flush: FlushPolicy,
+    trace_paths: bool,
+    lease: LeaseConfig,
+) {
     let n = 15;
     let tree = Tree::kary(n, 2);
     // Saturated keyed closed loop: think time zero, enough rounds that
@@ -145,6 +151,7 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy, trace_p
         batching: true,
         flush,
         trace_paths,
+        lease,
         ..LockSpaceConfig::default()
     };
     let (nodes, monitor) = LockSpace::cluster(&tree, config, &workload);
@@ -205,14 +212,24 @@ fn assert_lockspace_alloc_free(scheduler: Scheduler, flush: FlushPolicy, trace_p
             "path tracing must have recorded hop counts"
         );
     }
+    if lease.enabled() {
+        // The zipf hot keys re-grant locally: the leased release path
+        // (stream peek, fairness check, local re-enter, wake push) ran
+        // inside the allocation-free window.
+        assert!(
+            monitor.lease_grants() > 0,
+            "the lease-enabled phase must serve leased re-grants"
+        );
+    }
     let rounds = quiet_after_rounds.expect(
         "steady-state multiplexed Engine::step must stop allocating with \
          batching on, but every warm-up window still allocated",
     );
     println!(
-        "alloc_free: lockspace ({scheduler:?}, {flush:?}, trace_paths={trace_paths}) ok \
-         (0 allocations across {STEPS} steady-state steps, {quiet_recorded} waits \
-         histogrammed, after {rounds} warm-up rounds)"
+        "alloc_free: lockspace ({scheduler:?}, {flush:?}, trace_paths={trace_paths}, \
+         lease={}) ok (0 allocations across {STEPS} steady-state steps, \
+         {quiet_recorded} waits histogrammed, after {rounds} warm-up rounds)",
+        lease.window
     );
 }
 
@@ -265,14 +282,30 @@ fn main() {
             scheduler,
             RicartAgrawalaProtocol::cluster(n),
         );
+        // The Naimi–Thiare quorum port: sequential LOCK/LOCKED climbs
+        // and FIFO arbiter queues must reuse their buffers like every
+        // other `*_into` baseline.
+        assert_single_lock_alloc_free(
+            &tag("naimi-thiare"),
+            scheduler,
+            NaimiThiareProtocol::cluster(n),
+        );
         // Phase 3: the multiplexed lock-space hot path, batching on —
         // under end-of-tick flushing and under a 4-tick coalescing
         // window (the transport layer's Nagle path must be just as
         // allocation-free as its same-tick path). Wait histograms are
         // always on; the third variant adds per-request DAG path
-        // tracing, the full observability load.
-        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick, false);
-        assert_lockspace_alloc_free(scheduler, FlushPolicy::Window(4), false);
-        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick, true);
+        // tracing, the full observability load; the fourth turns holder
+        // leases on, so hot-key local re-grants (stream peek + fairness
+        // check + zero-message re-enter) run inside the measured window.
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick, false, LeaseConfig::OFF);
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::Window(4), false, LeaseConfig::OFF);
+        assert_lockspace_alloc_free(scheduler, FlushPolicy::EveryTick, true, LeaseConfig::OFF);
+        assert_lockspace_alloc_free(
+            scheduler,
+            FlushPolicy::EveryTick,
+            false,
+            LeaseConfig::new(8, 16),
+        );
     }
 }

@@ -93,7 +93,7 @@ proptest! {
             Algorithm::Dag | Algorithm::Centralized => 3,
             Algorithm::Raymond => 4,
             Algorithm::SuzukiKasami | Algorithm::Singhal => n as u64,
-            Algorithm::Maekawa => 3 * (k - 1),
+            Algorithm::Maekawa | Algorithm::NaimiThiare => 3 * (k - 1),
             Algorithm::Lamport => 3 * (n as u64 - 1),
             Algorithm::RicartAgrawala | Algorithm::CarvalhoRoucairol => 2 * (n as u64 - 1),
         };

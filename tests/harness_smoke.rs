@@ -7,7 +7,7 @@ use dagmutex::harness::experiments;
 #[test]
 fn tab6_1_reproduces_headline_bounds() {
     let t = experiments::upper_bound::run(13);
-    assert_eq!(t.len(), 9);
+    assert_eq!(t.len(), 10);
     assert_eq!(t.find_row("dag (this paper)").unwrap()[3], "3");
     assert_eq!(t.find_row("raymond").unwrap()[3], "4");
     assert_eq!(t.find_row("centralized").unwrap()[3], "3");

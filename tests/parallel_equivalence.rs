@@ -12,7 +12,7 @@
 //! fresh runs agreeing with each other.
 
 use dagmutex::core::LockId;
-use dagmutex::lockspace::Placement;
+use dagmutex::lockspace::{LeaseConfig, Placement};
 use dagmutex::lockspace::{ParallelConfig, ParallelEngine, ParallelReport};
 use dagmutex::simnet::Time;
 use dagmutex::topology::{NodeId, Tree};
@@ -57,7 +57,7 @@ fn run(
     tree: &Tree,
     demand: PacedKeyDemand,
     hold: Time,
-    placement: Placement,
+    placement: &Placement,
     shards: usize,
     window: u64,
     threads: bool,
@@ -70,7 +70,7 @@ fn run(
             window,
             threads,
             hold,
-            placement,
+            placement: placement.clone(),
             record_grants: true,
             ..ParallelConfig::default()
         },
@@ -100,12 +100,12 @@ proptest! {
     fn shard_count_never_changes_per_key_outcomes(
         (tree, demand, hold, placement) in cell(),
     ) {
-        let base = run(&tree, demand, hold, placement, 1, 64, false);
+        let base = run(&tree, demand, hold, &placement, 1, 64, false);
         prop_assert!(base.violation.is_none(), "{:?}", base.violation);
         prop_assert_eq!(base.starved, 0);
         prop_assert_eq!(base.grants, demand.total_requests());
         for shards in [2usize, 4, 8] {
-            let report = run(&tree, demand, hold, placement, shards, 64, false);
+            let report = run(&tree, demand, hold, &placement, shards, 64, false);
             prop_assert_eq!(face(&report), face(&base), "K={}", shards);
         }
     }
@@ -118,8 +118,8 @@ proptest! {
         which in 0usize..3,
     ) {
         let window = [1u64, 7, 1024][which];
-        let base = run(&tree, demand, hold, placement, 4, 64, false);
-        let probe = run(&tree, demand, hold, placement, 4, window, false);
+        let base = run(&tree, demand, hold, &placement, 4, 64, false);
+        let probe = run(&tree, demand, hold, &placement, 4, window, false);
         prop_assert_eq!(face(&probe), face(&base), "window={}", window);
     }
 
@@ -130,12 +130,59 @@ proptest! {
         (tree, demand, hold, placement) in cell(),
         shards in 2usize..5,
     ) {
-        let seq = run(&tree, demand, hold, placement, shards, 32, false);
-        let thr = run(&tree, demand, hold, placement, shards, 32, true);
+        let seq = run(&tree, demand, hold, &placement, shards, 32, false);
+        let thr = run(&tree, demand, hold, &placement, shards, 32, true);
         prop_assert_eq!(face(&thr), face(&seq));
         prop_assert_eq!(thr.windows, seq.windows);
         prop_assert_eq!(thr.critical_path_events, seq.critical_path_events);
     }
+
+    /// (d) Holder leases stay shard-invariant: lease decisions depend
+    /// only on per-key state, so K = 1, 2, 4, 8 agree on every
+    /// deterministic field — including how many grants were leased —
+    /// for random lease windows and fairness budgets.
+    #[test]
+    fn leased_runs_stay_shard_invariant(
+        (tree, demand, hold, placement) in cell(),
+        window in 1u64..16,
+        budget in 0u64..32,
+    ) {
+        let lease = LeaseConfig::new(window, budget);
+        let base = run_leased(&tree, demand, hold, &placement, 1, lease);
+        prop_assert!(base.violation.is_none(), "{:?}", base.violation);
+        prop_assert_eq!(base.starved, 0);
+        prop_assert_eq!(base.grants, demand.total_requests());
+        for shards in [2usize, 4, 8] {
+            let report = run_leased(&tree, demand, hold, &placement, shards, lease);
+            prop_assert_eq!(face(&report), face(&base), "K={}", shards);
+            prop_assert_eq!(report.lease_grants, base.lease_grants, "K={}", shards);
+        }
+    }
+}
+
+fn run_leased(
+    tree: &Tree,
+    demand: PacedKeyDemand,
+    hold: Time,
+    placement: &Placement,
+    shards: usize,
+    lease: LeaseConfig,
+) -> ParallelReport {
+    ParallelEngine::new(
+        tree,
+        demand,
+        ParallelConfig {
+            shards,
+            window: 64,
+            threads: false,
+            hold,
+            placement: placement.clone(),
+            lease,
+            record_grants: true,
+            ..ParallelConfig::default()
+        },
+    )
+    .run()
 }
 
 /// The golden pin: one configuration, every load-bearing number
@@ -162,7 +209,7 @@ fn golden_parallel_trace_is_pinned() {
         .collect();
     assert_eq!(draws, GOLDEN_DRAWS, "PacedKeyDemand stream moved");
 
-    let report = run(&tree, demand, Time(3), Placement::Modulo, 4, 64, false);
+    let report = run(&tree, demand, Time(3), &Placement::Modulo, 4, 64, false);
     assert!(report.violation.is_none(), "{:?}", report.violation);
     assert_eq!(report.starved, 0);
     assert_eq!(report.grants, demand.total_requests());
@@ -192,7 +239,7 @@ fn golden_parallel_trace_is_pinned() {
             &tree,
             demand,
             Time(3),
-            Placement::Modulo,
+            &Placement::Modulo,
             shards,
             64,
             threads,

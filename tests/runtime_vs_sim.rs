@@ -130,7 +130,7 @@ fn parity_on(
 ) -> Vec<Option<Outcome>> {
     let config = SessionConfig {
         keys,
-        placement,
+        placement: placement.clone(),
         ..SessionConfig::default()
     };
     let (nodes, monitor) = ScriptedClient::cluster(tree, config, script);

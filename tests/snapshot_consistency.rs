@@ -34,7 +34,7 @@ fn storm_with_snapshots(
     let placement = Placement::Modulo;
     let config = LockSpaceClusterConfig {
         keys,
-        placement,
+        placement: placement.clone(),
         workers,
         flush,
     };
