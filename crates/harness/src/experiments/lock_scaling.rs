@@ -693,7 +693,11 @@ mod tests {
     #[test]
     fn window_sweep_covers_the_grid() {
         let table = run_windows(&[15], &[16], 4);
-        assert_eq!(table.len(), 4, "3 windows + adaptive × 1 key count × 1 size");
+        assert_eq!(
+            table.len(),
+            4,
+            "3 windows + adaptive × 1 key count × 1 size"
+        );
         // Envelope counts are monotonically non-increasing in the window.
         let envelopes: Vec<u64> = (0..3).map(|r| table.cell(r, 5).parse().unwrap()).collect();
         assert!(envelopes[2] <= envelopes[1] && envelopes[1] <= envelopes[0]);

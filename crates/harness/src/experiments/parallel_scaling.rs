@@ -1,10 +1,10 @@
 //! `ext_par` — parallel-simulation scaling: events/s vs shard engines
-//! under the tick-barrier runtime.
+//! under the tick-barrier runtime, uniform and skewed.
 //!
 //! The conservative parallel runtime (`dmx_lockspace::parallel`) shards
 //! the key space across per-core engines synchronized at tick barriers.
-//! This experiment sweeps the shard count over one fixed paced demand
-//! and reports, per `K`:
+//! This experiment sweeps the shard count over paced demand and
+//! reports, per cell:
 //!
 //! - **wall events/s** — aggregate simulated events over wall-clock
 //!   time, for the machine the sweep actually ran on;
@@ -15,29 +15,85 @@
 //!   core. On a single-core host the wall column is flat and this
 //!   column is the result; the sequential round-robin driver measures
 //!   it uncontended.
+//! - **imbalance** — max/mean per-shard event counts. Under uniform
+//!   demand with the modulo map this sits near 1.0; under zipf-1.1 the
+//!   shard that draws the hot keys pins it, and `potential_speedup ≈
+//!   shards / imbalance` explains exactly what the cell lost.
 //!
-//! Every cell's grant digest is asserted identical to the `K = 1`
-//! digest — the scaling sweep doubles as a determinism check on every
-//! invocation.
+//! The skewed cells run both [`ShardMap`] variants side by side: the
+//! default `key % K` map (balanced key counts, load-blind) and the
+//! demand-balanced LPT map packed from
+//! [`PacedKeyDemand::demand_profile`]. The grant digest is asserted
+//! identical across every cell of a demand shape — shard maps, shard
+//! counts, and drivers never change results, only the critical path.
 //!
-//! The `repro -- bench` subcommand serializes this sweep as the
-//! `parallel` section of `BENCH_CURRENT.json` (cores ∈ {1, 2, 4, 8},
-//! sequential and threaded modes side by side), and `repro -- ext_mega`
-//! runs the acceptance-scale cell: 1M keys × 10k nodes, completed
-//! deterministically at two shard counts.
+//! The `repro -- bench` subcommand serializes all of it as the
+//! `parallel` section of `BENCH_CURRENT.json` (uniform cores ∈ {1, 2,
+//! 4, 8} plus the zipf-1.1 and hot-tenant map-comparison cells), and
+//! `repro -- ext_mega` runs the acceptance-scale cell: 1M keys × 10k
+//! nodes, completed deterministically at two shard counts.
+//!
+//! Skewed cells use 64 keys: a zipf-1.1 hot key's burst scales ~16×,
+//! and the paced-demand contract requires the widest burst to fit
+//! strictly inside the round spacing (the 4096-key uniform cells keep
+//! their historical shape for cross-PR comparability).
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use dmx_lockspace::{ParallelConfig, ParallelEngine, ParallelReport};
+use dmx_lockspace::{
+    ParallelConfig, ParallelEngine, ParallelReport, Placement, ShardMap, WindowPolicy,
+};
 use dmx_simnet::Time;
 use dmx_topology::Tree;
-use dmx_workload::PacedKeyDemand;
+use dmx_workload::{KeyLoad, PacedKeyDemand};
 
 use crate::Table;
 
 /// Shard counts the sweep walks — the "cores" axis of the scaling
 /// table.
 pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Key count for the skewed cells (see the module docs for why they
+/// stay small-keyed).
+pub const SKEW_KEYS: u32 = 64;
+
+/// Seed of the skewed cells. The zipf rank permutation is seeded, so
+/// *which* keys are hot — and how they collide mod `K` — is a seed
+/// property; this one lands several hot ranks on the same modulo-8
+/// shard, the realistic worst case the balanced map exists for.
+pub const SKEW_SEED: u64 = 26;
+
+/// The adaptive window policy the comparison cells run: floor at the
+/// historical fixed width so dense phases behave identically, widen up
+/// to 4096 ticks across sparse phases (run tails, drained keys).
+pub const ADAPTIVE_WINDOW: WindowPolicy = WindowPolicy::Adaptive {
+    min: 64,
+    max: 4096,
+    target: 512,
+};
+
+/// Demand shape of one measured cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandShape {
+    /// Every key the same paced volume — the historical cells.
+    Uniform,
+    /// Zipf-1.1 per-key volume under a seeded rank permutation.
+    Zipf,
+    /// Zipf-1.1 volume plus 90% home-affine issuers and profile
+    /// placement (the PR 8 hot-tenant story on the parallel runtime).
+    HotTenant,
+}
+
+impl DemandShape {
+    fn label(self) -> &'static str {
+        match self {
+            DemandShape::Uniform => "uniform",
+            DemandShape::Zipf => "zipf-1.1",
+            DemandShape::HotTenant => "hot-tenant",
+        }
+    }
+}
 
 /// One timed parallel cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +103,12 @@ pub struct ParallelScalingMeasurement {
     /// `"threaded"` (one OS thread per shard) or `"seq"` (round-robin
     /// driver, uncontended busy timing).
     pub mode: &'static str,
+    /// Demand shape label (`"uniform"`, `"zipf-1.1"`, `"hot-tenant"`).
+    pub demand: &'static str,
+    /// Shard map label (`"modulo"`, `"balanced"`).
+    pub map: &'static str,
+    /// Window policy label (`"fixed"`, `"adaptive"`).
+    pub window: &'static str,
     /// Key-space size.
     pub keys: u32,
     /// Node count.
@@ -59,6 +121,8 @@ pub struct ParallelScalingMeasurement {
     pub windows: u64,
     /// Per-window max shard events, summed — the critical path.
     pub critical_path_events: u64,
+    /// Max/mean per-shard event counts (1.0 = perfectly balanced).
+    pub imbalance: f64,
     /// The shard-invariance witness.
     pub grant_digest: u64,
     /// Wall-clock seconds for the whole run.
@@ -86,33 +150,121 @@ impl ParallelScalingMeasurement {
     }
 }
 
-fn from_report(
-    r: &ParallelReport,
-    mode: &'static str,
-    keys: u32,
-    n: usize,
-) -> ParallelScalingMeasurement {
+/// Full cell specification for [`measure_cell`].
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Node count (complete binary tree).
+    pub n: usize,
+    /// Key-space size.
+    pub keys: u32,
+    /// Paced rounds per key.
+    pub rounds: u64,
+    /// Shard engines.
+    pub shards: usize,
+    /// One OS thread per shard, or the round-robin driver.
+    pub threads: bool,
+    /// Demand shape.
+    pub shape: DemandShape,
+    /// Demand-balanced LPT shard map instead of `key % K`.
+    pub balanced: bool,
+    /// [`ADAPTIVE_WINDOW`] instead of the fixed 64-tick window.
+    pub adaptive: bool,
+}
+
+impl Cell {
+    /// The historical uniform cell at this shard count/driver.
+    pub fn uniform(n: usize, keys: u32, rounds: u64, shards: usize, threads: bool) -> Self {
+        Cell {
+            n,
+            keys,
+            rounds,
+            shards,
+            threads,
+            shape: DemandShape::Uniform,
+            balanced: false,
+            adaptive: false,
+        }
+    }
+
+    fn demand(&self) -> PacedKeyDemand {
+        match self.shape {
+            DemandShape::Uniform => PacedKeyDemand::new(self.keys, self.n, 60, 2, self.rounds, 42),
+            DemandShape::Zipf => {
+                PacedKeyDemand::new(self.keys, self.n, 60, 2, self.rounds, SKEW_SEED)
+                    .with_load(KeyLoad::Zipf { exponent: 1.1 })
+            }
+            DemandShape::HotTenant => {
+                PacedKeyDemand::new(self.keys, self.n, 60, 2, self.rounds, SKEW_SEED)
+                    .with_load(KeyLoad::Zipf { exponent: 1.1 })
+                    .with_home_affinity(0.9)
+            }
+        }
+    }
+}
+
+fn from_report(r: &ParallelReport, cell: &Cell) -> ParallelScalingMeasurement {
     ParallelScalingMeasurement {
         shards: r.shards,
-        mode,
-        keys,
-        n,
+        mode: if cell.threads { "threaded" } else { "seq" },
+        demand: cell.shape.label(),
+        map: if cell.balanced { "balanced" } else { "modulo" },
+        window: if cell.adaptive { "adaptive" } else { "fixed" },
+        keys: cell.keys,
+        n: cell.n,
         events: r.events,
         grants: r.grants,
         windows: r.windows,
         critical_path_events: r.critical_path_events,
+        imbalance: r.imbalance(),
         grant_digest: r.grant_digest,
         elapsed_secs: (r.wall_nanos as f64 / 1e9).max(f64::MIN_POSITIVE),
         busy_critical_secs: (r.busy_critical_nanos as f64 / 1e9).max(f64::MIN_POSITIVE),
     }
 }
 
-/// Times one parallel cell on a complete binary tree of `n` nodes.
+/// Times one parallel cell on a complete binary tree.
 ///
 /// # Panics
 ///
 /// Panics if the run starves a request or violates per-key safety —
 /// the sweep never reports throughput for a broken run.
+pub fn measure_cell(cell: &Cell) -> ParallelScalingMeasurement {
+    let tree = Tree::kary(cell.n, 2);
+    let demand = cell.demand();
+    let shard_map = if cell.balanced {
+        ShardMap::balanced(demand.demand_profile())
+    } else {
+        ShardMap::Modulo
+    };
+    let placement = match cell.shape {
+        DemandShape::HotTenant => Placement::Profile(Arc::new(demand.hub_profile())),
+        _ => Placement::Modulo,
+    };
+    let report = ParallelEngine::new(
+        &tree,
+        demand,
+        ParallelConfig {
+            shards: cell.shards,
+            shard_map,
+            threads: cell.threads,
+            window: if cell.adaptive {
+                ADAPTIVE_WINDOW
+            } else {
+                WindowPolicy::Fixed(64)
+            },
+            hold: Time(2),
+            placement,
+            ..ParallelConfig::default()
+        },
+    )
+    .run();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert_eq!(report.starved, 0, "paced run must serve every request");
+    from_report(&report, cell)
+}
+
+/// Times one historical uniform cell (modulo map, fixed window) — the
+/// shape every pre-existing caller and pinned number uses.
 pub fn measure(
     n: usize,
     keys: u32,
@@ -120,36 +272,41 @@ pub fn measure(
     shards: usize,
     threads: bool,
 ) -> ParallelScalingMeasurement {
-    let tree = Tree::kary(n, 2);
-    let demand = PacedKeyDemand::new(keys, n, 60, 2, rounds, 42);
-    let report = ParallelEngine::new(
-        &tree,
-        demand,
-        ParallelConfig {
-            shards,
-            threads,
-            window: 64,
-            hold: Time(2),
-            ..ParallelConfig::default()
-        },
-    )
-    .run();
-    assert!(report.violation.is_none(), "{:?}", report.violation);
-    assert_eq!(report.starved, 0, "paced run must serve every request");
-    from_report(&report, if threads { "threaded" } else { "seq" }, keys, n)
+    measure_cell(&Cell::uniform(n, keys, rounds, shards, threads))
 }
 
-/// The sweep as a repro table: shard count vs events/s (wall and
-/// critical-path), digest-checked against `K = 1` on every row.
+/// Appends one measured row to the `ext_par` table.
+fn push_row(table: &mut Table, m: &ParallelScalingMeasurement) {
+    table.row(&[
+        m.shards.to_string(),
+        m.mode.to_string(),
+        m.demand.to_string(),
+        m.map.to_string(),
+        m.events.to_string(),
+        m.grants.to_string(),
+        m.windows.to_string(),
+        format!("{:.2}", m.imbalance),
+        format!("{:.2}x", m.potential_speedup()),
+        format!("{:016x}", m.grant_digest),
+    ]);
+}
+
+/// The sweep as a repro table: the uniform shard-count sweep, then the
+/// skew story — zipf-1.1 and hot-tenant cells at 8 shards under both
+/// shard maps. Digest-checked within every demand shape (the digest
+/// *does* differ across shapes: they are different workloads).
 pub fn run(n: usize, keys: u32, rounds: u64) -> Table {
     let mut table = Table::new(
-        "ext_par — parallel tick-barrier scaling (shards × one paced demand, digest-checked)",
+        "ext_par — parallel tick-barrier scaling (uniform sweep + skew cells, digest-checked)",
         &[
             "shards",
             "mode",
+            "demand",
+            "map",
             "events",
             "grants",
             "windows",
+            "imbalance",
             "potential speedup",
             "digest",
         ],
@@ -159,24 +316,43 @@ pub fn run(n: usize, keys: u32, rounds: u64) -> Table {
         let m = measure(n, keys, rounds, shards, false);
         let base = *base_digest.get_or_insert(m.grant_digest);
         assert_eq!(m.grant_digest, base, "digest moved at K={shards}");
-        table.row(&[
-            shards.to_string(),
-            m.mode.to_string(),
-            m.events.to_string(),
-            m.grants.to_string(),
-            m.windows.to_string(),
-            format!("{:.2}x", m.potential_speedup()),
-            format!("{:016x}", m.grant_digest),
-        ]);
+        push_row(&mut table, &m);
+    }
+    // The skewed cells: one modulo/balanced pair per shape, at the
+    // shard count where imbalance hurts most.
+    for shape in [DemandShape::Zipf, DemandShape::HotTenant] {
+        let mut shape_digest = None;
+        for balanced in [false, true] {
+            let m = measure_cell(&Cell {
+                n,
+                keys: SKEW_KEYS,
+                rounds: rounds * 8,
+                shards: 8,
+                threads: false,
+                shape,
+                balanced,
+                adaptive: false,
+            });
+            let base = *shape_digest.get_or_insert(m.grant_digest);
+            assert_eq!(m.grant_digest, base, "digest moved across maps ({shape:?})");
+            push_row(&mut table, &m);
+        }
     }
     table
 }
 
-/// The `parallel` bench cells: shards ∈ {1, 2, 4, 8} over a 4096-key ×
-/// 127-node paced demand, each shard count timed under both drivers —
-/// sequential (clean critical-path busy numbers) and threaded (real
-/// barrier rendezvous cost on this host). Digests are asserted
-/// identical across every cell.
+/// The `parallel` bench cells:
+///
+/// 1. the historical uniform sweep — shards ∈ {1, 2, 4, 8} over a
+///    4096-key × 127-node paced demand, each shard count timed under
+///    both drivers (sequential for clean critical-path busy numbers,
+///    threaded for the real rendezvous cost on this host);
+/// 2. an adaptive-window variant of the uniform 1-shard and 8-shard
+///    threaded cells (the barrier-amortization story);
+/// 3. the skew cells — zipf-1.1 and hot-tenant 64-key × 127-node at 8
+///    shards, modulo vs balanced maps.
+///
+/// Digests are asserted identical across every cell of a demand shape.
 pub fn bench_suite() -> Vec<ParallelScalingMeasurement> {
     let (n, keys, rounds) = (127usize, 4_096u32, 10u64);
     let mut results = Vec::new();
@@ -187,19 +363,63 @@ pub fn bench_suite() -> Vec<ParallelScalingMeasurement> {
             let m = measure(n, keys, rounds, shards, threads);
             let base = *base_digest.get_or_insert(m.grant_digest);
             assert_eq!(m.grant_digest, base, "digest moved at K={shards}");
-            eprintln!(
-                "parallel_scaling: shards={:<2} {:>8} {:>12.0} wall events/s \
-                 {:>12.0} critical-path events/s ({:.2}x potential)",
-                m.shards,
-                m.mode,
-                m.wall_events_per_sec(),
-                m.critical_events_per_sec(),
-                m.potential_speedup(),
-            );
+            log_cell(&m);
+            results.push(m);
+        }
+    }
+    for shards in [1usize, 8] {
+        let cell = Cell {
+            adaptive: true,
+            ..Cell::uniform(n, keys, rounds, shards, true)
+        };
+        let _warmup = measure_cell(&Cell { rounds: 1, ..cell });
+        let m = measure_cell(&cell);
+        assert_eq!(
+            Some(m.grant_digest),
+            base_digest,
+            "adaptive windows moved the digest"
+        );
+        log_cell(&m);
+        results.push(m);
+    }
+    for shape in [DemandShape::Zipf, DemandShape::HotTenant] {
+        let mut shape_digest = None;
+        for balanced in [false, true] {
+            let cell = Cell {
+                n,
+                keys: SKEW_KEYS,
+                rounds: 200,
+                shards: 8,
+                threads: false,
+                shape,
+                balanced,
+                adaptive: false,
+            };
+            let _warmup = measure_cell(&Cell { rounds: 2, ..cell });
+            let m = measure_cell(&cell);
+            let base = *shape_digest.get_or_insert(m.grant_digest);
+            assert_eq!(m.grant_digest, base, "digest moved across maps ({shape:?})");
+            log_cell(&m);
             results.push(m);
         }
     }
     results
+}
+
+fn log_cell(m: &ParallelScalingMeasurement) {
+    eprintln!(
+        "parallel_scaling: shards={:<2} {:>8} {:>10} {:>8} {:>8} {:>12.0} wall events/s \
+         {:>12.0} critical-path events/s (imbalance {:.2}, {:.2}x potential)",
+        m.shards,
+        m.mode,
+        m.demand,
+        m.map,
+        m.window,
+        m.wall_events_per_sec(),
+        m.critical_events_per_sec(),
+        m.imbalance,
+        m.potential_speedup(),
+    );
 }
 
 /// Serializes measurements as a JSON array (hand-rolled, like the other
@@ -208,20 +428,26 @@ pub fn results_json(results: &[ParallelScalingMeasurement]) -> String {
     let mut out = String::from("[\n");
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"shards\": {}, \"mode\": \"{}\", \"keys\": {}, \"n\": {}, \
+            "    {{\"shards\": {}, \"mode\": \"{}\", \"demand\": \"{}\", \
+             \"map\": \"{}\", \"window\": \"{}\", \"keys\": {}, \"n\": {}, \
              \"events\": {}, \"grants\": {}, \"windows\": {}, \
-             \"critical_path_events\": {}, \"grant_digest\": \"{:016x}\", \
+             \"critical_path_events\": {}, \"imbalance\": {:.3}, \
+             \"grant_digest\": \"{:016x}\", \
              \"elapsed_secs\": {:.6}, \"busy_critical_secs\": {:.6}, \
              \"wall_events_per_sec\": {:.0}, \"critical_events_per_sec\": {:.0}, \
              \"potential_speedup\": {:.3}}}{}\n",
             m.shards,
             m.mode,
+            m.demand,
+            m.map,
+            m.window,
             m.keys,
             m.n,
             m.events,
             m.grants,
             m.windows,
             m.critical_path_events,
+            m.imbalance,
             m.grant_digest,
             m.elapsed_secs,
             m.busy_critical_secs,
@@ -256,7 +482,7 @@ pub fn run_mega() -> Table {
             ParallelConfig {
                 shards,
                 threads,
-                window: 256,
+                window: WindowPolicy::Fixed(256),
                 hold: Time(2),
                 ..ParallelConfig::default()
             },
@@ -289,15 +515,22 @@ mod tests {
     #[test]
     fn sweep_rows_cover_every_shard_count_and_agree() {
         let table = run(31, 64, 2);
-        assert_eq!(table.len(), 4, "one row per shard count");
-        // All four rows carry the same digest (run() asserts it too —
-        // this pins the digest actually landing in the table).
-        let digests: Vec<String> = (0..4).map(|r| table.cell(r, 6).to_string()).collect();
+        assert_eq!(table.len(), 8, "uniform sweep plus two map pairs");
+        // The four uniform rows carry the same digest (run() asserts it
+        // too — this pins the digest actually landing in the table).
+        let digests: Vec<String> = (0..4).map(|r| table.cell(r, 9).to_string()).collect();
         assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
-        // Grants identical across rows, and windows recorded.
-        let grants: Vec<u64> = (0..4).map(|r| table.cell(r, 3).parse().unwrap()).collect();
+        // Grants identical across uniform rows, and windows recorded.
+        let grants: Vec<u64> = (0..4).map(|r| table.cell(r, 5).parse().unwrap()).collect();
         assert!(grants.windows(2).all(|w| w[0] == w[1]));
-        assert!(table.cell(0, 4).parse::<u64>().unwrap() > 0);
+        assert!(table.cell(0, 6).parse::<u64>().unwrap() > 0);
+        // Each skewed pair agrees across maps.
+        assert_eq!(table.cell(4, 9), table.cell(5, 9), "zipf maps diverged");
+        assert_eq!(
+            table.cell(6, 9),
+            table.cell(7, 9),
+            "hot-tenant maps diverged"
+        );
     }
 
     #[test]
@@ -308,6 +541,7 @@ mod tests {
         assert!(seq.critical_events_per_sec() > 0.0);
         assert!(seq.potential_speedup() >= 1.0);
         assert!(seq.critical_path_events <= seq.events);
+        assert!(seq.imbalance >= 1.0);
         let thr = measure(31, 128, 2, 4, true);
         assert_eq!(
             thr.grant_digest, seq.grant_digest,
@@ -317,10 +551,46 @@ mod tests {
     }
 
     #[test]
+    fn balanced_map_beats_modulo_on_the_skewed_cell() {
+        // The tentpole claim at test scale: same digest, materially
+        // better load spread (the bench suite guards the full ≥ 1.5×
+        // at the 127-node × 200-round scale).
+        let cell = |balanced| {
+            measure_cell(&Cell {
+                n: 31,
+                keys: SKEW_KEYS,
+                rounds: 24,
+                shards: 8,
+                threads: false,
+                shape: DemandShape::Zipf,
+                balanced,
+                adaptive: false,
+            })
+        };
+        let modulo = cell(false);
+        let balanced = cell(true);
+        assert_eq!(balanced.grant_digest, modulo.grant_digest);
+        assert_eq!(balanced.events, modulo.events);
+        assert!(
+            balanced.imbalance < modulo.imbalance,
+            "LPT must spread the hot keys: balanced {:.2} vs modulo {:.2}",
+            balanced.imbalance,
+            modulo.imbalance
+        );
+        assert!(
+            balanced.potential_speedup() > modulo.potential_speedup(),
+            "balanced {:.2}x vs modulo {:.2}x",
+            balanced.potential_speedup(),
+            modulo.potential_speedup()
+        );
+    }
+
+    #[test]
     fn json_is_well_formed_enough() {
         let m = measure(15, 16, 1, 2, false);
         let json = results_json(&[m.clone(), m]);
         assert_eq!(json.matches("\"shards\"").count(), 2);
+        assert_eq!(json.matches("\"imbalance\"").count(), 2);
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -308,7 +308,13 @@ pub fn run_quorum_cell(n: usize, rounds: u32, seed: u64) -> SkewMeasurement {
 /// The six DAG cells of one `(keys, skew)` grid point, in table order:
 /// think × {off, on}, affinity/modulo × {off, on}, affinity/profile ×
 /// {off, on}.
-pub fn grid_point(n: usize, keys: u32, skew: &'static str, dist: KeyDist, rounds: u32) -> Vec<SkewMeasurement> {
+pub fn grid_point(
+    n: usize,
+    keys: u32,
+    skew: &'static str,
+    dist: KeyDist,
+    rounds: u32,
+) -> Vec<SkewMeasurement> {
     let mut out = Vec::with_capacity(6);
     for (load, hubs) in [
         (Load::Think, Hubs::Modulo),
@@ -316,7 +322,9 @@ pub fn grid_point(n: usize, keys: u32, skew: &'static str, dist: KeyDist, rounds
         (Load::Affinity, Hubs::Profile),
     ] {
         for lease in [LeaseConfig::OFF, LEASE] {
-            out.push(run_dag_cell(n, keys, skew, dist, load, hubs, lease, rounds, 42));
+            out.push(run_dag_cell(
+                n, keys, skew, dist, load, hubs, lease, rounds, 42,
+            ));
         }
     }
     out
@@ -449,7 +457,10 @@ impl SkewGap {
     /// stack, in percent — placement + leases must not tax unskewed
     /// local demand either.
     pub fn affinity_uniform_regression_pct(&self) -> f64 {
-        regression(self.affinity_uniform_off_mean, self.affinity_uniform_on_mean)
+        regression(
+            self.affinity_uniform_off_mean,
+            self.affinity_uniform_on_mean,
+        )
     }
 }
 
@@ -696,7 +707,15 @@ mod tests {
         let dist = KeyDist::Zipf { exponent: 1.1 };
         let cell = |lease| {
             run_dag_cell(
-                15, 16, "zipf-1.1", dist, Load::Affinity, Hubs::Modulo, lease, 40, 7,
+                15,
+                16,
+                "zipf-1.1",
+                dist,
+                Load::Affinity,
+                Hubs::Modulo,
+                lease,
+                40,
+                7,
             )
         };
         let off = cell(LeaseConfig::OFF);
@@ -719,7 +738,15 @@ mod tests {
         let dist = KeyDist::Zipf { exponent: 1.1 };
         let cell = |hubs| {
             run_dag_cell(
-                15, 16, "zipf-1.1", dist, Load::Affinity, hubs, LeaseConfig::OFF, 1, 11,
+                15,
+                16,
+                "zipf-1.1",
+                dist,
+                Load::Affinity,
+                hubs,
+                LeaseConfig::OFF,
+                1,
+                11,
             )
         };
         let modulo = cell(Hubs::Modulo);

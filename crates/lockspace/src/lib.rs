@@ -79,7 +79,7 @@ mod table;
 pub mod transport;
 
 pub use envelope::{Envelope, BATCH_HEADER_BYTES};
-pub use parallel::{ParallelConfig, ParallelEngine, ParallelReport};
+pub use parallel::{ParallelConfig, ParallelEngine, ParallelReport, ShardMap, WindowPolicy};
 pub use session::{ScriptedClient, SessionConfig, SessionMonitor};
 pub use space::{
     LeaseConfig, LockSpace, LockSpaceConfig, LockSpaceMonitor, LockSpaceNode, OrientationCache,

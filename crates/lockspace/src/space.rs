@@ -740,7 +740,10 @@ impl LockSpace {
                 assert!(h.index() < n, "hub {h} out of range for {n} nodes");
             }
             Placement::Profile(p) => {
-                assert!(!p.is_empty(), "placement profile must name at least one hub");
+                assert!(
+                    !p.is_empty(),
+                    "placement profile must name at least one hub"
+                );
                 for h in p.iter() {
                     assert!(h.index() < n, "profile hub {h} out of range for {n} nodes");
                 }

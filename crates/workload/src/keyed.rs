@@ -373,7 +373,9 @@ impl KeyedAffinity {
     /// `Placement::Profile`-style hub assignment: key `k`'s initial
     /// sink is its home node, where most of its requests will be born.
     pub fn hub_profile(&self) -> Vec<NodeId> {
-        (0..self.sampler.keys()).map(|k| self.home(LockId(k))).collect()
+        (0..self.sampler.keys())
+            .map(|k| self.home(LockId(k)))
+            .collect()
     }
 
     /// `key`'s weight under the global distribution (unnormalized).
@@ -461,9 +463,7 @@ impl KeyedWorkload for KeyedAffinity {
             local_prob,
             think: self.think,
             remaining: self.rounds_for(node),
-            offset: Time(
-                u64::from(node.0) % self.stagger + u64::from(node.0) * self.spacing,
-            ),
+            offset: Time(u64::from(node.0) % self.stagger + u64::from(node.0) * self.spacing),
         })
     }
 }

@@ -51,7 +51,7 @@ pub mod script;
 pub use keyed::{
     KeyDist, KeySampler, KeyStream, KeyedAffinity, KeyedSchedule, KeyedThinkTime, KeyedWorkload,
 };
-pub use paced::PacedKeyDemand;
+pub use paced::{KeyLoad, PacedKeyDemand};
 pub use script::{AcquireMode, Outcome, Script, SessionOp, SessionStep};
 
 use dmx_simnet::{LatencyModel, Time, Workload};

@@ -9,8 +9,8 @@
 //! engines must not change any key's demand.
 //!
 //! [`PacedKeyDemand`] inverts the axes: demand is **per key** and
-//! **open loop**. Every key receives `rounds` bursts of `burst`
-//! back-to-back requests; round `r` of key `k` starts at
+//! **open loop**. Every key receives `rounds` bursts of back-to-back
+//! requests; round `r` of key `k` starts at
 //! `r * spacing + jitter(seed, k, r)` and each request in the burst
 //! picks its issuing node by a counter-based hash of `(seed, k, r, j)`.
 //! Nothing is drawn from a shared RNG stream — every value is a pure
@@ -20,6 +20,29 @@
 //! and arrivals for one key are strictly increasing in time, which
 //! lets an engine chain them lazily (schedule arrival `i + 1` while
 //! processing arrival `i`).
+//!
+//! # Demand shapes
+//!
+//! The default load is uniform: every key's burst is `burst` requests
+//! wide. [`PacedKeyDemand::with_load`] installs a [`KeyLoad`] instead:
+//! under [`KeyLoad::Zipf`] a key's burst width scales with its zipf
+//! popularity, so hot keys are *denser* over the same horizon (every
+//! key still runs `rounds` rounds — scaling rounds would leave a
+//! hot-keys-only serial tail, which is a different and less honest
+//! skew). Popularity attaches to a key through a seeded Feistel
+//! *rank permutation*: key ids are not popularity-ordered (real key
+//! spaces never are), so which ids are hot is a pure function of the
+//! seed — and a `key % K` shard map can collide several hot keys onto
+//! one shard, which is exactly the imbalance the parallel runtime's
+//! `Balanced` shard map exists to fix.
+//!
+//! [`PacedKeyDemand::with_home_affinity`] additionally biases each
+//! key's issuing node toward a per-key *home* (the hot-tenant shape of
+//! [`KeyedAffinity`](crate::KeyedAffinity), re-expressed as pinned
+//! per-key coordinates); [`PacedKeyDemand::hub_profile`] names those
+//! homes for skew-aware placement, and
+//! [`PacedKeyDemand::demand_profile`] exports per-key request counts —
+//! the weights a demand-balanced shard map bin-packs.
 
 use dmx_core::LockId;
 use dmx_simnet::Time;
@@ -35,27 +58,75 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Open-loop, per-key pinned demand: `rounds` jittered bursts of
-/// `burst` requests for every key in `0..keys`, over `nodes` issuing
-/// nodes. See the [module docs](self) for why the parallel runtime
-/// needs this shape.
+/// A seeded pseudo-random bijection on `0..keys`: 4-round Feistel over
+/// the smallest even-split bit domain covering the key space, with
+/// cycle-walking for non-power-of-two sizes (walking a permutation from
+/// an in-domain point always terminates on an in-domain point). Pure in
+/// `(key, keys, seed)`.
+fn permute(key: u32, keys: u32, seed: u64) -> u32 {
+    debug_assert!(key < keys);
+    let bits = 32 - keys.saturating_sub(1).leading_zeros();
+    let w = bits.div_ceil(2).max(1);
+    let mask: u32 = (1 << w) - 1;
+    let mut x = key;
+    loop {
+        let (mut l, mut r) = (x >> w, x & mask);
+        for round in 0..4u64 {
+            let f = (mix(seed ^ (round << 56) ^ u64::from(r)) as u32) & mask;
+            (l, r) = (r, l ^ f);
+        }
+        x = (l << w) | r;
+        if x < keys {
+            return x;
+        }
+    }
+}
+
+/// How per-key demand volume is distributed over the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyLoad {
+    /// Every key's burst is the configured width — the original paced
+    /// shape, and the default.
+    Uniform,
+    /// A key of zipf *rank* `r` (rank = seeded permutation of the key
+    /// id) gets a burst scaled by `(r + 1)^-exponent`, normalized so
+    /// the total request volume stays `≈ keys × burst × rounds`. Rank
+    /// 0's burst is the widest; [`PacedKeyDemand::with_load`] rejects
+    /// configurations where it would not fit inside `spacing`.
+    Zipf {
+        /// The zipf exponent (must be finite and positive).
+        exponent: f64,
+    },
+}
+
+/// Open-loop, per-key pinned demand: `rounds` jittered bursts for every
+/// key in `0..keys`, over `nodes` issuing nodes. See the
+/// [module docs](self) for why the parallel runtime needs this shape
+/// and how [`KeyLoad`] skews it.
 ///
 /// # Examples
 ///
 /// ```
 /// use dmx_core::LockId;
-/// use dmx_workload::PacedKeyDemand;
+/// use dmx_workload::{KeyLoad, PacedKeyDemand};
 ///
 /// let d = PacedKeyDemand::new(16, 8, 100, 2, 3, 42);
 /// let arrivals: Vec<_> = d.arrivals(LockId(5)).collect();
-/// assert_eq!(arrivals.len() as u64, d.requests_per_key());
+/// assert_eq!(arrivals.len() as u64, d.requests_for(LockId(5)));
 /// // Strictly increasing per key, every issuer in range.
 /// for pair in arrivals.windows(2) {
 ///     assert!(pair[0].0 < pair[1].0);
 /// }
 /// # assert!(arrivals.iter().all(|&(_, n)| n.index() < 8));
+///
+/// // A zipf load skews per-key volume; the profile exports it.
+/// let z = PacedKeyDemand::new(16, 8, 100, 2, 3, 42)
+///     .with_load(KeyLoad::Zipf { exponent: 1.1 });
+/// let profile = z.demand_profile();
+/// assert_eq!(profile.len(), 16);
+/// assert!(profile.iter().max() > profile.iter().min());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PacedKeyDemand {
     keys: u32,
     nodes: usize,
@@ -63,6 +134,13 @@ pub struct PacedKeyDemand {
     burst: u64,
     rounds: u64,
     seed: u64,
+    load: KeyLoad,
+    /// Precomputed `Σ (r + 1)^-exponent` over all ranks (1.0 per key
+    /// under [`KeyLoad::Uniform`], where it is never read).
+    total_weight: f64,
+    /// Probability that an arrival is issued by its key's home node
+    /// (0 = the unbiased default; the uniform-issuer path is untouched).
+    affinity: f64,
 }
 
 impl PacedKeyDemand {
@@ -89,7 +167,59 @@ impl PacedKeyDemand {
             burst,
             rounds,
             seed,
+            load: KeyLoad::Uniform,
+            total_weight: keys as f64,
+            affinity: 0.0,
         }
+    }
+
+    /// Installs a [`KeyLoad`]; under [`KeyLoad::Uniform`] every stream
+    /// is bit-identical to the unadorned constructor's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive zipf exponent, or when
+    /// the hottest rank's scaled burst would not fit strictly inside
+    /// `spacing` (per-key arrivals would stop increasing).
+    pub fn with_load(mut self, load: KeyLoad) -> Self {
+        if let KeyLoad::Zipf { exponent } = load {
+            assert!(
+                exponent.is_finite() && exponent > 0.0,
+                "zipf exponent must be finite and positive, got {exponent}"
+            );
+            self.total_weight = (0..self.keys)
+                .map(|r| f64::from(r + 1).powf(-exponent))
+                .sum();
+            self.load = load;
+            let widest = self.burst_for_rank(0);
+            assert!(
+                widest < self.spacing,
+                "hottest key's burst ({widest}) must fit strictly inside \
+                 spacing ({}); widen spacing or shrink burst",
+                self.spacing
+            );
+        } else {
+            self.load = load;
+            self.total_weight = self.keys as f64;
+        }
+        self
+    }
+
+    /// Issues `affinity` of every key's demand from the key's
+    /// [`home`](PacedKeyDemand::home) node — the hot-tenant shape. 0
+    /// (the default) leaves issuers globally uniform, bit-identical to
+    /// the unbiased stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `affinity` is outside `[0, 1]`.
+    pub fn with_home_affinity(mut self, affinity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&affinity),
+            "home affinity is a probability; got {affinity}"
+        );
+        self.affinity = affinity;
+        self
     }
 
     /// Number of keys in the demand (`0..keys`).
@@ -102,14 +232,66 @@ impl PacedKeyDemand {
         self.nodes
     }
 
-    /// Requests every key receives over the whole run.
-    pub fn requests_per_key(&self) -> u64 {
-        self.rounds * self.burst
+    /// `key`'s zipf rank under the seeded permutation (the identity for
+    /// [`KeyLoad::Uniform`]). Rank 0 is the hottest.
+    pub fn rank_of(&self, key: LockId) -> u32 {
+        match self.load {
+            KeyLoad::Uniform => key.0,
+            KeyLoad::Zipf { .. } => permute(key.0, self.keys, self.seed),
+        }
+    }
+
+    /// Burst width for a given rank.
+    fn burst_for_rank(&self, rank: u32) -> u64 {
+        match self.load {
+            KeyLoad::Uniform => self.burst,
+            KeyLoad::Zipf { exponent } => {
+                let weight = f64::from(rank + 1).powf(-exponent);
+                let scaled =
+                    (self.burst as f64 * self.keys as f64 * weight / self.total_weight).round();
+                (scaled as u64).max(1)
+            }
+        }
+    }
+
+    /// `key`'s burst width — `burst` uniform, rank-scaled under zipf.
+    pub fn burst_for(&self, key: LockId) -> u64 {
+        self.burst_for_rank(self.rank_of(key))
+    }
+
+    /// Requests `key` receives over the whole run.
+    pub fn requests_for(&self, key: LockId) -> u64 {
+        self.rounds * self.burst_for(key)
     }
 
     /// Total requests across the key space.
     pub fn total_requests(&self) -> u64 {
-        self.requests_per_key() * self.keys as u64
+        (0..self.keys).map(|k| self.requests_for(LockId(k))).sum()
+    }
+
+    /// Per-key request counts — the demand weights a balanced shard map
+    /// bin-packs (the paced analogue of
+    /// [`KeyedAffinity::hub_profile`](crate::KeyedAffinity::hub_profile)'s
+    /// per-key profile machinery).
+    pub fn demand_profile(&self) -> Vec<u64> {
+        (0..self.keys)
+            .map(|k| self.requests_for(LockId(k)))
+            .collect()
+    }
+
+    /// `key`'s home node — where
+    /// [`with_home_affinity`](PacedKeyDemand::with_home_affinity)'s
+    /// share of its demand originates. A pure key hash, deliberately
+    /// unrelated to `key % n` (like
+    /// [`KeyedAffinity::home`](crate::KeyedAffinity::home)).
+    pub fn home(&self, key: LockId) -> NodeId {
+        NodeId((mix(0x486F_6D65 ^ (u64::from(key.0) + 1)) % self.nodes as u64) as u32)
+    }
+
+    /// The per-key hottest-node map, for `Placement::Profile`-style hub
+    /// seeding on hot-tenant cells.
+    pub fn hub_profile(&self) -> Vec<NodeId> {
+        (0..self.keys).map(|k| self.home(LockId(k))).collect()
     }
 
     /// Exclusive upper bound on arrival times: every arrival of every
@@ -118,32 +300,41 @@ impl PacedKeyDemand {
         Time(self.rounds * self.spacing)
     }
 
-    /// The `i`-th arrival for `key` (0-based over `rounds * burst`),
-    /// as `(time, issuing node)`. Pure in `(self, key, i)`.
+    /// The `i`-th arrival for `key` (0-based over
+    /// [`requests_for`](PacedKeyDemand::requests_for)), as `(time,
+    /// issuing node)`. Pure in `(self, key, i)`.
     ///
     /// Round `r`'s burst starts at `r * spacing` plus a per-`(key,
-    /// round)` jitter bounded by `spacing - burst`, so consecutive
-    /// arrivals of one key are strictly increasing: request `j` of a
-    /// burst lands `j` ticks after its start, and the latest possible
-    /// burst end (`r * spacing + spacing - burst - 1 + burst - 1`)
-    /// stays short of round `r + 1`'s earliest start.
+    /// round)` jitter bounded by `spacing - burst_for(key)`, so
+    /// consecutive arrivals of one key are strictly increasing: request
+    /// `j` of a burst lands `j` ticks after its start, and the latest
+    /// possible burst end stays short of round `r + 1`'s earliest
+    /// start.
     pub fn arrival(&self, key: LockId, i: u64) -> (Time, NodeId) {
-        debug_assert!(i < self.requests_per_key());
-        let (r, j) = (i / self.burst, i % self.burst);
+        debug_assert!(i < self.requests_for(key));
+        let burst = self.burst_for(key);
+        let (r, j) = (i / burst, i % burst);
         let h = mix(self
             .seed
             .wrapping_add((key.0 as u64).wrapping_mul(0xA24B_AED4_963E_E407))
             .wrapping_add(r.wrapping_mul(0x9FB2_1C65_1E98_DF25)));
-        let jit_span = self.spacing - self.burst;
+        let jit_span = self.spacing - burst;
         let at = r * self.spacing + h % jit_span + j;
-        let node =
-            mix(h.wrapping_add((j + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93))) as usize % self.nodes;
+        let hn = mix(h.wrapping_add((j + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93)));
+        let node = if self.affinity > 0.0
+            && ((mix(hn ^ 0xAFF1_7E5A_17ED_0042) >> 11) as f64)
+                < self.affinity * (1u64 << 53) as f64
+        {
+            self.home(key).index()
+        } else {
+            hn as usize % self.nodes
+        };
         (Time(at), NodeId::from_index(node))
     }
 
     /// All arrivals for `key`, in time order.
     pub fn arrivals(&self, key: LockId) -> impl Iterator<Item = (Time, NodeId)> + '_ {
-        (0..self.requests_per_key()).map(move |i| self.arrival(key, i))
+        (0..self.requests_for(key)).map(move |i| self.arrival(key, i))
     }
 }
 
@@ -156,7 +347,7 @@ mod tests {
         let d = PacedKeyDemand::new(37, 11, 50, 4, 6, 0xFEED);
         for k in 0..37 {
             let arrivals: Vec<_> = d.arrivals(LockId(k)).collect();
-            assert_eq!(arrivals.len() as u64, d.requests_per_key());
+            assert_eq!(arrivals.len() as u64, d.requests_for(LockId(k)));
             for pair in arrivals.windows(2) {
                 assert!(pair[0].0 < pair[1].0, "key {k}: {:?}", pair);
             }
@@ -196,8 +387,108 @@ mod tests {
     }
 
     #[test]
+    fn uniform_load_is_bit_identical_to_the_plain_constructor() {
+        let plain = PacedKeyDemand::new(64, 8, 100, 3, 4, 9);
+        let loaded = PacedKeyDemand::new(64, 8, 100, 3, 4, 9)
+            .with_load(KeyLoad::Uniform)
+            .with_home_affinity(0.0);
+        for k in [0u32, 7, 63] {
+            assert_eq!(
+                plain.arrivals(LockId(k)).collect::<Vec<_>>(),
+                loaded.arrivals(LockId(k)).collect::<Vec<_>>(),
+                "key {k} stream moved"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_rank_permutation_is_a_seeded_bijection() {
+        for keys in [1u32, 7, 64, 100, 4096] {
+            let mut seen = vec![false; keys as usize];
+            for k in 0..keys {
+                let r = permute(k, keys, 42);
+                assert!(r < keys, "rank {r} out of range for {keys} keys");
+                assert!(!seen[r as usize], "rank {r} assigned twice ({keys} keys)");
+                seen[r as usize] = true;
+            }
+        }
+        // Seeds move the permutation.
+        let a: Vec<u32> = (0..64).map(|k| permute(k, 64, 1)).collect();
+        let b: Vec<u32> = (0..64).map(|k| permute(k, 64, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_load_skews_bursts_and_preserves_the_stream_contract() {
+        let d = PacedKeyDemand::new(64, 11, 200, 2, 5, 0xFEED)
+            .with_load(KeyLoad::Zipf { exponent: 1.1 });
+        let profile = d.demand_profile();
+        assert_eq!(profile.len(), 64);
+        let (min, max) = (profile.iter().min(), profile.iter().max());
+        assert!(max > min, "zipf must skew per-key volume: {profile:?}");
+        // The hottest rank's burst fits, total volume stays near keys ×
+        // burst × rounds, and every stream still increases strictly.
+        assert!(d.burst_for_rank(0) < 200);
+        let total = d.total_requests();
+        assert!(
+            (total as f64) > 0.8 * 64.0 * 2.0 * 5.0 && (total as f64) < 1.6 * 64.0 * 2.0 * 5.0,
+            "total volume drifted: {total}"
+        );
+        for k in 0..64 {
+            let arrivals: Vec<_> = d.arrivals(LockId(k)).collect();
+            assert_eq!(arrivals.len() as u64, d.requests_for(LockId(k)));
+            for pair in arrivals.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "key {k}: {:?}", pair);
+            }
+            assert!(arrivals.last().unwrap().0 < d.horizon());
+        }
+    }
+
+    #[test]
+    fn home_affinity_concentrates_issuers_without_moving_times() {
+        let base = PacedKeyDemand::new(16, 11, 100, 4, 8, 3);
+        let hot = base.with_home_affinity(0.9);
+        let mut at_home = 0u64;
+        let mut total = 0u64;
+        for k in 0..16 {
+            let key = LockId(k);
+            let home = hot.home(key);
+            for (i, ((tb, _), (th, nh))) in base.arrivals(key).zip(hot.arrivals(key)).enumerate() {
+                assert_eq!(tb, th, "key {k} arrival {i}: affinity moved a time");
+                total += 1;
+                at_home += u64::from(nh == home);
+            }
+        }
+        let share = at_home as f64 / total as f64;
+        assert!(
+            share > 0.75,
+            "0.9 affinity must concentrate issuers at home (got {share:.2})"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "spacing (3) must exceed burst (3)")]
     fn overlapping_rounds_are_rejected() {
         PacedKeyDemand::new(1, 1, 3, 3, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit strictly inside spacing")]
+    fn zipf_burst_overflowing_spacing_is_rejected() {
+        // 64 keys at exponent 1.1: rank 0 scales burst ~16×, far past
+        // a 10-tick spacing.
+        PacedKeyDemand::new(64, 4, 10, 2, 1, 0).with_load(KeyLoad::Zipf { exponent: 1.1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent must be finite and positive")]
+    fn bad_zipf_exponent_is_rejected() {
+        PacedKeyDemand::new(4, 4, 100, 2, 1, 0).with_load(KeyLoad::Zipf { exponent: -1.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "home affinity is a probability")]
+    fn bad_affinity_is_rejected() {
+        PacedKeyDemand::new(4, 4, 100, 2, 1, 0).with_home_affinity(1.5);
     }
 }

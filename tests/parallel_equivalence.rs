@@ -13,10 +13,10 @@
 
 use dagmutex::core::LockId;
 use dagmutex::lockspace::{LeaseConfig, Placement};
-use dagmutex::lockspace::{ParallelConfig, ParallelEngine, ParallelReport};
+use dagmutex::lockspace::{ParallelConfig, ParallelEngine, ParallelReport, ShardMap, WindowPolicy};
 use dagmutex::simnet::Time;
 use dagmutex::topology::{NodeId, Tree};
-use dagmutex::workload::PacedKeyDemand;
+use dagmutex::workload::{KeyLoad, PacedKeyDemand};
 use proptest::prelude::*;
 
 /// A random small-but-structured cell: tree shape, key space, demand
@@ -62,12 +62,12 @@ fn run(
     window: u64,
     threads: bool,
 ) -> ParallelReport {
-    ParallelEngine::new(
+    run_config(
         tree,
         demand,
         ParallelConfig {
             shards,
-            window,
+            window: WindowPolicy::Fixed(window),
             threads,
             hold,
             placement: placement.clone(),
@@ -75,7 +75,10 @@ fn run(
             ..ParallelConfig::default()
         },
     )
-    .run()
+}
+
+fn run_config(tree: &Tree, demand: PacedKeyDemand, config: ParallelConfig) -> ParallelReport {
+    ParallelEngine::new(tree, demand, config).run()
 }
 
 /// The deterministic face of a report: everything that must be
@@ -158,6 +161,106 @@ proptest! {
             prop_assert_eq!(report.lease_grants, base.lease_grants, "K={}", shards);
         }
     }
+
+    /// (e) Shard maps never change results: a demand-balanced LPT map
+    /// over the cell's own profile agrees with the modulo map on the
+    /// whole deterministic face, at K ∈ {1, 2, 4, 8}, threaded and
+    /// sequential — over *skewed* (zipf-1.1) demand, where the two maps
+    /// assign keys very differently.
+    #[test]
+    fn balanced_map_never_changes_per_key_outcomes(
+        (tree, demand, hold, placement) in skewed_cell(),
+    ) {
+        let base = run(&tree, demand, hold, &placement, 1, 64, false);
+        prop_assert!(base.violation.is_none(), "{:?}", base.violation);
+        prop_assert_eq!(base.starved, 0);
+        prop_assert_eq!(base.grants, demand.total_requests());
+        let profile = demand.demand_profile();
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [false, true] {
+                let report = run_config(&tree, demand, ParallelConfig {
+                    shards,
+                    shard_map: ShardMap::balanced(profile.clone()),
+                    threads,
+                    hold,
+                    placement: placement.clone(),
+                    record_grants: true,
+                    ..ParallelConfig::default()
+                });
+                prop_assert_eq!(
+                    face(&report), face(&base),
+                    "K={} threads={}", shards, threads
+                );
+            }
+        }
+    }
+
+    /// (f) Adaptive windows are invariant too: the controller changes
+    /// the round count, never the results — and the threaded driver
+    /// computes the identical width sequence (same `windows`, same
+    /// critical path) because widths derive from barrier-merged data.
+    #[test]
+    fn adaptive_windows_never_change_per_key_outcomes(
+        (tree, demand, hold, placement) in cell(),
+        min_pow in 0u32..4,
+        target in 1u64..64,
+    ) {
+        let min = 1u64 << min_pow;
+        let policy = WindowPolicy::Adaptive { min, max: min * 64, target };
+        let fixed = run(&tree, demand, hold, &placement, 4, 64, false);
+        let adaptive = |threads| run_config(&tree, demand, ParallelConfig {
+            shards: 4,
+            window: policy,
+            threads,
+            hold,
+            placement: placement.clone(),
+            record_grants: true,
+            ..ParallelConfig::default()
+        });
+        let seq = adaptive(false);
+        prop_assert_eq!(face(&seq), face(&fixed), "adaptive vs fixed results");
+        let thr = adaptive(true);
+        prop_assert_eq!(face(&thr), face(&seq));
+        prop_assert_eq!(thr.windows, seq.windows, "width sequences diverged");
+        prop_assert_eq!(thr.critical_path_events, seq.critical_path_events);
+    }
+}
+
+/// Like [`cell`], but with zipf-1.1 per-key volume under the seeded
+/// rank permutation. The hottest rank's burst scales by up to ~`keys`,
+/// so the spacing floor scales with `burst × keys` to keep every
+/// stream strictly increasing.
+fn skewed_cell() -> impl Strategy<Value = (Tree, PacedKeyDemand, Time, Placement)> {
+    (
+        (
+            2usize..30, // nodes
+            0u8..3,     // tree shape
+            2u32..24,   // keys
+        ),
+        (
+            2u64..4, // burst
+            1u64..4, // rounds
+            0u64..u64::MAX / 2,
+            1u64..9, // hold
+            0u8..2,  // placement
+        ),
+    )
+        .prop_map(|((n, shape, keys), (burst, rounds, seed, hold, pl))| {
+            let n = n.max(2);
+            let tree = match shape {
+                0 => Tree::line(n),
+                1 => Tree::star(n),
+                _ => Tree::kary(n, 2),
+            };
+            let demand =
+                PacedKeyDemand::new(keys, n, burst * u64::from(keys) + 41, burst, rounds, seed)
+                    .with_load(KeyLoad::Zipf { exponent: 1.1 });
+            let placement = match pl {
+                0 => Placement::Modulo,
+                _ => Placement::Hub(NodeId((seed % n as u64) as u32)),
+            };
+            (tree, demand, Time(hold), placement)
+        })
 }
 
 fn run_leased(
@@ -173,7 +276,7 @@ fn run_leased(
         demand,
         ParallelConfig {
             shards,
-            window: 64,
+            window: WindowPolicy::Fixed(64),
             threads: false,
             hold,
             placement: placement.clone(),
